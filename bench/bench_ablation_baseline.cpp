@@ -1,0 +1,183 @@
+// Ablation A4 -- architecture comparison: the paper's hierarchy vs (a) a
+// single centralized server and (b) a GSM-style two-tier HLR/VLR registry
+// (related work §2). All three run the same workload over the same
+// simulated LAN; counters report messages per operation.
+//
+// Expected shape: position updates are cheap everywhere; the two-tier
+// registry pays a home-pointer write on every region change; local queries
+// favor the hierarchy/regions over the central server only in message
+// *distribution* (the central server is a throughput bottleneck, visible in
+// the per-server message concentration counter).
+#include <benchmark/benchmark.h>
+
+#include "baseline/two_tier.hpp"
+#include "core/client.hpp"
+#include "core/deployment.hpp"
+#include "core/hierarchy_builder.hpp"
+#include "net/sim_network.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace locs;
+
+constexpr double kAreaSize = 4000.0;
+const geo::Rect kArea{{0, 0}, {kAreaSize, kAreaSize}};
+constexpr std::size_t kObjects = 1000;
+
+net::SimNetwork::Options lan() {
+  net::SimNetwork::Options opts;
+  opts.base_latency = microseconds(250);
+  opts.per_kilobyte = microseconds(80);
+  opts.jitter_frac = 0.0;
+  return opts;
+}
+
+enum class System { kHierarchy, kCentral, kTwoTier };
+
+const char* system_name(System s) {
+  switch (s) {
+    case System::kHierarchy: return "hierarchy_4x4";
+    case System::kCentral: return "central";
+    case System::kTwoTier: return "two_tier_4x4";
+  }
+  return "?";
+}
+
+struct AnyWorld {
+  net::SimNetwork net{lan()};
+  std::unique_ptr<core::Deployment> hier;
+  std::unique_ptr<baseline::TwoTierDeployment> flat;
+  std::vector<std::pair<ObjectId, geo::Point>> objects;
+  std::unique_ptr<core::QueryClient> client;
+  System system;
+
+  explicit AnyWorld(System s) : system(s) {
+    if (s == System::kTwoTier) {
+      flat = std::make_unique<baseline::TwoTierDeployment>(
+          net, net.clock(), baseline::RegionMap::grid(kArea, 4, 4));
+    } else {
+      const int levels = s == System::kCentral ? 0 : 1;
+      hier = std::make_unique<core::Deployment>(
+          net, net.clock(), core::HierarchyBuilder::grid(kArea, 4, 4, levels));
+    }
+    net.attach(NodeId{99}, [](const std::uint8_t*, std::size_t) {});
+    Rng rng(41);
+    for (std::uint64_t i = 1; i <= kObjects; ++i) {
+      const geo::Point p{rng.uniform(0, kAreaSize), rng.uniform(0, kAreaSize)};
+      wire::RegisterReq req;
+      req.s = core::Sighting{ObjectId{i}, 0, p, 5.0};
+      req.acc_range = {10.0, 100.0};
+      req.reg_inst = NodeId{99};
+      req.req_id = i;
+      net.send(NodeId{99}, entry_for(p),
+               wire::encode_envelope(NodeId{99}, wire::Message{req}));
+      objects.emplace_back(ObjectId{i}, p);
+    }
+    net.run_until_idle();
+    client = std::make_unique<core::QueryClient>(NodeId{200}, net, net.clock());
+  }
+
+  NodeId entry_for(geo::Point p) const {
+    return flat ? flat->entry_for(p) : hier->entry_leaf_for(p);
+  }
+};
+
+void BM_Baseline_RemotePosQuery(benchmark::State& state) {
+  const auto system = static_cast<System>(state.range(0));
+  state.SetLabel(system_name(system));
+  AnyWorld w(system);
+  Rng rng(42);
+  std::uint64_t msgs = 0;
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    const auto& [oid, pos] = w.objects[rng.next_below(w.objects.size())];
+    // Entry in the opposite corner from the target.
+    const geo::Point entry_pos{kAreaSize - pos.x, kAreaSize - pos.y};
+    w.client->set_entry(w.entry_for(entry_pos));
+    const std::uint64_t before = w.net.messages_sent();
+    const TimePoint start = w.net.now();
+    const std::uint64_t id = w.client->send_pos_query(oid);
+    while (!w.client->take_pos(id).has_value() && w.net.step()) {
+    }
+    state.SetIterationTime(to_seconds(w.net.now() - start));
+    w.net.run_until_idle();
+    msgs += w.net.messages_sent() - before;
+    ++ops;
+  }
+  state.counters["msgs_per_query"] =
+      static_cast<double>(msgs) / static_cast<double>(std::max<std::int64_t>(ops, 1));
+}
+BENCHMARK(BM_Baseline_RemotePosQuery)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Baseline_HandoverCost(benchmark::State& state) {
+  const auto system = static_cast<System>(state.range(0));
+  state.SetLabel(system_name(system));
+  AnyWorld w(system);
+  // An object shuttling across a region boundary far from its hashed home.
+  core::TrackedObject obj(NodeId{300}, ObjectId{77777}, w.net, w.net.clock());
+  obj.start_register(w.entry_for({900, 500}), {900, 500}, 5.0, {10.0, 100.0});
+  w.net.run_until_idle();
+  std::uint64_t msgs = 0;
+  std::int64_t ops = 0;
+  bool east = true;
+  for (auto _ : state) {
+    const std::uint64_t before = w.net.messages_sent();
+    const TimePoint start = w.net.now();
+    obj.feed_position(east ? geo::Point{1100, 500} : geo::Point{900, 500});
+    while (obj.update_pending() && w.net.step()) {
+    }
+    state.SetIterationTime(to_seconds(w.net.now() - start));
+    w.net.run_until_idle();
+    msgs += w.net.messages_sent() - before;
+    east = !east;
+    ++ops;
+  }
+  state.counters["msgs_per_handover"] =
+      static_cast<double>(msgs) / static_cast<double>(std::max<std::int64_t>(ops, 1));
+}
+BENCHMARK(BM_Baseline_HandoverCost)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Baseline_LocalRangeQuery(benchmark::State& state) {
+  const auto system = static_cast<System>(state.range(0));
+  state.SetLabel(system_name(system));
+  AnyWorld w(system);
+  Rng rng(43);
+  std::uint64_t msgs = 0;
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    const geo::Point c{rng.uniform(200, kAreaSize - 200),
+                       rng.uniform(200, kAreaSize - 200)};
+    w.client->set_entry(w.entry_for(c));
+    const geo::Polygon area = geo::Polygon::from_rect(geo::Rect::from_center(c, 50, 50));
+    const std::uint64_t before = w.net.messages_sent();
+    const TimePoint start = w.net.now();
+    const std::uint64_t id = w.client->send_range_query(area, 25.0, 0.5);
+    while (!w.client->take_range(id).has_value() && w.net.step()) {
+    }
+    state.SetIterationTime(to_seconds(w.net.now() - start));
+    w.net.run_until_idle();
+    msgs += w.net.messages_sent() - before;
+    ++ops;
+  }
+  state.counters["msgs_per_query"] =
+      static_cast<double>(msgs) / static_cast<double>(std::max<std::int64_t>(ops, 1));
+}
+BENCHMARK(BM_Baseline_LocalRangeQuery)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

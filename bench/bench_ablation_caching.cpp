@@ -1,0 +1,216 @@
+// Ablation A2 -- the §6.5 caches ("the optimizations proposed in Section
+// 6.5 should definitely bring an improvement", §7.2).
+//
+// Table-2 topology; measures remote position queries, repeated range
+// queries and handovers with each cache enabled/disabled. Counters report
+// messages per operation -- the quantity the caches attack.
+#include <benchmark/benchmark.h>
+
+#include "core/client.hpp"
+#include "core/deployment.hpp"
+#include "core/hierarchy_builder.hpp"
+#include "net/sim_network.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace locs;
+
+constexpr double kAreaSize = 1500.0;
+constexpr std::size_t kObjects = 2000;
+
+net::SimNetwork::Options lan() {
+  net::SimNetwork::Options opts;
+  opts.base_latency = microseconds(250);
+  opts.per_kilobyte = microseconds(80);
+  opts.jitter_frac = 0.0;
+  return opts;
+}
+
+struct CachedWorld {
+  net::SimNetwork net;
+  std::unique_ptr<core::Deployment> deployment;
+  std::vector<NodeId> leaves;
+  std::vector<std::pair<ObjectId, geo::Point>> objects;
+  std::unique_ptr<core::QueryClient> client;
+
+  explicit CachedWorld(bool caches_on) : net(lan()) {
+    core::Deployment::Config cfg;
+    cfg.server.enable_leaf_area_cache = caches_on;
+    cfg.server.enable_agent_cache = caches_on;
+    cfg.server.enable_position_cache = false;  // changes result freshness;
+                                               // measured separately below
+    deployment = std::make_unique<core::Deployment>(
+        net, net.clock(),
+        core::HierarchyBuilder::table2(geo::Rect{{0, 0}, {kAreaSize, kAreaSize}}),
+        cfg);
+    leaves = deployment->leaf_ids();
+    std::sort(leaves.begin(), leaves.end());
+    Rng rng(31);
+    net.attach(NodeId{99}, [](const std::uint8_t*, std::size_t) {});
+    for (std::uint64_t i = 1; i <= kObjects; ++i) {
+      const geo::Point p{rng.uniform(0, kAreaSize), rng.uniform(0, kAreaSize)};
+      wire::RegisterReq req;
+      req.s = core::Sighting{ObjectId{i}, 0, p, 5.0};
+      req.acc_range = {10.0, 100.0};
+      req.reg_inst = NodeId{99};
+      req.req_id = i;
+      net.send(NodeId{99}, deployment->entry_leaf_for(p),
+               wire::encode_envelope(NodeId{99}, wire::Message{req}));
+      objects.emplace_back(ObjectId{i}, p);
+    }
+    net.run_until_idle();
+    client = std::make_unique<core::QueryClient>(NodeId{200}, net, net.clock());
+  }
+};
+
+void BM_Caching_RepeatedRemotePosQuery(benchmark::State& state) {
+  const bool on = state.range(0) != 0;
+  state.SetLabel(on ? "caches on" : "caches off");
+  CachedWorld w(on);
+  Rng rng(32);
+  // Query the same working set of 20 remote objects over and over (the
+  // cache-friendly pattern §6.5 targets).
+  std::vector<ObjectId> working_set;
+  for (int i = 0; i < 20; ++i) {
+    working_set.push_back(w.objects[rng.next_below(w.objects.size())].first);
+  }
+  w.client->set_entry(w.leaves[0]);
+  std::uint64_t msgs = 0;
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    const ObjectId oid = working_set[rng.next_below(working_set.size())];
+    const std::uint64_t before = w.net.messages_sent();
+    const TimePoint start = w.net.now();
+    const std::uint64_t id = w.client->send_pos_query(oid);
+    while (!w.client->take_pos(id).has_value() && w.net.step()) {
+    }
+    state.SetIterationTime(to_seconds(w.net.now() - start));
+    w.net.run_until_idle();
+    msgs += w.net.messages_sent() - before;
+    ++ops;
+  }
+  state.counters["msgs_per_query"] =
+      static_cast<double>(msgs) / static_cast<double>(std::max<std::int64_t>(ops, 1));
+}
+BENCHMARK(BM_Caching_RepeatedRemotePosQuery)
+    ->Arg(0)
+    ->Arg(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Caching_RepeatedRemoteRangeQuery(benchmark::State& state) {
+  const bool on = state.range(0) != 0;
+  state.SetLabel(on ? "caches on" : "caches off");
+  CachedWorld w(on);
+  Rng rng(33);
+  w.client->set_entry(w.leaves[0]);
+  // Hot area in the opposite quadrant, re-queried with small displacements.
+  std::uint64_t msgs = 0;
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    const geo::Point c{1100 + rng.uniform(-50, 50), 1100 + rng.uniform(-50, 50)};
+    const geo::Polygon area = geo::Polygon::from_rect(geo::Rect::from_center(c, 25, 25));
+    const std::uint64_t before = w.net.messages_sent();
+    const TimePoint start = w.net.now();
+    const std::uint64_t id = w.client->send_range_query(area, 25.0, 0.5);
+    while (!w.client->take_range(id).has_value() && w.net.step()) {
+    }
+    state.SetIterationTime(to_seconds(w.net.now() - start));
+    w.net.run_until_idle();
+    msgs += w.net.messages_sent() - before;
+    ++ops;
+  }
+  state.counters["msgs_per_query"] =
+      static_cast<double>(msgs) / static_cast<double>(std::max<std::int64_t>(ops, 1));
+}
+BENCHMARK(BM_Caching_RepeatedRemoteRangeQuery)
+    ->Arg(0)
+    ->Arg(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Caching_HandoverCost(benchmark::State& state) {
+  const bool on = state.range(0) != 0;
+  state.SetLabel(on ? "caches on" : "caches off");
+  CachedWorld w(on);
+  // One object ping-ponging across a leaf boundary; with the leaf-area
+  // cache the old agent contacts the new leaf directly.
+  core::TrackedObject obj(NodeId{300}, ObjectId{90001}, w.net, w.net.clock());
+  obj.start_register(w.deployment->entry_leaf_for({700, 300}), {700, 300}, 5.0,
+                     {10.0, 100.0});
+  w.net.run_until_idle();
+  // Warm the leaf-area caches with one round trip in both directions.
+  obj.feed_position({800, 300});
+  w.net.run_until_idle();
+  obj.feed_position({700, 300});
+  w.net.run_until_idle();
+  std::uint64_t msgs = 0;
+  std::int64_t ops = 0;
+  bool east = true;
+  for (auto _ : state) {
+    const std::uint64_t before = w.net.messages_sent();
+    const TimePoint start = w.net.now();
+    obj.feed_position(east ? geo::Point{800, 300} : geo::Point{700, 300});
+    while (obj.update_pending() && w.net.step()) {
+    }
+    state.SetIterationTime(to_seconds(w.net.now() - start));
+    w.net.run_until_idle();
+    msgs += w.net.messages_sent() - before;
+    east = !east;
+    ++ops;
+  }
+  state.counters["msgs_per_handover"] =
+      static_cast<double>(msgs) / static_cast<double>(std::max<std::int64_t>(ops, 1));
+}
+BENCHMARK(BM_Caching_HandoverCost)
+    ->Arg(0)
+    ->Arg(1)
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Caching_PositionCacheHit(benchmark::State& state) {
+  // The position-descriptor cache (cache 3) answers locally while the aged
+  // accuracy is acceptable: virtually zero remote messages.
+  CachedWorld w(true);
+  // Flip the position cache on at the entry leaf only -- rebuild with it.
+  net::SimNetwork net(lan());
+  core::Deployment::Config cfg;
+  cfg.server.enable_position_cache = true;
+  cfg.server.position_cache_max_acc = 1e9;  // never expires in this bench
+  core::Deployment deployment(
+      net, net.clock(),
+      core::HierarchyBuilder::table2(geo::Rect{{0, 0}, {kAreaSize, kAreaSize}}), cfg);
+  net.attach(NodeId{99}, [](const std::uint8_t*, std::size_t) {});
+  wire::RegisterReq req;
+  req.s = core::Sighting{ObjectId{1}, 0, {1100, 1100}, 5.0};
+  req.acc_range = {10.0, 100.0};
+  req.reg_inst = NodeId{99};
+  req.req_id = 1;
+  net.send(NodeId{99}, deployment.entry_leaf_for({1100, 1100}),
+           wire::encode_envelope(NodeId{99}, wire::Message{req}));
+  net.run_until_idle();
+  core::QueryClient qc(NodeId{200}, net, net.clock());
+  qc.set_entry(deployment.leaf_ids().front());
+  // Seed the cache.
+  const std::uint64_t warm = qc.send_pos_query(ObjectId{1});
+  net.run_until_idle();
+  (void)qc.take_pos(warm);
+  std::uint64_t msgs = 0;
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = net.messages_sent();
+    const TimePoint start = net.now();
+    const std::uint64_t id = qc.send_pos_query(ObjectId{1});
+    while (!qc.take_pos(id).has_value() && net.step()) {
+    }
+    state.SetIterationTime(to_seconds(net.now() - start));
+    msgs += net.messages_sent() - before;
+    ++ops;
+  }
+  state.counters["msgs_per_query"] =
+      static_cast<double>(msgs) / static_cast<double>(std::max<std::int64_t>(ops, 1));
+}
+BENCHMARK(BM_Caching_PositionCacheHit)->UseManualTime()->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Ablation A1 -- hierarchy shape (§4: "The performance of the system is
+// influenced by the height of the hierarchy, the fan-out of nodes and the
+// size of the (leaf) service areas"; evaluating this is named future work
+// in §8).
+//
+// Sweeps (fanout, levels) over a fixed 8 km x 8 km area with a random-
+// waypoint fleet and reports
+//   * messages per position update (includes handover repair traffic),
+//   * handovers per update (smaller leaves => more handovers),
+//   * virtual response time of a remote position query.
+#include <benchmark/benchmark.h>
+
+#include "core/client.hpp"
+#include "core/deployment.hpp"
+#include "core/hierarchy_builder.hpp"
+#include "net/sim_network.hpp"
+#include "sim/mobility.hpp"
+
+namespace {
+
+using namespace locs;
+
+const geo::Rect kArea{{0, 0}, {8000, 8000}};
+constexpr std::size_t kFleet = 200;
+
+net::SimNetwork::Options lan() {
+  net::SimNetwork::Options opts;
+  opts.base_latency = microseconds(250);
+  opts.per_kilobyte = microseconds(80);
+  opts.jitter_frac = 0.0;
+  return opts;
+}
+
+void BM_Hierarchy_UpdateAndHandoverCost(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  const int levels = static_cast<int>(state.range(1));
+  state.SetLabel("fanout " + std::to_string(fanout) + "x" + std::to_string(fanout) +
+                 ", levels " + std::to_string(levels));
+  net::SimNetwork net(lan());
+  core::Deployment deployment(net, net.clock(),
+                              core::HierarchyBuilder::grid(kArea, fanout, fanout, levels));
+  Rng rng(17);
+  std::vector<std::unique_ptr<core::TrackedObject>> objs;
+  std::vector<std::unique_ptr<sim::MobilityModel>> models;
+  for (std::uint64_t i = 1; i <= kFleet; ++i) {
+    const geo::Point start{rng.uniform(0, 8000), rng.uniform(0, 8000)};
+    objs.push_back(std::make_unique<core::TrackedObject>(
+        NodeId{static_cast<std::uint32_t>((1 << 20) + i)}, ObjectId{i}, net,
+        net.clock()));
+    objs.back()->start_register(deployment.entry_leaf_for(start), start, 5.0,
+                                {25.0, 100.0});
+    models.push_back(sim::make_random_waypoint(kArea, start, 10.0, 30.0,
+                                               seconds(2), rng));
+  }
+  net.run_until_idle();
+
+  std::uint64_t updates = 0;
+  std::uint64_t msgs = 0;
+  std::uint64_t handovers_before = deployment.total_stats().handovers_accepted;
+  for (auto _ : state) {
+    const std::uint64_t msgs_before = net.messages_sent();
+    // One fleet burst: everyone moves 10 simulated seconds and reports.
+    for (std::size_t i = 0; i < kFleet; ++i) {
+      if (objs[i]->feed_position(models[i]->step(seconds(10)))) ++updates;
+    }
+    net.run_until_idle();
+    msgs += net.messages_sent() - msgs_before;
+  }
+  const std::uint64_t handovers =
+      deployment.total_stats().handovers_accepted - handovers_before;
+  state.counters["msgs_per_update"] =
+      updates > 0 ? static_cast<double>(msgs) / static_cast<double>(updates) : 0.0;
+  state.counters["handover_rate"] =
+      updates > 0 ? static_cast<double>(handovers) / static_cast<double>(updates)
+                  : 0.0;
+  state.counters["servers"] = static_cast<double>(deployment.spec().nodes.size());
+}
+BENCHMARK(BM_Hierarchy_UpdateAndHandoverCost)
+    ->ArgsProduct({{2, 4}, {1, 2, 3}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Hierarchy_RemotePosQueryLatency(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  const int levels = static_cast<int>(state.range(1));
+  state.SetLabel("fanout " + std::to_string(fanout) + "x" + std::to_string(fanout) +
+                 ", levels " + std::to_string(levels));
+  net::SimNetwork net(lan());
+  core::Deployment deployment(net, net.clock(),
+                              core::HierarchyBuilder::grid(kArea, fanout, fanout, levels));
+  Rng rng(18);
+  // One object in each far corner region.
+  core::TrackedObject obj(NodeId{1 << 21}, ObjectId{1}, net, net.clock());
+  obj.start_register(deployment.entry_leaf_for({7900, 7900}), {7900, 7900}, 5.0,
+                     {25.0, 100.0});
+  net.run_until_idle();
+  core::QueryClient qc(NodeId{(1 << 21) + 1}, net, net.clock());
+  qc.set_entry(deployment.entry_leaf_for({100, 100}));  // opposite corner
+  std::uint64_t msgs = 0;
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    const std::uint64_t msgs_before = net.messages_sent();
+    const TimePoint start = net.now();
+    const std::uint64_t id = qc.send_pos_query(ObjectId{1});
+    while (!qc.take_pos(id).has_value() && net.step()) {
+    }
+    state.SetIterationTime(to_seconds(net.now() - start));
+    net.run_until_idle();
+    msgs += net.messages_sent() - msgs_before;
+    ++ops;
+  }
+  state.counters["msgs_per_query"] =
+      static_cast<double>(msgs) / static_cast<double>(std::max<std::int64_t>(ops, 1));
+}
+BENCHMARK(BM_Hierarchy_RemotePosQueryLatency)
+    ->ArgsProduct({{2, 4}, {1, 2, 3}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,134 @@
+// Ablation A5 -- locality of queries (§4: "we can gain performance by
+// exploiting the locality of operations"; §6.3: the entry-server design
+// bets that "the distance to the node storing the position information is
+// on average shorter from a leaf server than from the root").
+//
+// A 3-level binary-split hierarchy (64 leaves); position queries whose
+// targets sit at increasing hierarchy distance from the entry leaf:
+//   0 same leaf / 1 sibling leaf / 2 same quadrant / 3 opposite corner.
+// Messages and virtual latency must grow with distance -- the locality
+// payoff of the hierarchical architecture.
+#include <benchmark/benchmark.h>
+
+#include "core/client.hpp"
+#include "core/deployment.hpp"
+#include "core/hierarchy_builder.hpp"
+#include "net/sim_network.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace locs;
+
+constexpr double kAreaSize = 8000.0;
+
+net::SimNetwork::Options lan() {
+  net::SimNetwork::Options opts;
+  opts.base_latency = microseconds(250);
+  opts.per_kilobyte = microseconds(80);
+  opts.jitter_frac = 0.0;
+  return opts;
+}
+
+void BM_Locality_PosQueryByDistance(benchmark::State& state) {
+  const int distance = static_cast<int>(state.range(0));
+  static const char* kLabels[] = {"same leaf", "sibling leaf", "same quadrant",
+                                  "opposite corner"};
+  state.SetLabel(kLabels[distance]);
+
+  net::SimNetwork net(lan());
+  core::Deployment deployment(
+      net, net.clock(),
+      core::HierarchyBuilder::grid(geo::Rect{{0, 0}, {kAreaSize, kAreaSize}}, 2, 2, 3));
+  // Entry leaf: the one covering the SW corner (leaf size 1 km).
+  const geo::Point entry_point{100, 100};
+  // Targets by hierarchy distance from the entry leaf.
+  geo::Point target_point;
+  switch (distance) {
+    case 0: target_point = {600, 600}; break;       // same 1 km leaf
+    case 1: target_point = {1600, 600}; break;      // sibling under same parent
+    case 2: target_point = {3600, 3600}; break;     // same top-level quadrant
+    default: target_point = {7600, 7600}; break;    // crosses the root
+  }
+  core::TrackedObject obj(NodeId{1 << 20}, ObjectId{1}, net, net.clock());
+  obj.start_register(deployment.entry_leaf_for(target_point), target_point, 5.0,
+                     {25.0, 100.0});
+  net.run_until_idle();
+  core::QueryClient qc(NodeId{(1 << 20) + 1}, net, net.clock());
+  qc.set_entry(deployment.entry_leaf_for(entry_point));
+
+  std::uint64_t msgs = 0;
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = net.messages_sent();
+    const TimePoint start = net.now();
+    const std::uint64_t id = qc.send_pos_query(ObjectId{1});
+    while (!qc.take_pos(id).has_value() && net.step()) {
+    }
+    state.SetIterationTime(to_seconds(net.now() - start));
+    net.run_until_idle();
+    msgs += net.messages_sent() - before;
+    ++ops;
+  }
+  state.counters["msgs_per_query"] =
+      static_cast<double>(msgs) / static_cast<double>(std::max<std::int64_t>(ops, 1));
+}
+BENCHMARK(BM_Locality_PosQueryByDistance)
+    ->DenseRange(0, 3)
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Locality_RangeQueryBySpan(benchmark::State& state) {
+  // Range queries spanning 1 leaf up to the whole area: cost grows with the
+  // number of involved leaf servers ("the cost of processing a query
+  // depends on the number of leaf servers involved", §6.4).
+  const double extent = static_cast<double>(state.range(0));
+  state.SetLabel(std::to_string(state.range(0)) + " m span");
+  net::SimNetwork net(lan());
+  core::Deployment deployment(
+      net, net.clock(),
+      core::HierarchyBuilder::grid(geo::Rect{{0, 0}, {kAreaSize, kAreaSize}}, 2, 2, 3));
+  Rng rng(51);
+  net.attach(NodeId{99}, [](const std::uint8_t*, std::size_t) {});
+  for (std::uint64_t i = 1; i <= 2000; ++i) {
+    const geo::Point p{rng.uniform(0, kAreaSize), rng.uniform(0, kAreaSize)};
+    wire::RegisterReq req;
+    req.s = core::Sighting{ObjectId{i}, 0, p, 5.0};
+    req.acc_range = {10.0, 100.0};
+    req.reg_inst = NodeId{99};
+    req.req_id = i;
+    net.send(NodeId{99}, deployment.entry_leaf_for(p),
+             wire::encode_envelope(NodeId{99}, wire::Message{req}));
+  }
+  net.run_until_idle();
+  core::QueryClient qc(NodeId{(1 << 20) + 1}, net, net.clock());
+  std::uint64_t msgs = 0;
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    const geo::Point c{rng.uniform(extent / 2, kAreaSize - extent / 2),
+                       rng.uniform(extent / 2, kAreaSize - extent / 2)};
+    qc.set_entry(deployment.entry_leaf_for(c));
+    const geo::Polygon area =
+        geo::Polygon::from_rect(geo::Rect::from_center(c, extent / 2, extent / 2));
+    const std::uint64_t before = net.messages_sent();
+    const TimePoint start = net.now();
+    const std::uint64_t id = qc.send_range_query(area, 25.0, 0.5);
+    while (!qc.take_range(id).has_value() && net.step()) {
+    }
+    state.SetIterationTime(to_seconds(net.now() - start));
+    net.run_until_idle();
+    msgs += net.messages_sent() - before;
+    ++ops;
+  }
+  state.counters["msgs_per_query"] =
+      static_cast<double>(msgs) / static_cast<double>(std::max<std::int64_t>(ops, 1));
+}
+BENCHMARK(BM_Locality_RangeQueryBySpan)
+    ->Arg(100)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Arg(6000)
+    ->UseManualTime()
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Ablation A3 -- spatial index choice (§5: "a Quadtree or a R-Tree").
+// Runs the Table-1 workload over all four index implementations: the
+// paper's Point Quadtree, its named R-Tree alternative, and grid / linear
+// baselines. Shows why a spatial index is needed at all (linear scan) and
+// how the quadtree's point splits compare with the R-tree's boxes.
+#include <benchmark/benchmark.h>
+
+#include "spatial/spatial_index.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace locs;
+
+constexpr double kAreaSize = 10000.0;
+constexpr std::size_t kObjects = 25000;
+const geo::Rect kArea{{0, 0}, {kAreaSize, kAreaSize}};
+
+std::unique_ptr<spatial::SpatialIndex> make_index(int kind) {
+  switch (kind) {
+    case 0: return spatial::make_point_quadtree();
+    case 1: return spatial::make_rtree();
+    case 2: return spatial::make_grid_index(kArea, 16384);
+    default: return spatial::make_linear_index();
+  }
+}
+
+const char* index_name(int kind) {
+  switch (kind) {
+    case 0: return "quadtree";
+    case 1: return "rtree";
+    case 2: return "grid";
+    default: return "linear";
+  }
+}
+
+std::unique_ptr<spatial::SpatialIndex> populated(int kind) {
+  auto index = make_index(kind);
+  Rng rng(1);
+  for (std::uint64_t i = 1; i <= kObjects; ++i) {
+    index->insert(ObjectId{i}, {rng.uniform(0, kAreaSize), rng.uniform(0, kAreaSize)});
+  }
+  return index;
+}
+
+void BM_Spatial_BulkInsert(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  state.SetLabel(index_name(kind));
+  Rng rng(1);
+  std::vector<geo::Point> points;
+  for (std::size_t i = 0; i < kObjects; ++i) {
+    points.push_back({rng.uniform(0, kAreaSize), rng.uniform(0, kAreaSize)});
+  }
+  for (auto _ : state) {
+    auto index = make_index(kind);
+    std::uint64_t oid = 1;
+    for (const geo::Point& p : points) index->insert(ObjectId{oid++}, p);
+    benchmark::DoNotOptimize(index->size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kObjects));
+}
+BENCHMARK(BM_Spatial_BulkInsert)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+void BM_Spatial_Update(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  state.SetLabel(index_name(kind));
+  auto index = populated(kind);
+  Rng rng(2);
+  for (auto _ : state) {
+    const ObjectId oid{1 + rng.next_below(kObjects)};
+    index->update(oid, {rng.uniform(0, kAreaSize), rng.uniform(0, kAreaSize)});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Spatial_Update)->DenseRange(0, 3);
+
+void BM_Spatial_RangeQuery(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  const double extent = static_cast<double>(state.range(1));
+  state.SetLabel(std::string(index_name(kind)) + "/" +
+                 std::to_string(state.range(1)) + "m");
+  auto index = populated(kind);
+  Rng rng(3);
+  std::vector<spatial::Entry> out;
+  for (auto _ : state) {
+    const geo::Point corner{rng.uniform(0, kAreaSize - extent),
+                            rng.uniform(0, kAreaSize - extent)};
+    out.clear();
+    index->query_rect(geo::Rect{corner, {corner.x + extent, corner.y + extent}}, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Spatial_RangeQuery)
+    ->ArgsProduct({{0, 1, 2, 3}, {10, 100, 1000}});
+
+void BM_Spatial_KNearest(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  state.SetLabel(index_name(kind));
+  auto index = populated(kind);
+  Rng rng(4);
+  for (auto _ : state) {
+    const geo::Point p{rng.uniform(0, kAreaSize), rng.uniform(0, kAreaSize)};
+    benchmark::DoNotOptimize(index->k_nearest(p, 8));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Spatial_KNearest)->DenseRange(0, 3);
+
+}  // namespace

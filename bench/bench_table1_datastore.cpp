@@ -1,0 +1,129 @@
+// Table 1 -- "Throughput of the data storage component based on a service
+// area of 10 km x 10 km and 25,000 tracked objects" (§7.1).
+//
+// Rows reproduced (paper numbers on the 450 MHz SUN Ultra / Java prototype
+// in parentheses -- absolute values differ, the ORDERING must hold):
+//   creating index                 (24,015 1/s)
+//   position updates               (41,494 1/s)
+//   position query                 (384,615 1/s)
+//   range query 10 m x 10 m        (21,834 1/s)
+//   range query 100 m x 100 m      (18,450 1/s)
+//   range query 1 km x 1 km        ( 1,813 1/s)
+//
+// Workload exactly as described: 25,000 objects at uniform random positions;
+// 10,000 updates / queries against randomly selected objects / areas.
+#include <benchmark/benchmark.h>
+
+#include "core/types.hpp"
+#include "sim/mobility.hpp"
+#include "store/sighting_db.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace locs;
+
+constexpr double kAreaSize = 10000.0;  // 10 km
+constexpr std::size_t kObjects = 25000;
+const geo::Rect kArea{{0, 0}, {kAreaSize, kAreaSize}};
+
+std::vector<geo::Point> positions(std::uint64_t seed = 1) {
+  Rng rng(seed);
+  return sim::uniform_placement(kArea, kObjects, rng);
+}
+
+store::SightingDb populated_db() {
+  store::SightingDb db([] { return spatial::make_point_quadtree(); });
+  std::uint64_t oid = 1;
+  for (const geo::Point& p : positions()) {
+    db.insert(core::Sighting{ObjectId{oid}, 0, p, 5.0}, 25.0, 1'000'000'000);
+    ++oid;
+  }
+  return db;
+}
+
+/// Row 1: creating the index -- 25,000 inserts into an empty store ("the
+/// spatial index can be built-up very fast ... important for crash
+/// recovery", §7.1).
+void BM_Table1_CreateIndex(benchmark::State& state) {
+  const auto pos = positions();
+  for (auto _ : state) {
+    store::SightingDb db([] { return spatial::make_point_quadtree(); });
+    std::uint64_t oid = 1;
+    for (const geo::Point& p : pos) {
+      db.insert(core::Sighting{ObjectId{oid}, 0, p, 5.0}, 25.0, 1'000'000'000);
+      ++oid;
+    }
+    benchmark::DoNotOptimize(db.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kObjects));
+  state.counters["inserts_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kObjects), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Table1_CreateIndex)->Unit(benchmark::kMillisecond);
+
+/// Row 2: position updates for randomly selected objects.
+void BM_Table1_PositionUpdates(benchmark::State& state) {
+  store::SightingDb db = populated_db();
+  Rng rng(2);
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    const ObjectId oid{1 + rng.next_below(kObjects)};
+    const geo::Point p{rng.uniform(0, kAreaSize), rng.uniform(0, kAreaSize)};
+    benchmark::DoNotOptimize(
+        db.update(core::Sighting{oid, ops, p, 5.0}, 1'000'000'000));
+    ++ops;
+  }
+  state.SetItemsProcessed(ops);
+  state.counters["updates_per_s"] =
+      benchmark::Counter(static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Table1_PositionUpdates);
+
+/// Row 3: position queries via the object-id hash index.
+void BM_Table1_PositionQuery(benchmark::State& state) {
+  store::SightingDb db = populated_db();
+  Rng rng(3);
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    const ObjectId oid{1 + rng.next_below(kObjects)};
+    benchmark::DoNotOptimize(db.find(oid));
+    ++ops;
+  }
+  state.SetItemsProcessed(ops);
+  state.counters["queries_per_s"] =
+      benchmark::Counter(static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Table1_PositionQuery);
+
+/// Rows 4-6: range queries for random areas of three sizes.
+void BM_Table1_RangeQuery(benchmark::State& state) {
+  store::SightingDb db = populated_db();
+  const double extent = static_cast<double>(state.range(0));
+  Rng rng(4);
+  std::int64_t ops = 0;
+  std::size_t results = 0;
+  std::vector<core::ObjectResult> out;
+  for (auto _ : state) {
+    const geo::Point corner{rng.uniform(0, kAreaSize - extent),
+                            rng.uniform(0, kAreaSize - extent)};
+    const geo::Polygon area = geo::Polygon::from_rect(
+        geo::Rect{corner, {corner.x + extent, corner.y + extent}});
+    out.clear();
+    db.objects_in_area(area, /*req_acc=*/50.0, /*req_overlap=*/0.5, out);
+    results += out.size();
+    ++ops;
+  }
+  state.SetItemsProcessed(ops);
+  state.counters["queries_per_s"] =
+      benchmark::Counter(static_cast<double>(ops), benchmark::Counter::kIsRate);
+  state.counters["avg_results"] =
+      static_cast<double>(results) / static_cast<double>(std::max<std::int64_t>(ops, 1));
+}
+BENCHMARK(BM_Table1_RangeQuery)
+    ->Arg(10)      // 10 m x 10 m
+    ->Arg(100)     // 100 m x 100 m
+    ->Arg(1000);   // 1 km x 1 km
+
+}  // namespace

@@ -1,0 +1,223 @@
+// Table 2 (simulated twin) -- the same 1-root + 4-leaf configuration as
+// bench_table2_distributed, but over the deterministic SimNetwork with a
+// modelled 100 Mbit LAN (250 us one-way latency + serialization time).
+// Reported time is VIRTUAL time (UseManualTime), so this bench isolates the
+// protocol's hop structure from host scheduling noise, and additionally
+// reports messages per operation. Adds a nearest-neighbor row (not measured
+// in the paper).
+#include <benchmark/benchmark.h>
+
+#include "core/client.hpp"
+#include "core/deployment.hpp"
+#include "core/hierarchy_builder.hpp"
+#include "net/sim_network.hpp"
+#include "sim/mobility.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace locs;
+
+constexpr double kAreaSize = 1500.0;
+constexpr std::size_t kObjects = 10000;
+
+struct SimWorld {
+  net::SimNetwork net;
+  std::unique_ptr<core::Deployment> deployment;
+  std::vector<NodeId> leaves;
+  std::vector<std::vector<std::pair<ObjectId, geo::Point>>> by_leaf;
+  std::unique_ptr<core::QueryClient> client;
+
+  SimWorld() : net(lan_options()) {
+    deployment = std::make_unique<core::Deployment>(
+        net, net.clock(),
+        core::HierarchyBuilder::table2(geo::Rect{{0, 0}, {kAreaSize, kAreaSize}}));
+    leaves = deployment->leaf_ids();
+    std::sort(leaves.begin(), leaves.end());
+    by_leaf.resize(leaves.size());
+    Rng rng(11);
+    for (std::uint64_t i = 1; i <= kObjects; ++i) {
+      const geo::Point p{rng.uniform(0, kAreaSize), rng.uniform(0, kAreaSize)};
+      const NodeId leaf = deployment->entry_leaf_for(p);
+      wire::RegisterReq req;
+      req.s = core::Sighting{ObjectId{i}, 0, p, 5.0};
+      req.acc_range = {10.0, 100.0};
+      req.reg_inst = NodeId{99};
+      req.req_id = i;
+      net.send(NodeId{99}, leaf, wire::encode_envelope(NodeId{99}, wire::Message{req}));
+      const std::size_t idx = static_cast<std::size_t>(
+          std::find(leaves.begin(), leaves.end(), leaf) - leaves.begin());
+      by_leaf[idx].emplace_back(ObjectId{i}, p);
+    }
+    net.attach(NodeId{99}, [](const std::uint8_t*, std::size_t) {});
+    net.run_until_idle();
+    client = std::make_unique<core::QueryClient>(NodeId{200}, net, net.clock());
+  }
+
+  static net::SimNetwork::Options lan_options() {
+    net::SimNetwork::Options opts;
+    opts.base_latency = microseconds(250);  // one-way switch + stack
+    opts.per_kilobyte = microseconds(80);   // ~100 Mbit/s
+    opts.jitter_frac = 0.0;                 // deterministic timing rows
+    return opts;
+  }
+
+  /// Runs the network until `done` returns true; returns elapsed virtual us.
+  template <typename Pred>
+  Duration run_until(Pred done) {
+    const TimePoint start = net.now();
+    while (!done() && net.step()) {
+    }
+    const TimePoint end = net.now();
+    net.run_until_idle();  // drain stragglers (path repair etc.)
+    return end - start;
+  }
+};
+
+SimWorld& world() {
+  static SimWorld w;
+  return w;
+}
+
+struct OpResult {
+  Duration virtual_us;
+  std::uint64_t messages;
+};
+
+template <typename Issue, typename Done>
+OpResult timed_op(SimWorld& w, Issue issue, Done done) {
+  const std::uint64_t msgs_before = w.net.messages_sent();
+  issue();
+  const Duration elapsed = w.run_until(done);
+  return {elapsed, w.net.messages_sent() - msgs_before};
+}
+
+void report(benchmark::State& state, std::vector<OpResult>& ops) {
+  double total_msgs = 0;
+  for (const OpResult& op : ops) total_msgs += static_cast<double>(op.messages);
+  state.counters["msgs_per_op"] = total_msgs / static_cast<double>(ops.size());
+  ops.clear();
+}
+
+void BM_Table2Sim_PositionUpdate(benchmark::State& state) {
+  SimWorld& w = world();
+  Rng rng(21);
+  std::vector<OpResult> ops;
+  // A dedicated sim tracked-object node for updates.
+  static core::TrackedObject obj(NodeId{201}, ObjectId{1}, w.net, w.net.clock());
+  static bool registered = [&] {
+    obj.start_register(w.leaves[0], w.by_leaf[0][0].second, 5.0, {10.0, 100.0});
+    w.net.run_until_idle();
+    return obj.tracked();
+  }();
+  (void)registered;
+  const geo::Rect leaf = w.deployment->server(w.leaves[0]).config().sa.bounding_box();
+  for (auto _ : state) {
+    const geo::Point p{rng.uniform(leaf.min.x + 1, leaf.max.x - 1),
+                       rng.uniform(leaf.min.y + 1, leaf.max.y - 1)};
+    // feed_position always exceeds the 10 m threshold at leaf scale; the op
+    // is complete when the UpdateAck clears the pending flag.
+    const OpResult op = timed_op(w, [&] { obj.feed_position(p); },
+                                 [&] { return !obj.update_pending(); });
+    ops.push_back(op);
+    state.SetIterationTime(to_seconds(op.virtual_us));
+  }
+  report(state, ops);
+}
+BENCHMARK(BM_Table2Sim_PositionUpdate)->UseManualTime()->Unit(benchmark::kMicrosecond);
+
+void pos_query_sim(benchmark::State& state, bool remote) {
+  SimWorld& w = world();
+  Rng rng(22);
+  std::vector<OpResult> ops;
+  for (auto _ : state) {
+    const std::size_t target = rng.next_below(4);
+    const std::size_t entry = remote ? (target + 1 + rng.next_below(3)) % 4 : target;
+    const auto& [oid, pos] = w.by_leaf[target][rng.next_below(w.by_leaf[target].size())];
+    w.client->set_entry(w.leaves[entry]);
+    std::uint64_t id = 0;
+    const OpResult op =
+        timed_op(w, [&] { id = w.client->send_pos_query(oid); },
+                 [&] { return w.client->take_pos(id).has_value(); });
+    ops.push_back(op);
+    state.SetIterationTime(to_seconds(op.virtual_us));
+  }
+  report(state, ops);
+}
+
+void BM_Table2Sim_LocalPosQuery(benchmark::State& state) { pos_query_sim(state, false); }
+void BM_Table2Sim_RemotePosQuery(benchmark::State& state) { pos_query_sim(state, true); }
+BENCHMARK(BM_Table2Sim_LocalPosQuery)->UseManualTime()->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Table2Sim_RemotePosQuery)->UseManualTime()->Unit(benchmark::kMicrosecond);
+
+void range_query_sim(benchmark::State& state, int servers, bool remote) {
+  SimWorld& w = world();
+  Rng rng(23);
+  std::vector<OpResult> ops;
+  for (auto _ : state) {
+    const std::size_t home = rng.next_below(4);
+    const geo::Rect leaf = w.deployment->server(w.leaves[home]).config().sa.bounding_box();
+    geo::Point center;
+    switch (servers) {
+      case 1:
+        center = {rng.uniform(leaf.min.x + 100, leaf.max.x - 100),
+                  rng.uniform(leaf.min.y + 100, leaf.max.y - 100)};
+        break;
+      case 2:
+        center = {kAreaSize / 2, rng.uniform(leaf.min.y + 100, leaf.max.y - 100)};
+        break;
+      default:
+        center = {kAreaSize / 2, kAreaSize / 2};
+        break;
+    }
+    const std::size_t entry = remote ? (home + 1 + rng.next_below(3)) % 4 : home;
+    w.client->set_entry(w.leaves[entry]);
+    const geo::Polygon area =
+        geo::Polygon::from_rect(geo::Rect::from_center(center, 25, 25));
+    std::uint64_t id = 0;
+    const OpResult op =
+        timed_op(w, [&] { id = w.client->send_range_query(area, 25.0, 0.5); },
+                 [&] { return w.client->take_range(id).has_value(); });
+    ops.push_back(op);
+    state.SetIterationTime(to_seconds(op.virtual_us));
+  }
+  report(state, ops);
+}
+
+void BM_Table2Sim_LocalRangeQuery(benchmark::State& state) {
+  range_query_sim(state, 1, false);
+}
+void BM_Table2Sim_RemoteRangeQuery1(benchmark::State& state) {
+  range_query_sim(state, 1, true);
+}
+void BM_Table2Sim_RemoteRangeQuery2(benchmark::State& state) {
+  range_query_sim(state, 2, true);
+}
+void BM_Table2Sim_RemoteRangeQuery4(benchmark::State& state) {
+  range_query_sim(state, 4, true);
+}
+BENCHMARK(BM_Table2Sim_LocalRangeQuery)->UseManualTime()->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Table2Sim_RemoteRangeQuery1)->UseManualTime()->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Table2Sim_RemoteRangeQuery2)->UseManualTime()->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Table2Sim_RemoteRangeQuery4)->UseManualTime()->Unit(benchmark::kMicrosecond);
+
+/// Extra row (not in the paper): distributed nearest-neighbor query.
+void BM_Table2Sim_NeighborQuery(benchmark::State& state) {
+  SimWorld& w = world();
+  Rng rng(24);
+  std::vector<OpResult> ops;
+  for (auto _ : state) {
+    const geo::Point p{rng.uniform(0, kAreaSize), rng.uniform(0, kAreaSize)};
+    w.client->set_entry(w.leaves[rng.next_below(4)]);
+    std::uint64_t id = 0;
+    const OpResult op =
+        timed_op(w, [&] { id = w.client->send_nn_query(p, 50.0, 0.0); },
+                 [&] { return w.client->take_nn(id).has_value(); });
+    ops.push_back(op);
+    state.SetIterationTime(to_seconds(op.virtual_us));
+  }
+  report(state, ops);
+}
+BENCHMARK(BM_Table2Sim_NeighborQuery)->UseManualTime()->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,76 @@
+// Quickstart: the complete §3 API of the location service in one file.
+//
+//   ./quickstart
+//
+// Creates a city-scale service (10 km x 10 km, a 2-level hierarchy of
+// location servers), registers a few tracked objects with negotiated
+// accuracy, moves them (triggering the §6.2 update protocol and handovers),
+// and issues all three query types.
+#include <cstdio>
+
+#include "core/local_service.hpp"
+
+using namespace locs;
+
+int main() {
+  core::LocalLocationService ls;  // default: 10 km x 10 km, 2x2 fanout, 2 levels
+
+  // --- register(s, desAcc, minAcc) -> offeredAcc (§3.1) ---
+  // A taxi with a GPS-grade sensor asks for 10 m accuracy, accepts up to 50 m.
+  const auto offered =
+      ls.register_object(ObjectId{1}, {2000, 3000}, /*sensor_acc=*/5.0,
+                         core::AccuracyRange{10.0, 50.0});
+  if (!offered.ok()) {
+    std::printf("registration failed: %s\n", offered.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("taxi 1 registered, offered accuracy %.0f m\n", offered.value());
+
+  ls.register_object(ObjectId{2}, {2100, 3100}, 5.0, {10.0, 50.0}).value();
+  ls.register_object(ObjectId{3}, {8000, 8000}, 5.0, {10.0, 50.0}).value();
+  std::printf("%zu objects tracked\n", ls.tracked_count());
+
+  // --- position updates (§6.2): only sent when exceeding offeredAcc ---
+  ls.feed_position(ObjectId{1}, {2004, 3000});  // 4 m: below threshold, no message
+  ls.feed_position(ObjectId{1}, {2500, 3200});  // real movement: update flows
+
+  // --- posQuery(o) -> ld (§3.2) ---
+  if (const auto ld = ls.position(ObjectId{1})) {
+    std::printf("taxi 1 at (%.0f, %.0f) +/- %.0f m\n", ld->pos.x, ld->pos.y,
+                ld->acc);
+  }
+
+  // --- rangeQuery(a, reqAcc, reqOverlap) -> objSet (§3.2) ---
+  // "all taxis in this city district" (2 km x 2 km polygon).
+  const geo::Polygon district =
+      geo::Polygon::from_rect(geo::Rect{{1500, 2500}, {3500, 4500}});
+  const auto in_district = ls.range_query(district, /*req_acc=*/25.0,
+                                          /*req_overlap=*/0.5);
+  std::printf("taxis in district: %zu\n", in_district.size());
+  for (const auto& [oid, ld] : in_district) {
+    std::printf("  o%llu at (%.0f, %.0f) +/- %.0f m\n",
+                static_cast<unsigned long long>(oid.value), ld.pos.x, ld.pos.y,
+                ld.acc);
+  }
+
+  // --- neighborQuery(p, reqAcc, nearQual) -> (nearest, nearObjSet) (§3.2) ---
+  // "the nearest free taxi", including every candidate that could actually
+  // be nearer given the accuracy bounds (nearQual = 2 * reqAcc).
+  const auto nn = ls.neighbor_query({2200, 3200}, 25.0, 50.0);
+  if (nn.found) {
+    std::printf("nearest taxi: o%llu (%zu further candidates within nearQual)\n",
+                static_cast<unsigned long long>(nn.nearest.oid.value),
+                nn.near_set.size());
+  }
+
+  // --- handover is transparent: drive taxi 3 across the city ---
+  const NodeId agent_before = ls.agent_of(ObjectId{3});
+  ls.feed_position(ObjectId{3}, {1000, 1000});
+  std::printf("taxi 3 handed over: agent server %u -> %u\n", agent_before.value,
+              ls.agent_of(ObjectId{3}).value);
+
+  // --- soft state (§5): silent objects expire automatically ---
+  ls.deregister(ObjectId{2});
+  std::printf("after deregister: %zu objects tracked\n", ls.tracked_count());
+  return 0;
+}

@@ -1,0 +1,329 @@
+#include "core/client.hpp"
+
+#include <chrono>
+
+namespace locs::core {
+
+namespace wm = locs::wire;
+
+// --------------------------------------------------------------------------
+// TrackedObject
+
+TrackedObject::TrackedObject(NodeId self, ObjectId oid, net::Transport& net,
+                             Clock& clock)
+    : TrackedObject(self, oid, net, clock, Options{}) {}
+
+TrackedObject::TrackedObject(NodeId self, ObjectId oid, net::Transport& net,
+                             Clock& clock, Options opts)
+    : self_(self), oid_(oid), net_(net), clock_(clock), opts_(opts) {
+  net_.attach(self_, [this](const std::uint8_t* data, std::size_t len) {
+    handle(data, len);
+  });
+}
+
+void TrackedObject::start_register(NodeId entry_server, geo::Point pos,
+                                   double sensor_acc, AccuracyRange range) {
+  sensor_acc_ = sensor_acc;
+  last_fed_pos_ = pos;
+  state_ = State::kRegistering;
+  wm::RegisterReq req;
+  req.s = Sighting{oid_, clock_.now(), pos, sensor_acc};
+  req.acc_range = range;
+  req.reg_inst = self_;
+  req.req_id = ++req_counter_;
+  last_sent_pos_ = pos;
+  net_.send(self_, entry_server, wm::encode_envelope(self_, req));
+}
+
+bool TrackedObject::feed_position(geo::Point pos) {
+  last_fed_pos_ = pos;
+  if (state_ != State::kTracked) return false;
+  const bool threshold_crossed =
+      geo::distance(pos, last_sent_pos_) > offered_acc_;
+  const bool retry = update_pending_ &&
+                     clock_.now() - last_send_time_ >= opts_.update_retry;
+  if (!threshold_crossed && !retry) return false;
+  send_update(pos);
+  return true;
+}
+
+void TrackedObject::send_update(geo::Point pos) {
+  wm::UpdateReq req{Sighting{oid_, clock_.now(), pos, sensor_acc_}};
+  last_sent_pos_ = pos;
+  last_send_time_ = clock_.now();
+  update_pending_ = true;
+  ++updates_sent_;
+  net_.send(self_, agent_, wm::encode_envelope(self_, req));
+}
+
+void TrackedObject::request_change_acc(AccuracyRange range) {
+  if (state_ != State::kTracked) return;
+  net_.send(self_, agent_,
+            wm::encode_envelope(self_, wm::ChangeAccReq{oid_, range, ++req_counter_}));
+}
+
+void TrackedObject::deregister() {
+  if (state_ != State::kTracked) return;
+  net_.send(self_, agent_, wm::encode_envelope(self_, wm::DeregisterReq{oid_}));
+  state_ = State::kDeregistered;
+}
+
+void TrackedObject::handle(const std::uint8_t* data, std::size_t len) {
+  auto decoded = wm::decode_envelope(data, len);
+  if (!decoded.ok()) return;
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, wm::RegisterRes>) {
+          agent_ = m.agent;
+          offered_acc_ = m.offered_acc;
+          state_ = State::kTracked;
+        } else if constexpr (std::is_same_v<T, wm::RegisterFailed>) {
+          register_failed_acc_ = m.best_acc;
+          state_ = State::kFailed;
+        } else if constexpr (std::is_same_v<T, wm::UpdateAck>) {
+          if (m.oid == oid_) {
+            update_pending_ = false;
+            offered_acc_ = m.offered_acc;
+          }
+        } else if constexpr (std::is_same_v<T, wm::AgentChanged>) {
+          if (m.oid != oid_) return;
+          update_pending_ = false;
+          if (m.new_agent.valid()) {
+            agent_ = m.new_agent;
+            offered_acc_ = m.offered_acc;
+            ++handovers_observed_;
+          } else {
+            // Moved out of the root service area: automatically deregistered.
+            state_ = State::kDeregistered;
+            agent_ = kNoNode;
+          }
+        } else if constexpr (std::is_same_v<T, wm::NotifyAvailAcc>) {
+          if (m.oid == oid_) offered_acc_ = m.offered_acc;
+        } else if constexpr (std::is_same_v<T, wm::ChangeAccRes>) {
+          if (m.ok) offered_acc_ = m.offered_acc;
+        } else if constexpr (std::is_same_v<T, wm::RefreshReq>) {
+          // Post-recovery: immediately restore the agent's sighting (§5).
+          if (m.oid == oid_ && state_ == State::kTracked) {
+            ++refreshes_answered_;
+            send_update(last_fed_pos_);
+          }
+        }
+      },
+      decoded.value().msg);
+}
+
+// --------------------------------------------------------------------------
+// QueryClient
+
+QueryClient::QueryClient(NodeId self, net::Transport& net, Clock& clock)
+    : self_(self), net_(net), clock_(clock) {
+  net_.attach(self_, [this](const std::uint8_t* data, std::size_t len) {
+    handle(data, len);
+  });
+}
+
+std::uint64_t QueryClient::next_req_id() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ++req_counter_;
+}
+
+void QueryClient::enable_position_cache(double max_speed,
+                                        double max_acceptable_acc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_enabled_ = true;
+  cache_max_speed_ = max_speed;
+  cache_max_acc_ = max_acceptable_acc;
+}
+
+std::uint64_t QueryClient::send_pos_query(ObjectId oid) {
+  const std::uint64_t id = next_req_id();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cache_enabled_) {
+      const auto cached = position_cache_.find(oid, clock_.now(), cache_max_speed_,
+                                               cache_max_acc_);
+      if (cached) {
+        // Served locally: the result is immediately available to take_pos.
+        ++cache_hits_;
+        pos_results_[id] = PosResult{true, *cached};
+        cv_.notify_all();
+        return id;
+      }
+    }
+    pos_targets_[id] = oid;
+  }
+  net_.send(self_, entry_, wm::encode_envelope(self_, wm::PosQueryReq{oid, id}));
+  return id;
+}
+
+std::uint64_t QueryClient::send_range_query(const geo::Polygon& area, double req_acc,
+                                            double req_overlap) {
+  const std::uint64_t id = next_req_id();
+  net_.send(self_, entry_,
+            wm::encode_envelope(self_, wm::RangeQueryReq{area, req_acc, req_overlap, id}));
+  return id;
+}
+
+std::uint64_t QueryClient::send_nn_query(geo::Point p, double req_acc,
+                                         double near_qual) {
+  const std::uint64_t id = next_req_id();
+  net_.send(self_, entry_,
+            wm::encode_envelope(self_, wm::NNQueryReq{p, req_acc, near_qual, id}));
+  return id;
+}
+
+std::optional<QueryClient::PosResult> QueryClient::take_pos(std::uint64_t req_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = pos_results_.find(req_id);
+  if (it == pos_results_.end()) return std::nullopt;
+  PosResult res = it->second;
+  pos_results_.erase(it);
+  return res;
+}
+
+std::optional<QueryClient::RangeResult> QueryClient::take_range(std::uint64_t req_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = range_results_.find(req_id);
+  if (it == range_results_.end()) return std::nullopt;
+  RangeResult res = std::move(it->second);
+  range_results_.erase(it);
+  return res;
+}
+
+std::optional<QueryClient::NNResult> QueryClient::take_nn(std::uint64_t req_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = nn_results_.find(req_id);
+  if (it == nn_results_.end()) return std::nullopt;
+  NNResult res = std::move(it->second);
+  nn_results_.erase(it);
+  return res;
+}
+
+namespace {
+
+/// Blocks on the condition variable until `take` yields a value or the
+/// timeout elapses (wall clock; UDP transport only).
+template <typename TakeFn>
+auto wait_blocking(std::condition_variable& cv, std::mutex& mu, Duration timeout,
+                   TakeFn take) -> decltype(take()) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(timeout);
+  std::unique_lock<std::mutex> lock(mu);
+  for (;;) {
+    if (auto res = take()) return res;
+    if (cv.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return take();
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<QueryClient::PosResult> QueryClient::pos_query_blocking(
+    ObjectId oid, Duration timeout) {
+  const std::uint64_t id = send_pos_query(oid);
+  return wait_blocking(cv_, mu_, timeout, [&]() -> std::optional<PosResult> {
+    const auto it = pos_results_.find(id);
+    if (it == pos_results_.end()) return std::nullopt;
+    PosResult res = it->second;
+    pos_results_.erase(it);
+    return res;
+  });
+}
+
+std::optional<QueryClient::RangeResult> QueryClient::range_query_blocking(
+    const geo::Polygon& area, double req_acc, double req_overlap, Duration timeout) {
+  const std::uint64_t id = send_range_query(area, req_acc, req_overlap);
+  return wait_blocking(cv_, mu_, timeout, [&]() -> std::optional<RangeResult> {
+    const auto it = range_results_.find(id);
+    if (it == range_results_.end()) return std::nullopt;
+    RangeResult res = std::move(it->second);
+    range_results_.erase(it);
+    return res;
+  });
+}
+
+std::optional<QueryClient::NNResult> QueryClient::nn_query_blocking(
+    geo::Point p, double req_acc, double near_qual, Duration timeout) {
+  const std::uint64_t id = send_nn_query(p, req_acc, near_qual);
+  return wait_blocking(cv_, mu_, timeout, [&]() -> std::optional<NNResult> {
+    const auto it = nn_results_.find(id);
+    if (it == nn_results_.end()) return std::nullopt;
+    NNResult res = std::move(it->second);
+    nn_results_.erase(it);
+    return res;
+  });
+}
+
+std::uint64_t QueryClient::subscribe_area_count(const geo::Polygon& area,
+                                                std::uint32_t threshold) {
+  const std::uint64_t sub_id = (static_cast<std::uint64_t>(self_.value) << 32) |
+                               next_req_id();
+  wm::EventSubscribe sub;
+  sub.sub_id = sub_id;
+  sub.kind = wm::PredicateKind::kAreaCount;
+  sub.area = area;
+  sub.threshold = threshold;
+  sub.subscriber = self_;
+  net_.send(self_, entry_, wm::encode_envelope(self_, sub));
+  return sub_id;
+}
+
+std::uint64_t QueryClient::subscribe_proximity(ObjectId a, ObjectId b, double dist) {
+  const std::uint64_t sub_id = (static_cast<std::uint64_t>(self_.value) << 32) |
+                               next_req_id();
+  wm::EventSubscribe sub;
+  sub.sub_id = sub_id;
+  sub.kind = wm::PredicateKind::kProximity;
+  sub.obj_a = a;
+  sub.obj_b = b;
+  sub.dist = dist;
+  sub.subscriber = self_;
+  net_.send(self_, entry_, wm::encode_envelope(self_, sub));
+  return sub_id;
+}
+
+void QueryClient::unsubscribe(std::uint64_t sub_id) {
+  net_.send(self_, entry_, wm::encode_envelope(self_, wm::EventUnsubscribe{sub_id}));
+}
+
+std::vector<wire::EventNotify> QueryClient::take_events() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<wm::EventNotify> out;
+  out.swap(events_);
+  return out;
+}
+
+void QueryClient::handle(const std::uint8_t* data, std::size_t len) {
+  auto decoded = wm::decode_envelope(data, len);
+  if (!decoded.ok()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::visit(
+        [&](auto& m) {
+          using T = std::decay_t<decltype(m)>;
+          if constexpr (std::is_same_v<T, wm::PosQueryRes>) {
+            pos_results_[m.req_id] = PosResult{m.found, m.ld};
+            const auto target = pos_targets_.find(m.req_id);
+            if (target != pos_targets_.end()) {
+              if (cache_enabled_ && m.found) {
+                position_cache_.learn(target->second, m.ld, clock_.now());
+              }
+              pos_targets_.erase(target);
+            }
+          } else if constexpr (std::is_same_v<T, wm::RangeQueryRes>) {
+            range_results_[m.req_id] = RangeResult{m.complete, std::move(m.results)};
+          } else if constexpr (std::is_same_v<T, wm::NNQueryRes>) {
+            nn_results_[m.req_id] =
+                NNResult{m.found, m.nearest, std::move(m.near_set)};
+          } else if constexpr (std::is_same_v<T, wm::EventNotify>) {
+            events_.push_back(m);
+          }
+        },
+        decoded.value().msg);
+  }
+  cv_.notify_all();
+}
+
+}  // namespace locs::core

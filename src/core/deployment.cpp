@@ -1,0 +1,73 @@
+#include "core/deployment.hpp"
+
+namespace locs::core {
+
+Deployment::Deployment(net::Transport& net, Clock& clock, HierarchySpec spec)
+    : Deployment(net, clock, std::move(spec), Config{}) {}
+
+Deployment::Deployment(net::Transport& net, Clock& clock, HierarchySpec spec,
+                       Config cfg)
+    : spec_(std::move(spec)) {
+  for (const HierarchySpec::Node& node : spec_.nodes) {
+    store::VisitorDb vdb;
+    if (cfg.visitor_db_factory) vdb = cfg.visitor_db_factory(node.id);
+    LocationServer::Options opts = cfg.server;
+    if (cfg.options_fn) opts = cfg.options_fn(node.id, node.cfg, opts);
+    Entry entry;
+    entry.server = std::make_unique<LocationServer>(
+        node.id, node.cfg, net, clock, opts, std::move(vdb), cfg.index_factory);
+    if (cfg.lock_handlers) entry.mu = std::make_unique<std::mutex>();
+    LocationServer* server = entry.server.get();
+    std::mutex* mu = entry.mu.get();
+    net.attach(node.id, [server, mu](const std::uint8_t* data, std::size_t len) {
+      if (mu != nullptr) {
+        std::lock_guard<std::mutex> lock(*mu);
+        server->handle(data, len);
+      } else {
+        server->handle(data, len);
+      }
+    });
+    servers_.emplace(node.id, std::move(entry));
+  }
+}
+
+void Deployment::tick_all(TimePoint now) {
+  for (auto& [id, entry] : servers_) {
+    if (entry.mu != nullptr) {
+      std::lock_guard<std::mutex> lock(*entry.mu);
+      entry.server->tick(now);
+    } else {
+      entry.server->tick(now);
+    }
+  }
+}
+
+LocationServer::Stats Deployment::total_stats() const {
+  LocationServer::Stats total;
+  for (const auto& [id, entry] : servers_) {
+    const LocationServer::Stats& s = entry.server->stats();
+    total.msgs_handled += s.msgs_handled;
+    total.msgs_sent += s.msgs_sent;
+    total.decode_errors += s.decode_errors;
+    total.registrations += s.registrations;
+    total.registration_failures += s.registration_failures;
+    total.updates_applied += s.updates_applied;
+    total.updates_unknown += s.updates_unknown;
+    total.handovers_initiated += s.handovers_initiated;
+    total.handovers_accepted += s.handovers_accepted;
+    total.handovers_direct += s.handovers_direct;
+    total.pos_queries_served += s.pos_queries_served;
+    total.pos_query_cache_hits += s.pos_query_cache_hits;
+    total.agent_cache_hits += s.agent_cache_hits;
+    total.range_direct += s.range_direct;
+    total.range_sub_answered += s.range_sub_answered;
+    total.nn_rings += s.nn_rings;
+    total.sightings_expired += s.sightings_expired;
+    total.pending_timeouts += s.pending_timeouts;
+    total.refresh_requests += s.refresh_requests;
+    total.events_fired += s.events_fired;
+  }
+  return total;
+}
+
+}  // namespace locs::core

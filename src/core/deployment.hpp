@@ -1,0 +1,62 @@
+// Deployment: instantiates one LocationServer per hierarchy node over a
+// Transport and wires the handlers. Works with SimNetwork (deterministic)
+// and UdpNetwork (real sockets; enable handler locking so the receive
+// thread and the bench driver can touch a server safely).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/location_server.hpp"
+#include "core/service_area.hpp"
+#include "net/transport.hpp"
+
+namespace locs::core {
+
+class Deployment {
+ public:
+  struct Config {
+    LocationServer::Options server;
+    /// Per-server option overrides (e.g. heterogeneous sensor
+    /// infrastructures: different min_supported_acc per leaf, §3.1). Applied
+    /// on top of `server`; return the (possibly modified) options.
+    std::function<LocationServer::Options(NodeId, const ConfigRecord&,
+                                          LocationServer::Options)>
+        options_fn;
+    spatial::IndexFactory index_factory;  // default: point quadtree
+    /// Per-server persistent visitorDB factory (recovery tests / durable
+    /// deployments); default: in-memory.
+    std::function<store::VisitorDb(NodeId)> visitor_db_factory;
+    /// Serialize handle()/tick() per server (required over UdpNetwork).
+    bool lock_handlers = false;
+  };
+
+  Deployment(net::Transport& net, Clock& clock, HierarchySpec spec);
+  Deployment(net::Transport& net, Clock& clock, HierarchySpec spec, Config cfg);
+
+  LocationServer& server(NodeId id) { return *servers_.at(id).server; }
+  const HierarchySpec& spec() const { return spec_; }
+
+  NodeId root() const { return spec_.root; }
+  std::vector<NodeId> leaf_ids() const { return spec_.leaves(); }
+  NodeId entry_leaf_for(geo::Point p) const { return spec_.leaf_for(p); }
+
+  /// Drives soft-state expiry and pending-operation timeout sweeps.
+  void tick_all(TimePoint now);
+
+  /// Aggregate server statistics across the hierarchy.
+  LocationServer::Stats total_stats() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<LocationServer> server;
+    std::unique_ptr<std::mutex> mu;  // only when lock_handlers
+  };
+
+  HierarchySpec spec_;
+  std::unordered_map<NodeId, Entry> servers_;
+};
+
+}  // namespace locs::core

@@ -1,0 +1,1124 @@
+#include "core/location_server.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace locs::core {
+
+namespace wm = locs::wire;
+
+namespace {
+
+/// Sentinel best_acc in RegisterFailed meaning "position outside the
+/// service area of the entire LS".
+constexpr double kOutOfServiceArea = -1.0;
+
+double coverage_epsilon(double target) {
+  return std::max(1e-6, 1e-9 * target);
+}
+
+}  // namespace
+
+LocationServer::LocationServer(NodeId self, ConfigRecord cfg, net::Transport& net,
+                               Clock& clock)
+    : LocationServer(self, std::move(cfg), net, clock, Options{}) {}
+
+LocationServer::LocationServer(NodeId self, ConfigRecord cfg, net::Transport& net,
+                               Clock& clock, Options opts,
+                               store::VisitorDb visitor_db,
+                               spatial::IndexFactory index_factory)
+    : self_(self),
+      cfg_(std::move(cfg)),
+      net_(net),
+      clock_(clock),
+      opts_(opts),
+      visitor_db_(std::move(visitor_db)) {
+  if (cfg_.is_leaf()) {
+    if (!index_factory) index_factory = [] { return spatial::make_point_quadtree(); };
+    sightings_.emplace(std::move(index_factory));
+  }
+}
+
+// --------------------------------------------------------------------------
+// dispatch
+
+void LocationServer::handle(const std::uint8_t* data, std::size_t len) {
+  auto decoded = wm::decode_envelope(data, len);
+  if (!decoded.ok()) {
+    ++stats_.decode_errors;
+    return;
+  }
+  ++stats_.msgs_handled;
+  const NodeId src = decoded.value().src;
+  wm::Message& msg = decoded.value().msg;
+  std::visit(
+      [&](auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, wm::RegisterReq>) {
+          on_register_req(src, m);
+        } else if constexpr (std::is_same_v<T, wm::CreatePath>) {
+          on_create_path(src, m);
+        } else if constexpr (std::is_same_v<T, wm::RemovePath>) {
+          on_remove_path(src, m);
+        } else if constexpr (std::is_same_v<T, wm::UpdateReq>) {
+          on_update_req(src, m);
+        } else if constexpr (std::is_same_v<T, wm::HandoverReq>) {
+          on_handover_req(src, std::move(m));
+        } else if constexpr (std::is_same_v<T, wm::HandoverRes>) {
+          on_handover_res(src, m);
+        } else if constexpr (std::is_same_v<T, wm::PosQueryReq>) {
+          on_pos_query_req(src, m);
+        } else if constexpr (std::is_same_v<T, wm::PosQueryFwd>) {
+          on_pos_query_fwd(src, m);
+        } else if constexpr (std::is_same_v<T, wm::PosQueryRes>) {
+          on_pos_query_res(src, m);
+        } else if constexpr (std::is_same_v<T, wm::RangeQueryReq>) {
+          on_range_query_req(src, m);
+        } else if constexpr (std::is_same_v<T, wm::RangeQueryFwd>) {
+          on_range_query_fwd(src, m);
+        } else if constexpr (std::is_same_v<T, wm::RangeQuerySubRes>) {
+          on_range_query_sub_res(src, m);
+        } else if constexpr (std::is_same_v<T, wm::NNQueryReq>) {
+          on_nn_query_req(src, m);
+        } else if constexpr (std::is_same_v<T, wm::NNProbeFwd>) {
+          on_nn_probe_fwd(src, m);
+        } else if constexpr (std::is_same_v<T, wm::NNProbeSubRes>) {
+          on_nn_probe_sub_res(src, m);
+        } else if constexpr (std::is_same_v<T, wm::ChangeAccReq>) {
+          on_change_acc_req(src, m);
+        } else if constexpr (std::is_same_v<T, wm::DeregisterReq>) {
+          on_deregister_req(src, m);
+        } else if constexpr (std::is_same_v<T, wm::EventSubscribe>) {
+          on_event_subscribe(src, m);
+        } else if constexpr (std::is_same_v<T, wm::EventInstall>) {
+          on_event_install(src, m);
+        } else if constexpr (std::is_same_v<T, wm::EventDelta>) {
+          on_event_delta(src, m);
+        } else if constexpr (std::is_same_v<T, wm::EventUnsubscribe>) {
+          on_event_unsubscribe(src, m);
+        }
+        // Other message types (responses to clients, RefreshReq, ...) are
+        // not addressed to servers; ignore them defensively.
+      },
+      msg);
+}
+
+// --------------------------------------------------------------------------
+// helpers
+
+void LocationServer::send_msg(NodeId to, const wm::Message& msg) {
+  if (!to.valid()) return;
+  ++stats_.msgs_sent;
+  net_.send(self_, to, wm::encode_envelope(self_, msg));
+}
+
+std::uint64_t LocationServer::next_req_id() {
+  return (static_cast<std::uint64_t>(self_.value) << 40) | ++req_counter_;
+}
+
+std::optional<wm::OriginArea> LocationServer::origin_piggyback() const {
+  if (!opts_.piggyback_origin || !cfg_.is_leaf()) return std::nullopt;
+  return wm::OriginArea{self_, cfg_.sa};
+}
+
+void LocationServer::learn_origin(const std::optional<wm::OriginArea>& origin) {
+  if (!origin || !opts_.enable_leaf_area_cache) return;
+  if (origin->leaf == self_) return;
+  leaf_area_cache_.learn(origin->leaf, origin->area);
+}
+
+double LocationServer::negotiate_offered_acc(const AccuracyRange& range) const {
+  // Alg 6-1 line 8: offeredAcc = max(acc, desAcc) -- the service never
+  // promises better than its sensors support nor better than requested.
+  return std::max(opts_.min_supported_acc, range.desired);
+}
+
+void LocationServer::put_sighting(const Sighting& s, double offered_acc) {
+  assert(sightings_);
+  if (sightings_->find(s.oid) != nullptr) {
+    sightings_->update(s, sighting_expiry());
+    sightings_->set_offered_acc(s.oid, offered_acc);
+  } else {
+    sightings_->insert(s, offered_acc, sighting_expiry());
+  }
+  events_on_sighting(s.oid, true, s.pos);
+}
+
+// --------------------------------------------------------------------------
+// registration (Algorithm 6-1)
+
+void LocationServer::on_register_req(NodeId src, const wm::RegisterReq& m) {
+  (void)src;
+  if (cfg_.covers(m.s.pos)) {
+    if (cfg_.is_leaf()) {
+      const double acc = opts_.min_supported_acc;
+      if (acc <= m.acc_range.minimum) {
+        // Registration successful: create the leaf records and the
+        // forwarding path, then answer the registering instance.
+        const double offered = negotiate_offered_acc(m.acc_range);
+        if (!cfg_.is_root()) send_msg(cfg_.parent, wm::CreatePath{m.s.oid});
+        visitor_db_.insert_leaf(m.s.oid, offered,
+                                RegInfo{m.reg_inst, m.acc_range});
+        put_sighting(m.s, offered);
+        ++stats_.registrations;
+        send_msg(m.reg_inst, wm::RegisterRes{self_, offered, m.req_id});
+      } else {
+        ++stats_.registration_failures;
+        send_msg(m.reg_inst, wm::RegisterFailed{self_, acc, m.req_id});
+      }
+    } else {
+      const NodeId child = cfg_.child_for(m.s.pos);
+      if (child.valid()) {
+        send_msg(child, m);
+      } else {
+        // Children must tile the parent area; treat a gap as failure.
+        ++stats_.registration_failures;
+        send_msg(m.reg_inst, wm::RegisterFailed{self_, kOutOfServiceArea, m.req_id});
+      }
+    }
+  } else if (!cfg_.is_root()) {
+    send_msg(cfg_.parent, m);
+  } else {
+    // Outside the root service area: the LS cannot track this object.
+    ++stats_.registration_failures;
+    send_msg(m.reg_inst, wm::RegisterFailed{self_, kOutOfServiceArea, m.req_id});
+  }
+}
+
+void LocationServer::on_create_path(NodeId src, const wm::CreatePath& m) {
+  visitor_db_.set_forward(m.oid, src);
+  if (!cfg_.is_root()) send_msg(cfg_.parent, m);
+}
+
+void LocationServer::on_remove_path(NodeId src, const wm::RemovePath& m) {
+  const store::VisitorRecord* rec = visitor_db_.find(m.oid);
+  // Conditional prune: only remove if our pointer still leads toward the
+  // sender. If a concurrent createPath already repointed this record to a
+  // fresh branch, we are a common ancestor of old and new agent and the
+  // prune must stop here.
+  if (rec == nullptr || rec->leaf.has_value() || rec->forward_ref != src) return;
+  visitor_db_.remove(m.oid);
+  if (!cfg_.is_root()) send_msg(cfg_.parent, m);
+}
+
+// --------------------------------------------------------------------------
+// position updates and handover (Algorithms 6-2 / 6-3)
+
+void LocationServer::on_update_req(NodeId src, const wm::UpdateReq& m) {
+  if (!cfg_.is_leaf()) return;  // updates always go to the agent (a leaf)
+  const store::VisitorRecord* rec = visitor_db_.find(m.s.oid);
+  if (rec == nullptr || !rec->leaf) {
+    ++stats_.updates_unknown;  // stale agent; the object relearns via timeout
+    return;
+  }
+  if (!cfg_.covers(m.s.pos)) {
+    initiate_handover(src, m.s);
+    return;
+  }
+  put_sighting(m.s, rec->leaf->offered_acc);
+  ++stats_.updates_applied;
+  send_msg(src, wm::UpdateAck{m.s.oid, rec->leaf->offered_acc});
+  flush_awaiting_refresh(m.s.oid);
+}
+
+void LocationServer::initiate_handover(NodeId object_node, const Sighting& s) {
+  if (handover_in_flight_.count(s.oid) > 0) return;  // one at a time
+  const store::VisitorRecord* rec = visitor_db_.find(s.oid);
+  assert(rec != nullptr && rec->leaf);
+  wm::HandoverReq req;
+  req.s = s;
+  req.reg_info = rec->leaf->reg_info;
+  req.prev_offered_acc = rec->leaf->offered_acc;
+  req.req_id = next_req_id();
+  req.origin = origin_piggyback();
+
+  PendingHandover pending;
+  pending.reply_to = object_node;
+  pending.oid = s.oid;
+  pending.reply_to_object = true;
+  pending.deadline = now() + opts_.pending_timeout;
+
+  // §6.5 shortcut: if the leaf-area cache knows the leaf responsible for the
+  // new position, hand over directly and repair the path explicitly.
+  if (opts_.enable_leaf_area_cache) {
+    const NodeId target = leaf_area_cache_.leaf_containing(s.pos);
+    if (target.valid() && target != self_) {
+      req.direct = true;
+      pending.direct_prune = true;
+      ++stats_.handovers_direct;
+      ++stats_.handovers_initiated;
+      handover_in_flight_.insert(s.oid);
+      pending_handover_.emplace(req.req_id, pending);
+      send_msg(target, req);
+      return;
+    }
+  }
+  if (cfg_.is_root()) {
+    // Single-server hierarchy: leaving our area means leaving the LS.
+    drop_leaf_visitor(s.oid, /*prune_path=*/false);
+    send_msg(object_node, wm::AgentChanged{s.oid, kNoNode, 0.0});
+    return;
+  }
+  ++stats_.handovers_initiated;
+  handover_in_flight_.insert(s.oid);
+  pending_handover_.emplace(req.req_id, pending);
+  send_msg(cfg_.parent, req);
+}
+
+void LocationServer::accept_handover(NodeId src, const wm::HandoverReq& m) {
+  const double offered = negotiate_offered_acc(m.reg_info.acc_range);
+  visitor_db_.insert_leaf(m.s.oid, offered, m.reg_info);
+  put_sighting(m.s, offered);
+  ++stats_.handovers_accepted;
+  if (m.direct && !cfg_.is_root()) {
+    // Direct handover bypassed the hierarchy: build the new path ourselves.
+    send_msg(cfg_.parent, wm::CreatePath{m.s.oid});
+  }
+  wm::HandoverRes res;
+  res.oid = m.s.oid;
+  res.new_agent = self_;
+  res.offered_acc = offered;
+  res.req_id = m.req_id;
+  res.origin = origin_piggyback();
+  send_msg(src, res);
+  if (offered != m.prev_offered_acc) {
+    // §3.1: "Whenever the currently offered accuracy changes, the LS sends
+    // a notification to the registering instance."
+    send_msg(m.reg_info.reg_inst, wm::NotifyAvailAcc{m.s.oid, offered});
+  }
+}
+
+void LocationServer::on_handover_req(NodeId src, wm::HandoverReq m) {
+  learn_origin(m.origin);
+  if (cfg_.covers(m.s.pos)) {
+    if (cfg_.is_leaf()) {
+      accept_handover(src, m);
+      return;
+    }
+    const NodeId child = cfg_.child_for(m.s.pos);
+    if (!child.valid()) return;  // tiling gap; drop (request times out)
+    PendingHandover pending;
+    pending.reply_to = src;
+    pending.oid = m.s.oid;
+    pending.child = child;
+    pending.deadline = now() + opts_.pending_timeout;
+    pending_handover_.emplace(m.req_id, pending);
+    send_msg(child, m);
+    return;
+  }
+  if (cfg_.is_root()) {
+    // The object left the root service area: automatic deregistration (§4).
+    visitor_db_.remove(m.s.oid);
+    send_msg(src, wm::HandoverRes{m.s.oid, kNoNode, 0.0, m.req_id, std::nullopt});
+    return;
+  }
+  PendingHandover pending;
+  pending.reply_to = src;
+  pending.oid = m.s.oid;
+  pending.remove_on_res = true;  // Alg 6-3 line 19
+  pending.deadline = now() + opts_.pending_timeout;
+  pending_handover_.emplace(m.req_id, pending);
+  send_msg(cfg_.parent, m);
+}
+
+void LocationServer::on_handover_res(NodeId src, const wm::HandoverRes& m) {
+  (void)src;
+  const auto it = pending_handover_.find(m.req_id);
+  if (it == pending_handover_.end()) return;  // timed out earlier
+  const PendingHandover pending = it->second;
+  pending_handover_.erase(it);
+  learn_origin(m.origin);
+
+  if (pending.reply_to_object) {
+    // We are the old agent (Alg 6-2 lines 3-6).
+    handover_in_flight_.erase(pending.oid);
+    send_msg(pending.reply_to,
+             wm::AgentChanged{pending.oid, m.new_agent, m.offered_acc});
+    if (m.new_agent.valid() && pending.direct_prune && !cfg_.is_root()) {
+      send_msg(cfg_.parent, wm::RemovePath{pending.oid});
+    }
+    drop_leaf_visitor(pending.oid, /*prune_path=*/false);
+    return;
+  }
+  // Intermediate server: repair or remove the forwarding pointer
+  // (Alg 6-3 lines 11-14 / 18-20) and pass the response along.
+  if (!m.new_agent.valid() || pending.remove_on_res) {
+    visitor_db_.remove(pending.oid);
+  } else {
+    visitor_db_.set_forward(pending.oid, pending.child);
+  }
+  send_msg(pending.reply_to, m);
+}
+
+void LocationServer::drop_leaf_visitor(ObjectId oid, bool prune_path) {
+  if (sightings_) {
+    const store::SightingDb::Record* rec = sightings_->find(oid);
+    if (rec != nullptr) {
+      events_on_sighting(oid, false, rec->sighting.pos);
+      sightings_->remove(oid);
+    }
+  }
+  visitor_db_.remove(oid);
+  if (prune_path && !cfg_.is_root()) {
+    send_msg(cfg_.parent, wm::RemovePath{oid});
+  }
+}
+
+// --------------------------------------------------------------------------
+// position queries (Algorithm 6-4)
+
+void LocationServer::on_pos_query_req(NodeId src, const wm::PosQueryReq& m) {
+  // §6.5 cache 3: a still-valid cached descriptor answers immediately.
+  if (opts_.enable_position_cache) {
+    const auto cached = position_cache_.find(m.oid, now(), opts_.default_max_speed,
+                                             opts_.position_cache_max_acc);
+    if (cached) {
+      ++stats_.pos_query_cache_hits;
+      send_msg(src, wm::PosQueryRes{m.oid, true, *cached, kNoNode, m.req_id,
+                                    std::nullopt});
+      return;
+    }
+  }
+  // Local answer (Alg 6-4 lines 1-4).
+  const store::VisitorRecord* rec = visitor_db_.find(m.oid);
+  if (rec != nullptr && rec->leaf && sightings_) {
+    const store::SightingDb::Record* srec = sightings_->find(m.oid);
+    if (srec != nullptr) {
+      ++stats_.pos_queries_served;
+      const LocationDescriptor ld{srec->sighting.pos, rec->leaf->offered_acc};
+      send_msg(src, wm::PosQueryRes{m.oid, true, ld, self_, m.req_id, std::nullopt});
+      return;
+    }
+    // Visitor known persistently but sighting lost (recovery, §5): ask the
+    // object for a refresh and answer when it arrives.
+    ++stats_.refresh_requests;
+    send_msg(rec->leaf->reg_info.reg_inst, wm::RefreshReq{m.oid});
+    awaiting_refresh_[m.oid].push_back(
+        {src, m.req_id, now() + opts_.pending_timeout});
+    return;
+  }
+
+  const std::uint64_t internal_id = next_req_id();
+  PendingPos pending{src, m.req_id, m.oid, false, now() + opts_.pending_timeout};
+
+  // §6.5 cache 2: ask the cached agent directly; fall back on timeout.
+  if (opts_.enable_agent_cache) {
+    const auto agent = agent_cache_.find(m.oid, now());
+    if (agent && *agent != self_) {
+      ++stats_.agent_cache_hits;
+      pending.via_agent_cache = true;
+      pending_pos_.emplace(internal_id, pending);
+      send_msg(*agent, wm::PosQueryFwd{m.oid, self_, internal_id});
+      return;
+    }
+  }
+  NodeId next = kNoNode;
+  if (rec != nullptr && !rec->leaf) {
+    next = rec->forward_ref;  // non-leaf entry with a pointer: go down
+  } else if (!cfg_.is_root()) {
+    next = cfg_.parent;  // Alg 6-4 line 6: forward query upwards
+  }
+  if (!next.valid()) {
+    send_msg(src, wm::PosQueryRes{m.oid, false, {}, kNoNode, m.req_id, std::nullopt});
+    return;
+  }
+  pending_pos_.emplace(internal_id, pending);
+  send_msg(next, wm::PosQueryFwd{m.oid, self_, internal_id});
+}
+
+void LocationServer::on_pos_query_fwd(NodeId src, const wm::PosQueryFwd& m) {
+  (void)src;
+  const store::VisitorRecord* rec = visitor_db_.find(m.oid);
+  if (cfg_.is_leaf()) {
+    if (rec != nullptr && rec->leaf && sightings_) {
+      const store::SightingDb::Record* srec = sightings_->find(m.oid);
+      if (srec != nullptr) {
+        const LocationDescriptor ld{srec->sighting.pos, rec->leaf->offered_acc};
+        send_msg(m.entry, wm::PosQueryRes{m.oid, true, ld, self_, m.req_id,
+                                          origin_piggyback()});
+        return;
+      }
+      ++stats_.refresh_requests;
+      send_msg(rec->leaf->reg_info.reg_inst, wm::RefreshReq{m.oid});
+      awaiting_refresh_[m.oid].push_back(
+          {m.entry, m.req_id, now() + opts_.pending_timeout});
+      return;
+    }
+    // Unknown at a leaf that was *sent* the query: a stale pointer or a
+    // concurrent handover. Answer negatively rather than risk a routing
+    // loop; the client may retry.
+    send_msg(m.entry,
+             wm::PosQueryRes{m.oid, false, {}, kNoNode, m.req_id, origin_piggyback()});
+    return;
+  }
+  if (rec != nullptr && !rec->leaf && rec->forward_ref.valid()) {
+    send_msg(rec->forward_ref, m);  // down the forwarding path
+    return;
+  }
+  if (!cfg_.is_root()) {
+    send_msg(cfg_.parent, m);  // upwards
+    return;
+  }
+  // Root without a record: the object is not tracked.
+  send_msg(m.entry, wm::PosQueryRes{m.oid, false, {}, kNoNode, m.req_id, std::nullopt});
+}
+
+void LocationServer::on_pos_query_res(NodeId src, const wm::PosQueryRes& m) {
+  (void)src;
+  const auto it = pending_pos_.find(m.req_id);
+  if (it == pending_pos_.end()) return;
+  const PendingPos pending = it->second;
+  pending_pos_.erase(it);
+  learn_origin(m.origin);
+  if (m.found) {
+    if (opts_.enable_agent_cache && m.agent.valid()) {
+      agent_cache_.learn(m.oid, m.agent, now());
+    }
+    if (opts_.enable_position_cache) position_cache_.learn(m.oid, m.ld, now());
+  } else if (pending.via_agent_cache) {
+    agent_cache_.invalidate(m.oid);
+  }
+  send_msg(pending.client, wm::PosQueryRes{m.oid, m.found, m.ld, m.agent,
+                                           pending.client_req_id, std::nullopt});
+}
+
+void LocationServer::flush_awaiting_refresh(ObjectId oid) {
+  const auto it = awaiting_refresh_.find(oid);
+  if (it == awaiting_refresh_.end()) return;
+  const store::VisitorRecord* rec = visitor_db_.find(oid);
+  const store::SightingDb::Record* srec = sightings_ ? sightings_->find(oid) : nullptr;
+  if (rec == nullptr || !rec->leaf || srec == nullptr) return;
+  const LocationDescriptor ld{srec->sighting.pos, rec->leaf->offered_acc};
+  for (const WaitingQuery& wq : it->second) {
+    send_msg(wq.entry,
+             wm::PosQueryRes{oid, true, ld, self_, wq.req_id, origin_piggyback()});
+  }
+  awaiting_refresh_.erase(it);
+}
+
+// --------------------------------------------------------------------------
+// range queries (Algorithm 6-5)
+
+void LocationServer::on_range_query_req(NodeId src, const wm::RangeQueryReq& m) {
+  const geo::Polygon enlarged = geo::enlarge(m.area, std::max(m.req_acc, 0.0));
+  const std::uint64_t internal_id = next_req_id();
+  PendingRange pending;
+  pending.client = src;
+  pending.client_req_id = m.req_id;
+  pending.target = enlarged.area();
+  pending.deadline = now() + opts_.pending_timeout;
+
+  // Local contribution (Alg 6-5 lines 3-7).
+  if (cfg_.is_leaf() && sightings_ && enlarged.intersects(cfg_.sa)) {
+    sightings_->objects_in_area(m.area, m.req_acc, m.req_overlap, pending.results);
+    pending.covered += geo::intersection_area(enlarged, cfg_.sa);
+  }
+  if (cfg_.is_root()) {
+    // Credit the part of the (enlarged) query that lies outside the entire
+    // service area -- no server will ever report it.
+    pending.covered +=
+        enlarged.area() - geo::intersection_area(enlarged, cfg_.sa);
+  }
+
+  const bool needs_more = pending.covered < pending.target - coverage_epsilon(pending.target);
+  if (needs_more && opts_.enable_leaf_area_cache) {
+    // §6.5 cache 1: if cached leaf areas cover the whole remainder, contact
+    // those leaves directly instead of traversing the hierarchy.
+    const LeafAreaCache::Coverage cov = leaf_area_cache_.coverage_of(enlarged);
+    if (pending.covered + cov.covered_size >=
+        pending.target - coverage_epsilon(pending.target)) {
+      ++stats_.range_direct;
+      pending_range_.emplace(internal_id, std::move(pending));
+      for (const NodeId leaf : cov.leaves) {
+        if (leaf == self_) continue;
+        send_msg(leaf, wm::RangeQueryFwd{m.area, m.req_acc, m.req_overlap, self_,
+                                         internal_id, /*direct=*/true});
+      }
+      try_complete_range(internal_id);
+      return;
+    }
+  }
+  pending_range_.emplace(internal_id, std::move(pending));
+  if (needs_more) {
+    route_range(m.area, enlarged, m.req_acc, m.req_overlap, self_, internal_id,
+                kNoNode);
+  }
+  try_complete_range(internal_id);
+}
+
+void LocationServer::route_range(const geo::Polygon& area,
+                                 const geo::Polygon& enlarged, double req_acc,
+                                 double req_overlap, NodeId entry,
+                                 std::uint64_t req_id, NodeId from) {
+  // Downwards: every child whose area intersects the enlarged query and that
+  // did not send us the query (Alg 6-5 fwd lines 8-11).
+  for (const ChildRecord& child : cfg_.children) {
+    if (child.id == from) continue;
+    if (enlarged.intersects(child.sa)) {
+      send_msg(child.id,
+               wm::RangeQueryFwd{area, req_acc, req_overlap, entry, req_id, false});
+    }
+  }
+  // Upwards: while part of the enlarged area lies outside our service area
+  // (Alg 6-5 fwd lines 13-14).
+  if (!cfg_.is_root() && cfg_.parent != from &&
+      !geo::convex_contains_polygon(cfg_.sa, enlarged)) {
+    send_msg(cfg_.parent,
+             wm::RangeQueryFwd{area, req_acc, req_overlap, entry, req_id, false});
+  }
+}
+
+void LocationServer::answer_range_locally(const geo::Polygon& area,
+                                          const geo::Polygon& enlarged,
+                                          double req_acc, double req_overlap,
+                                          NodeId entry, std::uint64_t req_id,
+                                          double extra_covered) {
+  assert(sightings_);
+  wm::RangeQuerySubRes sub;
+  sub.req_id = req_id;
+  sightings_->objects_in_area(area, req_acc, req_overlap, sub.results);
+  sub.covered_size = geo::intersection_area(enlarged, cfg_.sa) + extra_covered;
+  sub.origin = origin_piggyback();
+  ++stats_.range_sub_answered;
+  send_msg(entry, sub);
+}
+
+void LocationServer::on_range_query_fwd(NodeId src, const wm::RangeQueryFwd& m) {
+  const geo::Polygon enlarged = geo::enlarge(m.area, std::max(m.req_acc, 0.0));
+  double credit = 0.0;
+  if (cfg_.is_root()) {
+    credit = enlarged.area() - geo::intersection_area(enlarged, cfg_.sa);
+  }
+  if (cfg_.is_leaf()) {
+    if (enlarged.intersects(cfg_.sa) || credit > 0.0) {
+      answer_range_locally(m.area, enlarged, m.req_acc, m.req_overlap, m.entry,
+                           m.req_id, credit);
+    }
+  } else if (credit > coverage_epsilon(enlarged.area())) {
+    wm::RangeQuerySubRes sub;
+    sub.req_id = m.req_id;
+    sub.covered_size = credit;
+    send_msg(m.entry, sub);
+  }
+  if (!m.direct) {
+    route_range(m.area, enlarged, m.req_acc, m.req_overlap, m.entry, m.req_id, src);
+  }
+}
+
+void LocationServer::on_range_query_sub_res(NodeId src,
+                                            const wm::RangeQuerySubRes& m) {
+  (void)src;
+  const auto it = pending_range_.find(m.req_id);
+  if (it == pending_range_.end()) return;
+  learn_origin(m.origin);
+  it->second.covered += m.covered_size;
+  it->second.results.insert(it->second.results.end(), m.results.begin(),
+                            m.results.end());
+  try_complete_range(m.req_id);
+}
+
+void LocationServer::try_complete_range(std::uint64_t key) {
+  const auto it = pending_range_.find(key);
+  if (it == pending_range_.end()) return;
+  PendingRange& pending = it->second;
+  if (pending.covered < pending.target - coverage_epsilon(pending.target)) return;
+  wm::RangeQueryRes res;
+  res.req_id = pending.client_req_id;
+  res.complete = true;
+  res.results = std::move(pending.results);
+  const NodeId client = pending.client;
+  pending_range_.erase(it);
+  send_msg(client, res);
+}
+
+// --------------------------------------------------------------------------
+// nearest-neighbor queries (expanding-ring search; semantics of §3.2)
+
+void LocationServer::on_nn_query_req(NodeId src, const wm::NNQueryReq& m) {
+  PendingNN op;
+  op.client = src;
+  op.client_req_id = m.req_id;
+  op.p = m.p;
+  op.req_acc = m.req_acc;
+  op.near_qual = std::max(m.near_qual, 0.0);
+
+  // Seed radius: the local nearest neighbor if we have one, else the size of
+  // our own service area.
+  const geo::Rect& own = cfg_.sa.bounding_box();
+  double radius = std::max(own.width(), own.height());
+  if (cfg_.is_leaf() && sightings_) {
+    const auto local = sightings_->k_nearest(m.p, 1, m.req_acc);
+    if (!local.empty()) {
+      radius = std::max(geo::distance(local[0].ld.pos, m.p) * 1.001, 1.0);
+    }
+  }
+  op.radius = std::max(radius, 1.0);
+  launch_nn_ring(std::move(op));
+}
+
+std::uint64_t LocationServer::launch_nn_ring(PendingNN op) {
+  ++stats_.nn_rings;
+  const std::uint64_t ring_key = next_req_id();
+  const geo::Polygon probe_poly =
+      geo::Polygon::circumscribed_circle(op.p, op.radius, opts_.nn_probe_sides);
+  op.target = probe_poly.area();
+  op.covered = 0.0;
+  op.deadline = now() + opts_.pending_timeout;
+
+  // Local contribution.
+  if (cfg_.is_leaf() && sightings_ && probe_poly.intersects(cfg_.sa)) {
+    std::vector<ObjectResult> local;
+    sightings_->objects_in_circle({op.p, op.radius}, op.req_acc, local);
+    for (const ObjectResult& r : local) op.candidates[r.oid] = r.ld;
+    op.covered += geo::intersection_area(probe_poly, cfg_.sa);
+  }
+  if (cfg_.is_root()) {
+    op.covered += probe_poly.area() - geo::intersection_area(probe_poly, cfg_.sa);
+  }
+
+  wm::NNProbeFwd probe;
+  probe.p = op.p;
+  probe.radius = op.radius;
+  probe.req_acc = op.req_acc;
+  probe.coordinator = self_;
+  probe.req_id = ring_key;
+
+  pending_nn_.emplace(ring_key, std::move(op));
+  route_nn_probe(probe, kNoNode);
+  check_nn_ring(ring_key);
+  return ring_key;
+}
+
+void LocationServer::route_nn_probe(const wm::NNProbeFwd& probe, NodeId from) {
+  const geo::Polygon probe_poly =
+      geo::Polygon::circumscribed_circle(probe.p, probe.radius, opts_.nn_probe_sides);
+  for (const ChildRecord& child : cfg_.children) {
+    if (child.id == from) continue;
+    if (probe_poly.intersects(child.sa)) send_msg(child.id, probe);
+  }
+  if (!cfg_.is_root() && cfg_.parent != from &&
+      !geo::convex_contains_polygon(cfg_.sa, probe_poly)) {
+    send_msg(cfg_.parent, probe);
+  }
+}
+
+void LocationServer::answer_nn_probe_locally(const wm::NNProbeFwd& probe,
+                                             double extra_covered) {
+  assert(sightings_);
+  const geo::Polygon probe_poly =
+      geo::Polygon::circumscribed_circle(probe.p, probe.radius, opts_.nn_probe_sides);
+  wm::NNProbeSubRes sub;
+  sub.req_id = probe.req_id;
+  sightings_->objects_in_circle({probe.p, probe.radius}, probe.req_acc,
+                                sub.candidates);
+  sub.covered_size = geo::intersection_area(probe_poly, cfg_.sa) + extra_covered;
+  sub.origin = origin_piggyback();
+  send_msg(probe.coordinator, sub);
+}
+
+void LocationServer::on_nn_probe_fwd(NodeId src, const wm::NNProbeFwd& m) {
+  const geo::Polygon probe_poly =
+      geo::Polygon::circumscribed_circle(m.p, m.radius, opts_.nn_probe_sides);
+  double credit = 0.0;
+  if (cfg_.is_root()) {
+    credit = probe_poly.area() - geo::intersection_area(probe_poly, cfg_.sa);
+  }
+  if (cfg_.is_leaf()) {
+    if (probe_poly.intersects(cfg_.sa) || credit > 0.0) {
+      answer_nn_probe_locally(m, credit);
+    }
+  } else if (credit > coverage_epsilon(probe_poly.area())) {
+    wm::NNProbeSubRes sub;
+    sub.req_id = m.req_id;
+    sub.covered_size = credit;
+    send_msg(m.coordinator, sub);
+  }
+  route_nn_probe(m, src);
+}
+
+void LocationServer::on_nn_probe_sub_res(NodeId src, const wm::NNProbeSubRes& m) {
+  (void)src;
+  const auto it = pending_nn_.find(m.req_id);
+  if (it == pending_nn_.end()) return;
+  learn_origin(m.origin);
+  it->second.covered += m.covered_size;
+  for (const ObjectResult& r : m.candidates) it->second.candidates[r.oid] = r.ld;
+  check_nn_ring(m.req_id);
+}
+
+void LocationServer::check_nn_ring(std::uint64_t ring_key) {
+  const auto it = pending_nn_.find(ring_key);
+  if (it == pending_nn_.end()) return;
+  PendingNN& op = it->second;
+  if (op.covered < op.target - coverage_epsilon(op.target)) return;  // ring open
+
+  if (op.candidates.empty()) {
+    if (op.radius >= opts_.nn_max_radius) {
+      finish_nn(ring_key);
+      return;
+    }
+    PendingNN next = std::move(op);
+    pending_nn_.erase(it);
+    next.radius = std::min(next.radius * 2.0, opts_.nn_max_radius);
+    launch_nn_ring(std::move(next));
+    return;
+  }
+  // d*: distance to the best candidate. The completed ring guarantees every
+  // object (meeting reqAcc) within op.radius is known, so d* is the global
+  // minimum. One more ring of radius d* + nearQual completes nearObjSet.
+  double best = std::numeric_limits<double>::max();
+  for (const auto& [oid, ld] : op.candidates) {
+    best = std::min(best, geo::distance(ld.pos, op.p));
+  }
+  const double needed = best + op.near_qual;
+  if (op.final_ring || op.radius >= needed - 1e-9) {
+    finish_nn(ring_key);
+    return;
+  }
+  PendingNN next = std::move(op);
+  pending_nn_.erase(it);
+  next.radius = std::min(needed * 1.001, opts_.nn_max_radius);
+  next.final_ring = true;
+  launch_nn_ring(std::move(next));
+}
+
+void LocationServer::finish_nn(std::uint64_t ring_key) {
+  const auto it = pending_nn_.find(ring_key);
+  if (it == pending_nn_.end()) return;
+  PendingNN op = std::move(it->second);
+  pending_nn_.erase(it);
+
+  wm::NNQueryRes res;
+  res.req_id = op.client_req_id;
+  if (!op.candidates.empty()) {
+    // Deterministic winner: smallest distance, ties by object id.
+    ObjectId best_oid;
+    LocationDescriptor best_ld;
+    double best_d = std::numeric_limits<double>::max();
+    for (const auto& [oid, ld] : op.candidates) {
+      const double d = geo::distance(ld.pos, op.p);
+      if (d < best_d || (d == best_d && oid < best_oid)) {
+        best_d = d;
+        best_oid = oid;
+        best_ld = ld;
+      }
+    }
+    res.found = true;
+    res.nearest = {best_oid, best_ld};
+    for (const auto& [oid, ld] : op.candidates) {
+      if (oid == best_oid) continue;
+      if (geo::distance(ld.pos, op.p) <= best_d + op.near_qual + 1e-9) {
+        res.near_set.push_back({oid, ld});
+      }
+    }
+    std::sort(res.near_set.begin(), res.near_set.end(),
+              [&](const ObjectResult& a, const ObjectResult& b) {
+                return geo::distance(a.ld.pos, op.p) < geo::distance(b.ld.pos, op.p);
+              });
+  }
+  send_msg(op.client, res);
+}
+
+// --------------------------------------------------------------------------
+// accuracy management / lifecycle
+
+void LocationServer::on_change_acc_req(NodeId src, const wm::ChangeAccReq& m) {
+  const store::VisitorRecord* rec = visitor_db_.find(m.oid);
+  if (!cfg_.is_leaf() || rec == nullptr || !rec->leaf) {
+    send_msg(src, wm::ChangeAccRes{m.req_id, false, 0.0});
+    return;
+  }
+  const double acc = opts_.min_supported_acc;
+  if (acc > m.acc_range.minimum) {
+    send_msg(src, wm::ChangeAccRes{m.req_id, false, rec->leaf->offered_acc});
+    return;
+  }
+  const double offered = negotiate_offered_acc(m.acc_range);
+  const double old_offered = rec->leaf->offered_acc;
+  const NodeId reg_inst = rec->leaf->reg_info.reg_inst;
+  visitor_db_.insert_leaf(m.oid, offered, RegInfo{reg_inst, m.acc_range});
+  if (sightings_) sightings_->set_offered_acc(m.oid, offered);
+  send_msg(src, wm::ChangeAccRes{m.req_id, true, offered});
+  if (offered != old_offered && reg_inst != src) {
+    send_msg(reg_inst, wm::NotifyAvailAcc{m.oid, offered});
+  }
+}
+
+void LocationServer::on_deregister_req(NodeId src, const wm::DeregisterReq& m) {
+  (void)src;
+  if (!cfg_.is_leaf()) return;
+  const store::VisitorRecord* rec = visitor_db_.find(m.oid);
+  if (rec == nullptr || !rec->leaf) return;
+  drop_leaf_visitor(m.oid, /*prune_path=*/true);
+}
+
+void LocationServer::request_refresh_all() {
+  if (!cfg_.is_leaf()) return;
+  std::vector<std::pair<NodeId, ObjectId>> targets;
+  visitor_db_.for_each([&](const store::VisitorRecord& rec) {
+    if (rec.leaf && (sightings_ == std::nullopt || !sightings_->find(rec.oid))) {
+      targets.emplace_back(rec.leaf->reg_info.reg_inst, rec.oid);
+    }
+  });
+  for (const auto& [reg_inst, oid] : targets) {
+    ++stats_.refresh_requests;
+    send_msg(reg_inst, wm::RefreshReq{oid});
+  }
+}
+
+// --------------------------------------------------------------------------
+// event mechanism (extension)
+
+void LocationServer::on_event_subscribe(NodeId src, const wm::EventSubscribe& m) {
+  (void)src;
+  const bool area_kind = m.kind == wm::PredicateKind::kAreaCount;
+  const bool can_coordinate =
+      cfg_.is_root() ||
+      (area_kind && geo::convex_contains_polygon(cfg_.sa, m.area));
+  if (!can_coordinate) {
+    send_msg(cfg_.parent, m);
+    return;
+  }
+  CoordinatorPred pred;
+  pred.sub = m;
+  coord_preds_[m.sub_id] = std::move(pred);
+  wm::EventInstall inst;
+  inst.sub_id = m.sub_id;
+  inst.kind = m.kind;
+  inst.area = m.area;
+  inst.obj_a = m.obj_a;
+  inst.obj_b = m.obj_b;
+  inst.dist = m.dist;
+  inst.coordinator = self_;
+  if (cfg_.is_leaf()) install_event(inst);
+  route_event_install(inst, kNoNode);
+}
+
+void LocationServer::route_event_install(const wm::EventInstall& inst, NodeId from) {
+  for (const ChildRecord& child : cfg_.children) {
+    if (child.id == from) continue;
+    if (inst.kind == wm::PredicateKind::kAreaCount &&
+        !inst.area.intersects(child.sa)) {
+      continue;
+    }
+    send_msg(child.id, inst);
+  }
+}
+
+void LocationServer::on_event_install(NodeId src, const wm::EventInstall& m) {
+  if (cfg_.is_leaf()) {
+    install_event(m);
+  } else {
+    route_event_install(m, src);
+  }
+}
+
+void LocationServer::install_event(const wm::EventInstall& inst) {
+  LeafPred& pred = leaf_preds_[inst.sub_id];
+  pred.inst = inst;
+  pred.members.clear();
+  // Seed with objects already tracked here.
+  if (!sightings_) return;
+  std::vector<std::pair<ObjectId, geo::Point>> present;
+  if (inst.kind == wm::PredicateKind::kAreaCount) {
+    std::vector<ObjectResult> inside;
+    sightings_->objects_in_area(inst.area, 1e18, 1e-9, inside);
+    for (const ObjectResult& r : inside) {
+      if (!inst.area.contains(r.ld.pos)) continue;  // membership by center
+      pred.members.insert(r.oid);
+      present.emplace_back(r.oid, r.ld.pos);
+    }
+  } else {
+    for (const ObjectId oid : {inst.obj_a, inst.obj_b}) {
+      const store::SightingDb::Record* rec = sightings_->find(oid);
+      if (rec != nullptr) present.emplace_back(oid, rec->sighting.pos);
+    }
+  }
+  for (const auto& [oid, pos] : present) {
+    wm::EventDelta delta{inst.sub_id, oid, true, pos};
+    if (inst.coordinator == self_) {
+      coordinator_handle_delta(self_, delta);
+    } else {
+      send_msg(inst.coordinator, delta);
+    }
+  }
+}
+
+void LocationServer::events_on_sighting(ObjectId oid, bool present, geo::Point pos) {
+  for (auto& [sub_id, pred] : leaf_preds_) {
+    const wm::EventInstall& inst = pred.inst;
+    if (inst.kind == wm::PredicateKind::kAreaCount) {
+      const bool was_in = pred.members.count(oid) > 0;
+      const bool now_in = present && inst.area.contains(pos);
+      if (was_in == now_in) continue;
+      if (now_in) {
+        pred.members.insert(oid);
+      } else {
+        pred.members.erase(oid);
+      }
+      wm::EventDelta delta{sub_id, oid, now_in, pos};
+      if (inst.coordinator == self_) {
+        coordinator_handle_delta(self_, delta);
+      } else {
+        send_msg(inst.coordinator, delta);
+      }
+    } else {
+      if (oid != inst.obj_a && oid != inst.obj_b) continue;
+      wm::EventDelta delta{sub_id, oid, present, pos};
+      if (inst.coordinator == self_) {
+        coordinator_handle_delta(self_, delta);
+      } else {
+        send_msg(inst.coordinator, delta);
+      }
+    }
+  }
+}
+
+void LocationServer::on_event_delta(NodeId src, const wm::EventDelta& m) {
+  coordinator_handle_delta(src, m);
+}
+
+void LocationServer::coordinator_handle_delta(NodeId reporting_leaf,
+                                              const wm::EventDelta& m) {
+  const auto it = coord_preds_.find(m.sub_id);
+  if (it == coord_preds_.end()) return;
+  CoordinatorPred& pred = it->second;
+  bool now_fired = pred.fired;
+  std::uint32_t count = 0;
+  if (pred.sub.kind == wm::PredicateKind::kAreaCount) {
+    if (m.entered) {
+      pred.inside[m.oid] = reporting_leaf;
+    } else {
+      // Only the leaf currently responsible may remove the membership; a
+      // stale "left" from the pre-handover agent is ignored.
+      const auto member = pred.inside.find(m.oid);
+      if (member != pred.inside.end() && member->second == reporting_leaf) {
+        pred.inside.erase(member);
+      }
+    }
+    count = static_cast<std::uint32_t>(pred.inside.size());
+    now_fired = count >= pred.sub.threshold;
+  } else {
+    const auto apply = [&](std::optional<geo::Point>& pos, NodeId& src) {
+      if (m.entered) {
+        pos = m.pos;
+        src = reporting_leaf;
+      } else if (src == reporting_leaf) {
+        pos.reset();
+        src = kNoNode;
+      }
+    };
+    if (m.oid == pred.sub.obj_a) apply(pred.pos_a, pred.src_a);
+    if (m.oid == pred.sub.obj_b) apply(pred.pos_b, pred.src_b);
+    now_fired = pred.pos_a && pred.pos_b &&
+                geo::distance(*pred.pos_a, *pred.pos_b) <= pred.sub.dist;
+  }
+  if (now_fired != pred.fired) {
+    pred.fired = now_fired;
+    ++stats_.events_fired;
+    send_msg(pred.sub.subscriber, wm::EventNotify{m.sub_id, now_fired, count});
+  }
+}
+
+void LocationServer::on_event_unsubscribe(NodeId src, const wm::EventUnsubscribe& m) {
+  leaf_preds_.erase(m.sub_id);
+  const bool was_coordinator = coord_preds_.erase(m.sub_id) > 0;
+  // Broadcast downwards so every leaf drops its local tracker; forward
+  // upwards if we were not the coordinator (the coordinator is an ancestor).
+  for (const ChildRecord& child : cfg_.children) {
+    if (child.id != src) send_msg(child.id, m);
+  }
+  if (!was_coordinator && !cfg_.is_root() && cfg_.parent != src) {
+    send_msg(cfg_.parent, m);
+  }
+}
+
+// --------------------------------------------------------------------------
+// maintenance
+
+void LocationServer::tick(TimePoint t) {
+  // Bound the persistent log (and with it, recovery time).
+  visitor_db_.maybe_compact(opts_.visitor_compact_threshold);
+  // Soft-state expiry (§5): deregister objects whose sightings lapsed.
+  if (sightings_) {
+    for (const ObjectId oid : sightings_->expire_until(t)) {
+      ++stats_.sightings_expired;
+      events_on_sighting(oid, false, {});
+      visitor_db_.remove(oid);
+      if (!cfg_.is_root()) send_msg(cfg_.parent, wm::RemovePath{oid});
+    }
+  }
+  // Pending-operation timeouts.
+  for (auto it = pending_pos_.begin(); it != pending_pos_.end();) {
+    if (it->second.deadline > t) {
+      ++it;
+      continue;
+    }
+    PendingPos pending = it->second;
+    if (pending.via_agent_cache) {
+      // Stale agent cache: invalidate and retry through the hierarchy.
+      agent_cache_.invalidate(pending.oid);
+      pending.via_agent_cache = false;
+      pending.deadline = t + opts_.pending_timeout;
+      const NodeId next = cfg_.is_root() ? kNoNode : cfg_.parent;
+      if (next.valid()) {
+        it->second = pending;
+        send_msg(next, wm::PosQueryFwd{pending.oid, self_, it->first});
+        ++it;
+        continue;
+      }
+    }
+    ++stats_.pending_timeouts;
+    send_msg(pending.client, wm::PosQueryRes{pending.oid, false, {}, kNoNode,
+                                             pending.client_req_id, std::nullopt});
+    it = pending_pos_.erase(it);
+  }
+  for (auto it = pending_range_.begin(); it != pending_range_.end();) {
+    if (it->second.deadline > t) {
+      ++it;
+      continue;
+    }
+    ++stats_.pending_timeouts;
+    wm::RangeQueryRes res;
+    res.req_id = it->second.client_req_id;
+    res.complete = false;
+    res.results = std::move(it->second.results);
+    send_msg(it->second.client, res);
+    it = pending_range_.erase(it);
+  }
+  std::vector<std::uint64_t> nn_timeouts;
+  for (const auto& [key, op] : pending_nn_) {
+    if (op.deadline <= t) nn_timeouts.push_back(key);
+  }
+  for (const std::uint64_t key : nn_timeouts) {
+    ++stats_.pending_timeouts;
+    finish_nn(key);  // best effort with whatever candidates arrived
+  }
+  for (auto it = pending_handover_.begin(); it != pending_handover_.end();) {
+    if (it->second.deadline > t) {
+      ++it;
+      continue;
+    }
+    ++stats_.pending_timeouts;
+    if (it->second.reply_to_object) handover_in_flight_.erase(it->second.oid);
+    it = pending_handover_.erase(it);
+  }
+  for (auto it = awaiting_refresh_.begin(); it != awaiting_refresh_.end();) {
+    auto& waiters = it->second;
+    waiters.erase(std::remove_if(waiters.begin(), waiters.end(),
+                                 [&](const WaitingQuery& wq) {
+                                   if (wq.deadline > t) return false;
+                                   ++stats_.pending_timeouts;
+                                   send_msg(wq.entry,
+                                            wm::PosQueryRes{it->first, false, {},
+                                                            kNoNode, wq.req_id,
+                                                            std::nullopt});
+                                   return true;
+                                 }),
+                  waiters.end());
+    it = waiters.empty() ? awaiting_refresh_.erase(it) : std::next(it);
+  }
+}
+
+}  // namespace locs::core

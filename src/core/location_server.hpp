@@ -1,0 +1,295 @@
+// The location server -- one node of the hierarchical architecture (§4-§6).
+//
+// A LocationServer is a single-threaded message reactor: handle() consumes
+// one datagram and may emit datagrams through the Transport. The paper's
+// blocking "receive ..." steps (Alg 6-2/6-3/6-5) become pending-operation
+// tables swept by tick(). The same code runs over the deterministic
+// SimNetwork and over real UDP.
+//
+// Implemented behaviour:
+//  * Algorithm 6-1  registration (incl. createPath) with accuracy
+//    negotiation [desAcc, minAcc] -> offeredAcc,
+//  * Algorithm 6-2  position updates, soft-state TTL extension,
+//  * Algorithm 6-3  handover with hop-by-hop forwarding-path repair and
+//    automatic deregistration when an object leaves the root service area,
+//  * Algorithm 6-4  position queries (entry-server collection),
+//  * Algorithm 6-5  range queries with Enlarge(area, reqAcc) routing and
+//    covered-area completion accounting,
+//  * nearest-neighbor queries (§3.2 semantics) via an expanding-ring search,
+//  * the three §6.5 caches (leaf-area / object-agent / position descriptor),
+//  * soft-state expiry and removePath pruning (§5),
+//  * crash recovery: persistent visitorDB replay + refreshReq (§5),
+//  * changeAcc / notifyAvailAcc (§3.1),
+//  * the event mechanism sketched in §1/§8 (area-count and proximity
+//    predicates with leaf-side membership deltas).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/caches.hpp"
+#include "core/service_area.hpp"
+#include "core/types.hpp"
+#include "net/transport.hpp"
+#include "spatial/spatial_index.hpp"
+#include "store/sighting_db.hpp"
+#include "store/visitor_db.hpp"
+#include "util/clock.hpp"
+#include "wire/messages.hpp"
+
+namespace locs::core {
+
+class LocationServer {
+ public:
+  struct Options {
+    /// Best (smallest) accuracy this server's sensor infrastructure can
+    /// manage -- Alg 6-1 line 3. Registration fails if this exceeds minAcc.
+    double min_supported_acc = 5.0;
+    /// Maximum object speed assumed when aging cached descriptors (m/s).
+    double default_max_speed = 30.0;
+    /// Soft-state TTL for sighting records (§5).
+    Duration sighting_ttl = seconds(120);
+    /// Deadline for distributed operations before they complete partially.
+    Duration pending_timeout = seconds(5);
+    /// §6.5 caches (the paper's prototype ran without them; benches toggle).
+    bool enable_leaf_area_cache = false;
+    bool enable_agent_cache = false;
+    bool enable_position_cache = false;
+    /// Worst aged accuracy a position-cache hit may report.
+    double position_cache_max_acc = 200.0;
+    /// Attach (leaf, service-area) piggybacks to responses for peers' caches.
+    bool piggyback_origin = true;
+    /// Sides of the polygon circumscribing NN probe circles.
+    int nn_probe_sides = 32;
+    /// Give up expanding NN rings beyond this radius (empty database guard).
+    double nn_max_radius = 1e7;
+    /// Compact the persistent visitorDB log once it exceeds this many
+    /// mutation records (bounds recovery time; §5).
+    std::uint64_t visitor_compact_threshold = 1 << 18;
+  };
+
+  struct Stats {
+    std::uint64_t msgs_handled = 0;
+    std::uint64_t msgs_sent = 0;
+    std::uint64_t decode_errors = 0;
+    std::uint64_t registrations = 0;
+    std::uint64_t registration_failures = 0;
+    std::uint64_t updates_applied = 0;
+    std::uint64_t updates_unknown = 0;
+    std::uint64_t handovers_initiated = 0;
+    std::uint64_t handovers_accepted = 0;  // this server became the new agent
+    std::uint64_t handovers_direct = 0;    // via leaf-area cache shortcut
+    std::uint64_t pos_queries_served = 0;  // answered from this entry server
+    std::uint64_t pos_query_cache_hits = 0;
+    std::uint64_t agent_cache_hits = 0;
+    std::uint64_t range_direct = 0;  // range served via leaf-area cache
+    std::uint64_t range_sub_answered = 0;
+    std::uint64_t nn_rings = 0;
+    std::uint64_t sightings_expired = 0;
+    std::uint64_t pending_timeouts = 0;
+    std::uint64_t refresh_requests = 0;
+    std::uint64_t events_fired = 0;
+  };
+
+  /// Result of one client-visible operation, delivered to the node that
+  /// issued the request (see client.hpp for the client side).
+  LocationServer(NodeId self, ConfigRecord cfg, net::Transport& net, Clock& clock,
+                 Options opts, store::VisitorDb visitor_db = {},
+                 spatial::IndexFactory index_factory = nullptr);
+
+  /// Default options.
+  LocationServer(NodeId self, ConfigRecord cfg, net::Transport& net, Clock& clock);
+
+  LocationServer(const LocationServer&) = delete;
+  LocationServer& operator=(const LocationServer&) = delete;
+
+  /// Transport entry point: decode + dispatch one datagram.
+  void handle(const std::uint8_t* data, std::size_t len);
+
+  /// Periodic maintenance: soft-state expiry, pending-operation timeouts.
+  void tick(TimePoint now);
+
+  /// Recovery hook (§5): after constructing the server from a replayed
+  /// persistent visitorDB, asks every leaf visitor for a position refresh.
+  void request_refresh_all();
+
+  NodeId id() const { return self_; }
+  const ConfigRecord& config() const { return cfg_; }
+  const Stats& stats() const { return stats_; }
+  const store::VisitorDb& visitors() const { return visitor_db_; }
+  const store::SightingDb* sightings() const {
+    return sightings_ ? &*sightings_ : nullptr;
+  }
+  const Options& options() const { return opts_; }
+  const LeafAreaCache& leaf_area_cache() const { return leaf_area_cache_; }
+  const ObjectAgentCache& agent_cache() const { return agent_cache_; }
+
+ private:
+  // -- pending distributed operations (the paper's blocking "receive ..."
+  //    steps become continuation state swept by tick()) --
+  struct PendingNN {
+    NodeId client;
+    std::uint64_t client_req_id;
+    geo::Point p;
+    double req_acc = 0.0;
+    double near_qual = 0.0;
+    double radius = 0.0;
+    bool final_ring = false;  // radius already covers d* + nearQual
+    double target = 0.0;
+    double covered = 0.0;
+    std::unordered_map<ObjectId, LocationDescriptor> candidates;
+    TimePoint deadline = 0;
+  };
+
+  // -- message handlers (one per protocol message) --
+  void on_register_req(NodeId src, const wire::RegisterReq& m);
+  void on_create_path(NodeId src, const wire::CreatePath& m);
+  void on_remove_path(NodeId src, const wire::RemovePath& m);
+  void on_update_req(NodeId src, const wire::UpdateReq& m);
+  void on_handover_req(NodeId src, wire::HandoverReq m);
+  void on_handover_res(NodeId src, const wire::HandoverRes& m);
+  void on_pos_query_req(NodeId src, const wire::PosQueryReq& m);
+  void on_pos_query_fwd(NodeId src, const wire::PosQueryFwd& m);
+  void on_pos_query_res(NodeId src, const wire::PosQueryRes& m);
+  void on_range_query_req(NodeId src, const wire::RangeQueryReq& m);
+  void on_range_query_fwd(NodeId src, const wire::RangeQueryFwd& m);
+  void on_range_query_sub_res(NodeId src, const wire::RangeQuerySubRes& m);
+  void on_nn_query_req(NodeId src, const wire::NNQueryReq& m);
+  void on_nn_probe_fwd(NodeId src, const wire::NNProbeFwd& m);
+  void on_nn_probe_sub_res(NodeId src, const wire::NNProbeSubRes& m);
+  void on_change_acc_req(NodeId src, const wire::ChangeAccReq& m);
+  void on_deregister_req(NodeId src, const wire::DeregisterReq& m);
+  void on_event_subscribe(NodeId src, const wire::EventSubscribe& m);
+  void on_event_install(NodeId src, const wire::EventInstall& m);
+  void on_event_delta(NodeId src, const wire::EventDelta& m);
+  void on_event_unsubscribe(NodeId src, const wire::EventUnsubscribe& m);
+
+  // -- helpers --
+  void send_msg(NodeId to, const wire::Message& msg);
+  std::uint64_t next_req_id();
+  std::optional<wire::OriginArea> origin_piggyback() const;
+  void learn_origin(const std::optional<wire::OriginArea>& origin);
+  double negotiate_offered_acc(const AccuracyRange& range) const;
+  TimePoint now() const { return clock_.now(); }
+  TimePoint sighting_expiry() const { return now() + opts_.sighting_ttl; }
+
+  /// Becomes the new agent for a handed-over object (Alg 6-3 lines 2-7).
+  void accept_handover(NodeId src, const wire::HandoverReq& m);
+  /// Initiates a handover for a locally tracked object that left our area.
+  void initiate_handover(NodeId object_node, const Sighting& s);
+  /// Removes a leaf visitor entirely (dereg/expiry): records + path prune.
+  void drop_leaf_visitor(ObjectId oid, bool prune_path);
+
+  /// Routes a range query one hop further (Alg 6-5 range query fwd). `from`
+  /// is the node the query arrived from (kNoNode at the entry server).
+  void route_range(const geo::Polygon& area, const geo::Polygon& enlarged,
+                   double req_acc, double req_overlap, NodeId entry,
+                   std::uint64_t req_id, NodeId from);
+  /// Leaf-local answer for a routed range query.
+  void answer_range_locally(const geo::Polygon& area, const geo::Polygon& enlarged,
+                            double req_acc, double req_overlap, NodeId entry,
+                            std::uint64_t req_id, double extra_covered);
+
+  /// Routes an NN probe (mirrors range routing over the probe polygon).
+  void route_nn_probe(const wire::NNProbeFwd& probe, NodeId from);
+  void answer_nn_probe_locally(const wire::NNProbeFwd& probe, double extra_covered);
+  /// Starts (or restarts with a larger radius) the expanding-ring probe for
+  /// a pending NN operation; returns the new ring key.
+  std::uint64_t launch_nn_ring(PendingNN op);
+  void check_nn_ring(std::uint64_t ring_key);
+  void finish_nn(std::uint64_t ring_key);
+
+  /// Inserts or refreshes a leaf sighting record (+ event maintenance).
+  void put_sighting(const Sighting& s, double offered_acc);
+  void try_complete_range(std::uint64_t key);
+  void flush_awaiting_refresh(ObjectId oid);
+
+  // -- leaf-side event predicate maintenance --
+  void events_on_sighting(ObjectId oid, bool present, geo::Point pos);
+  void install_event(const wire::EventInstall& inst);
+  void route_event_install(const wire::EventInstall& inst, NodeId from);
+  void coordinator_handle_delta(NodeId reporting_leaf, const wire::EventDelta& m);
+
+  NodeId self_;
+  ConfigRecord cfg_;
+  net::Transport& net_;
+  Clock& clock_;
+  Options opts_;
+  Stats stats_;
+
+  store::VisitorDb visitor_db_;
+  std::optional<store::SightingDb> sightings_;  // leaf servers only
+
+  LeafAreaCache leaf_area_cache_;
+  ObjectAgentCache agent_cache_;
+  PositionCache position_cache_;
+
+  std::uint64_t req_counter_ = 0;
+
+  // -- pending distributed operations --
+  struct PendingHandover {
+    NodeId reply_to;     // where the HandoverRes must be propagated
+    ObjectId oid;
+    NodeId child;        // the child we forwarded down to (pointer repair)
+    bool remove_on_res = false;  // upward forwarding: drop record on response
+    bool reply_to_object = false;  // reply_to is the tracked object itself
+    bool direct_prune = false;  // direct handover: prune old branch ourselves
+    TimePoint deadline = 0;
+  };
+  std::unordered_map<std::uint64_t, PendingHandover> pending_handover_;
+  std::unordered_set<ObjectId> handover_in_flight_;
+
+  struct PendingPos {
+    NodeId client;
+    std::uint64_t client_req_id;
+    ObjectId oid;
+    bool via_agent_cache;  // on timeout: invalidate + retry via hierarchy
+    TimePoint deadline;
+  };
+  std::unordered_map<std::uint64_t, PendingPos> pending_pos_;
+
+  struct PendingRange {
+    NodeId client;
+    std::uint64_t client_req_id;
+    double target = 0.0;   // size of the enlarged query area
+    double covered = 0.0;  // accumulated from sub-results
+    std::vector<ObjectResult> results;
+    TimePoint deadline;
+  };
+  std::unordered_map<std::uint64_t, PendingRange> pending_range_;
+
+  std::unordered_map<std::uint64_t, PendingNN> pending_nn_;  // key: ring req id
+
+  // Position queries waiting for a post-recovery refresh (§5).
+  struct WaitingQuery {
+    NodeId entry;
+    std::uint64_t req_id;
+    TimePoint deadline;
+  };
+  std::unordered_map<ObjectId, std::vector<WaitingQuery>> awaiting_refresh_;
+
+  // -- event mechanism state --
+  struct CoordinatorPred {
+    wire::EventSubscribe sub;
+    // Area predicates: member -> leaf that reported it. Tracking the
+    // reporting leaf makes handovers safe: a stale "left" delta from the old
+    // agent must not cancel the fresher "entered" from the new agent.
+    std::unordered_map<ObjectId, NodeId> inside;
+    bool fired = false;
+    // Proximity predicates: last known positions + reporting leaves.
+    std::optional<geo::Point> pos_a, pos_b;
+    NodeId src_a, src_b;
+  };
+  std::unordered_map<std::uint64_t, CoordinatorPred> coord_preds_;
+
+  struct LeafPred {
+    wire::EventInstall inst;
+    std::unordered_set<ObjectId> members;
+  };
+  std::unordered_map<std::uint64_t, LeafPred> leaf_preds_;
+};
+
+}  // namespace locs::core

@@ -1,0 +1,34 @@
+// Circles (the paper's circular location areas, Fig 2) and the exact
+// circle-polygon intersection area that defines the range-query overlap
+// degree: Overlap(a, o) = SIZE(a ∩ ld(o)) / SIZE(ld(o))  (§3.2).
+#pragma once
+
+#include "geo/point.hpp"
+#include "geo/polygon.hpp"
+#include "geo/rect.hpp"
+
+namespace locs::geo {
+
+struct Circle {
+  Point center;
+  double radius = 0.0;
+
+  double area() const { return M_PI * radius * radius; }
+  bool contains(Point p) const { return distance2(p, center) <= radius * radius; }
+
+  bool intersects(const Rect& r) const {
+    return r.distance2_to(center) <= radius * radius;
+  }
+};
+
+/// Exact area of circle ∩ simple polygon, via Green's theorem on the polygon
+/// boundary (sums per-edge disk-segment contributions; works for convex and
+/// non-convex simple polygons alike).
+double circle_polygon_intersection_area(const Circle& circle, const Polygon& poly);
+
+/// The paper's overlap degree in [0, 1]:
+///   Overlap(area, location-area) = SIZE(area ∩ disk) / SIZE(disk).
+/// A zero-radius location area degenerates to point containment (1 or 0).
+double overlap_degree(const Polygon& area, const Circle& location_area);
+
+}  // namespace locs::geo

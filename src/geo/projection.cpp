@@ -1,0 +1,38 @@
+#include "geo/projection.hpp"
+
+#include <cmath>
+
+namespace locs::geo {
+
+namespace {
+constexpr double kDegToRad = M_PI / 180.0;
+constexpr double kRadToDeg = 180.0 / M_PI;
+}  // namespace
+
+double haversine_m(GeoPoint a, GeoPoint b) {
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double s1 = std::sin(dlat / 2.0);
+  const double s2 = std::sin(dlon / 2.0);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusM * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+LocalProjection::LocalProjection(GeoPoint origin)
+    : origin_(origin), cos_lat0_(std::cos(origin.lat_deg * kDegToRad)) {}
+
+Point LocalProjection::to_local(GeoPoint g) const {
+  const double dlat = (g.lat_deg - origin_.lat_deg) * kDegToRad;
+  const double dlon = (g.lon_deg - origin_.lon_deg) * kDegToRad;
+  return {kEarthRadiusM * dlon * cos_lat0_, kEarthRadiusM * dlat};
+}
+
+GeoPoint LocalProjection::to_geo(Point p) const {
+  const double dlat = p.y / kEarthRadiusM;
+  const double dlon = p.x / (kEarthRadiusM * cos_lat0_);
+  return {origin_.lat_deg + dlat * kRadToDeg, origin_.lon_deg + dlon * kRadToDeg};
+}
+
+}  // namespace locs::geo

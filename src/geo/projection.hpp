@@ -1,0 +1,41 @@
+// WGS84 geodetic coordinates and a local tangent-plane projection.
+//
+// The paper assumes "position information to be based on geographic
+// coordinate systems, such as WGS84" (§3). The service core works on a local
+// plane in metres; LocalProjection maps between the two (equirectangular
+// approximation -- sub-metre error over city-scale service areas, which is
+// far below typical sensor accuracy).
+#pragma once
+
+#include "geo/point.hpp"
+
+namespace locs::geo {
+
+/// WGS84 latitude/longitude in degrees.
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+/// Mean Earth radius (metres) used by the spherical approximations.
+inline constexpr double kEarthRadiusM = 6371008.8;
+
+/// Great-circle (haversine) distance in metres.
+double haversine_m(GeoPoint a, GeoPoint b);
+
+/// Equirectangular projection around a fixed origin. x = east, y = north,
+/// both in metres.
+class LocalProjection {
+ public:
+  explicit LocalProjection(GeoPoint origin);
+
+  Point to_local(GeoPoint g) const;
+  GeoPoint to_geo(Point p) const;
+  GeoPoint origin() const { return origin_; }
+
+ private:
+  GeoPoint origin_;
+  double cos_lat0_;
+};
+
+}  // namespace locs::geo

@@ -1,0 +1,84 @@
+// Axis-aligned rectangles (bounding boxes, grid service areas).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+#include "geo/point.hpp"
+
+namespace locs::geo {
+
+struct Rect {
+  Point min;
+  Point max;
+
+  static Rect from_corners(Point a, Point b) {
+    return Rect{{std::min(a.x, b.x), std::min(a.y, b.y)},
+                {std::max(a.x, b.x), std::max(a.y, b.y)}};
+  }
+
+  static Rect from_center(Point c, double half_width, double half_height) {
+    return Rect{{c.x - half_width, c.y - half_height},
+                {c.x + half_width, c.y + half_height}};
+  }
+
+  /// An "empty" rect that extends nothing; grow it with extend().
+  static Rect empty() {
+    constexpr double inf = 1e300;
+    return Rect{{inf, inf}, {-inf, -inf}};
+  }
+
+  bool is_empty() const { return min.x > max.x || min.y > max.y; }
+
+  double width() const { return max.x - min.x; }
+  double height() const { return max.y - min.y; }
+  double area() const { return is_empty() ? 0.0 : width() * height(); }
+  Point center() const { return {(min.x + max.x) / 2, (min.y + max.y) / 2}; }
+
+  bool contains(Point p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  bool contains(const Rect& r) const {
+    return r.min.x >= min.x && r.max.x <= max.x && r.min.y >= min.y &&
+           r.max.y <= max.y;
+  }
+
+  bool intersects(const Rect& r) const {
+    return !(r.min.x > max.x || r.max.x < min.x || r.min.y > max.y ||
+             r.max.y < min.y);
+  }
+
+  Rect intersection(const Rect& r) const {
+    return Rect{{std::max(min.x, r.min.x), std::max(min.y, r.min.y)},
+                {std::min(max.x, r.max.x), std::min(max.y, r.max.y)}};
+  }
+
+  void extend(Point p) {
+    min.x = std::min(min.x, p.x);
+    min.y = std::min(min.y, p.y);
+    max.x = std::max(max.x, p.x);
+    max.y = std::max(max.y, p.y);
+  }
+
+  void extend(const Rect& r) {
+    if (r.is_empty()) return;
+    extend(r.min);
+    extend(r.max);
+  }
+
+  /// Inflate by `margin` on all sides (the trivial form of the paper's
+  /// Enlarge() for axis-aligned areas).
+  Rect inflated(double margin) const {
+    return Rect{{min.x - margin, min.y - margin}, {max.x + margin, max.y + margin}};
+  }
+
+  /// Squared distance from p to the rectangle (0 if inside).
+  double distance2_to(Point p) const {
+    const double dx = std::max({min.x - p.x, 0.0, p.x - max.x});
+    const double dy = std::max({min.y - p.y, 0.0, p.y - max.y});
+    return dx * dx + dy * dy;
+  }
+};
+
+}  // namespace locs::geo

@@ -1,0 +1,59 @@
+#include "net/sim_network.hpp"
+
+#include <cmath>
+
+namespace locs::net {
+
+void SimNetwork::send(NodeId from, NodeId to, wire::Buffer bytes) {
+  ++messages_sent_;
+  bytes_sent_ += bytes.size();
+  if (drop_fn_ && drop_fn_(from, to)) {
+    ++messages_dropped_;
+    return;
+  }
+  if (opts_.loss_prob > 0.0 && rng_.bernoulli(opts_.loss_prob)) {
+    ++messages_dropped_;
+    return;
+  }
+  double latency = static_cast<double>(opts_.base_latency) +
+                   static_cast<double>(opts_.per_kilobyte) *
+                       (static_cast<double>(bytes.size()) / 1024.0);
+  if (opts_.jitter_frac > 0.0) {
+    latency *= 1.0 + opts_.jitter_frac * (2.0 * rng_.next_double() - 1.0);
+  }
+  const auto delay = static_cast<Duration>(std::llround(std::max(latency, 0.0)));
+  queue_.push(Event{clock_.now() + delay, seq_++, from, to, std::move(bytes)});
+}
+
+bool SimNetwork::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the buffer must be moved out via a
+  // copy here (small messages; the simulator is not the measured datapath).
+  Event ev = queue_.top();
+  queue_.pop();
+  if (ev.at > clock_.now()) clock_.set(ev.at);
+  if (tracer_) tracer_(ev.at, ev.from, ev.to, ev.bytes);
+  const auto it = handlers_.find(ev.to);
+  if (it != handlers_.end() && it->second) {
+    it->second(ev.bytes.data(), ev.bytes.size());
+  }
+  return true;
+}
+
+std::size_t SimNetwork::run_until_idle(std::size_t max_events) {
+  std::size_t delivered = 0;
+  while (delivered < max_events && step()) ++delivered;
+  return delivered;
+}
+
+std::size_t SimNetwork::run_until(TimePoint deadline) {
+  std::size_t delivered = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    step();
+    ++delivered;
+  }
+  if (clock_.now() < deadline) clock_.set(deadline);
+  return delivered;
+}
+
+}  // namespace locs::net

@@ -1,0 +1,35 @@
+// Transport abstraction.
+//
+// Location servers and clients are message reactors: they receive a datagram
+// (handler callback) and may send datagrams in response. The same server
+// code runs over two transports:
+//   * SimNetwork  -- deterministic in-process delivery in virtual time
+//                    (tests, latency ablations),
+//   * UdpNetwork  -- real UDP sockets over loopback (the Table-2 benchmark,
+//                    matching the paper's UDP prototype).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/ids.hpp"
+#include "wire/codec.hpp"
+
+namespace locs::net {
+
+/// Invoked with the raw datagram; the source node is inside the envelope.
+using MessageHandler = std::function<void(const std::uint8_t* data, std::size_t len)>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Registers a node and its datagram handler.
+  virtual void attach(NodeId node, MessageHandler handler) = 0;
+
+  /// Sends a datagram from `from` to `to`. Fire and forget (UDP semantics);
+  /// the protocol layer owns retries/timeouts.
+  virtual void send(NodeId from, NodeId to, wire::Buffer bytes) = 0;
+};
+
+}  // namespace locs::net

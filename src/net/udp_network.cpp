@@ -1,0 +1,195 @@
+#include "net/udp_network.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cstring>
+
+namespace locs::net {
+
+namespace {
+
+// Fragmentation header: [magic u16][msg_id u32][index u16][count u16].
+constexpr std::uint16_t kFragMagic = 0x4c53;  // "LS"
+constexpr std::size_t kFragHeader = 10;
+// Stay well below the 65507-byte UDP payload limit.
+constexpr std::size_t kMaxFragPayload = 32 * 1024;
+
+sockaddr_in addr_for(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+void put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+int make_socket(std::uint16_t bind_port) {
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return -1;
+  const int buf_size = 4 * 1024 * 1024;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &buf_size, sizeof buf_size);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &buf_size, sizeof buf_size);
+  if (bind_port != 0) {
+    sockaddr_in addr = addr_for(bind_port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  return fd;
+}
+
+}  // namespace
+
+struct UdpNetwork::Node {
+  NodeId id;
+  int fd = -1;
+  MessageHandler handler;
+  std::thread thread;
+  // Reassembly buffers keyed by (sender msg_id); single-threaded per node.
+  struct Partial {
+    std::vector<wire::Buffer> frags;
+    std::size_t received = 0;
+  };
+  std::map<std::uint64_t, Partial> partials;
+};
+
+UdpNetwork::UdpNetwork(std::uint16_t base_port) : base_port_(base_port) {}
+
+UdpNetwork::~UdpNetwork() { stop(); }
+
+void UdpNetwork::attach(NodeId node, MessageHandler handler) {
+  auto n = std::make_unique<Node>();
+  n->id = node;
+  n->handler = std::move(handler);
+  n->fd = make_socket(static_cast<std::uint16_t>(base_port_ + node.value));
+  assert(n->fd >= 0 && "UDP bind failed (port collision?)");
+  Node* raw = n.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    nodes_[node] = std::move(n);
+  }
+  raw->thread = std::thread([this, raw] { receive_loop(*raw); });
+}
+
+int UdpNetwork::socket_for_send(NodeId from) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = nodes_.find(from);
+    if (it != nodes_.end()) return it->second->fd;
+    if (fallback_send_fd_ < 0) fallback_send_fd_ = make_socket(0);
+    return fallback_send_fd_;
+  }
+}
+
+void UdpNetwork::send(NodeId from, NodeId to, wire::Buffer bytes) {
+  const int fd = socket_for_send(from);
+  if (fd < 0) {
+    send_errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const sockaddr_in dst = addr_for(static_cast<std::uint16_t>(base_port_ + to.value));
+  const std::size_t total = bytes.size();
+  const std::size_t frag_count = (total + kMaxFragPayload - 1) / kMaxFragPayload;
+  const std::uint32_t msg_id = next_msg_id_.fetch_add(1, std::memory_order_relaxed);
+  std::uint8_t header[kFragHeader];
+  for (std::size_t i = 0; i < std::max<std::size_t>(frag_count, 1); ++i) {
+    const std::size_t off = i * kMaxFragPayload;
+    const std::size_t len = std::min(kMaxFragPayload, total - off);
+    put_u16(header, kFragMagic);
+    put_u32(header + 2, msg_id);
+    put_u16(header + 6, static_cast<std::uint16_t>(i));
+    put_u16(header + 8, static_cast<std::uint16_t>(frag_count));
+    std::vector<std::uint8_t> datagram;
+    datagram.reserve(kFragHeader + len);
+    datagram.insert(datagram.end(), header, header + kFragHeader);
+    datagram.insert(datagram.end(), bytes.begin() + static_cast<std::ptrdiff_t>(off),
+                    bytes.begin() + static_cast<std::ptrdiff_t>(off + len));
+    const ssize_t sent =
+        ::sendto(fd, datagram.data(), datagram.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&dst), sizeof dst);
+    if (sent < 0) {
+      send_errors_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      datagrams_sent_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void UdpNetwork::receive_loop(Node& node) {
+  std::vector<std::uint8_t> buf(kMaxFragPayload + kFragHeader + 1024);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{node.fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready <= 0) continue;
+    const ssize_t n = ::recvfrom(node.fd, buf.data(), buf.size(), 0, nullptr, nullptr);
+    if (n < static_cast<ssize_t>(kFragHeader)) continue;
+    if (get_u16(buf.data()) != kFragMagic) continue;
+    const std::uint32_t msg_id = get_u32(buf.data() + 2);
+    const std::uint16_t index = get_u16(buf.data() + 6);
+    const std::uint16_t count = get_u16(buf.data() + 8);
+    const std::uint8_t* payload = buf.data() + kFragHeader;
+    const std::size_t payload_len = static_cast<std::size_t>(n) - kFragHeader;
+    if (count <= 1) {
+      if (node.handler) node.handler(payload, payload_len);
+      continue;
+    }
+    // Multi-fragment message: stash and deliver once complete.
+    auto& partial = node.partials[msg_id];
+    if (partial.frags.empty()) partial.frags.resize(count);
+    if (index >= count || !partial.frags[index].empty()) continue;
+    partial.frags[index].assign(payload, payload + payload_len);
+    if (++partial.received == count) {
+      wire::Buffer whole;
+      for (const auto& frag : partial.frags) {
+        whole.insert(whole.end(), frag.begin(), frag.end());
+      }
+      node.partials.erase(msg_id);
+      if (node.handler) node.handler(whole.data(), whole.size());
+    }
+    // Bound reassembly memory: drop oldest partials beyond a small cap.
+    while (node.partials.size() > 64) {
+      node.partials.erase(node.partials.begin());
+    }
+  }
+}
+
+void UdpNetwork::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, node] : nodes_) {
+    if (node->thread.joinable()) node->thread.join();
+    if (node->fd >= 0) ::close(node->fd);
+  }
+  nodes_.clear();
+  if (fallback_send_fd_ >= 0) {
+    ::close(fallback_send_fd_);
+    fallback_send_fd_ = -1;
+  }
+}
+
+}  // namespace locs::net

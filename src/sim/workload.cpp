@@ -1,0 +1,41 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace locs::sim {
+
+geo::Point WorkloadGenerator::anchor(geo::Point client_pos) {
+  const geo::Rect& a = params_.area;
+  if (rng_.bernoulli(params_.locality)) {
+    const double ang = rng_.uniform(0.0, 2.0 * M_PI);
+    const double r = params_.local_radius * std::sqrt(rng_.next_double());
+    geo::Point p{client_pos.x + r * std::cos(ang), client_pos.y + r * std::sin(ang)};
+    return {std::clamp(p.x, a.min.x, a.max.x), std::clamp(p.y, a.min.y, a.max.y)};
+  }
+  return {rng_.uniform(a.min.x, a.max.x), rng_.uniform(a.min.y, a.max.y)};
+}
+
+QueryOp WorkloadGenerator::next(geo::Point client_pos,
+                                const std::vector<ObjectId>& population) {
+  QueryOp op;
+  const double roll = rng_.next_double();
+  const double total = params_.mix.p_pos + params_.mix.p_range + params_.mix.p_nn;
+  const double p_pos = params_.mix.p_pos / total;
+  const double p_range = params_.mix.p_range / total;
+  if (roll < p_pos && !population.empty()) {
+    op.kind = QueryOp::Kind::kPos;
+    op.target = population[rng_.next_below(population.size())];
+  } else if (roll < p_pos + p_range || population.empty()) {
+    op.kind = QueryOp::Kind::kRange;
+    const geo::Point c = anchor(client_pos);
+    const double half = params_.range_extent / 2.0;
+    op.area = geo::Polygon::from_rect(geo::Rect::from_center(c, half, half));
+  } else {
+    op.kind = QueryOp::Kind::kNN;
+    op.p = anchor(client_pos);
+  }
+  return op;
+}
+
+}  // namespace locs::sim

@@ -1,0 +1,61 @@
+// Query workload generation: "the concrete mix of different types of
+// queries and their degree of locality" (§8).
+#pragma once
+
+#include <vector>
+
+#include "geo/polygon.hpp"
+#include "geo/rect.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace locs::sim {
+
+struct QueryMix {
+  double p_pos = 0.5;
+  double p_range = 0.4;
+  double p_nn = 0.1;
+};
+
+struct WorkloadParams {
+  geo::Rect area;
+  QueryMix mix;
+  /// Probability that a query targets the client's vicinity instead of a
+  /// uniformly random location ("users ... are typically interested in
+  /// objects in their vicinity", §4).
+  double locality = 0.8;
+  /// Radius of "the vicinity" in metres.
+  double local_radius = 200.0;
+  /// Edge length of range-query areas.
+  double range_extent = 50.0;
+};
+
+struct QueryOp {
+  enum class Kind { kPos, kRange, kNN };
+  Kind kind = Kind::kPos;
+  ObjectId target;      // kPos
+  geo::Polygon area;    // kRange
+  geo::Point p;         // kNN
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadParams params, std::uint64_t seed)
+      : params_(params), rng_(seed) {}
+
+  /// Produces the next query as seen from a client at `client_pos`, drawing
+  /// position-query targets from `population`.
+  QueryOp next(geo::Point client_pos, const std::vector<ObjectId>& population);
+
+  /// The anchor point for a query issued at `client_pos` under the
+  /// configured locality.
+  geo::Point anchor(geo::Point client_pos);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  WorkloadParams params_;
+  Rng rng_;
+};
+
+}  // namespace locs::sim

@@ -1,0 +1,336 @@
+// R-Tree with quadratic split (Guttman [6]) -- the paper's named alternative
+// spatial index (§5). Point entries only (sighting positions).
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "spatial/spatial_index.hpp"
+
+namespace locs::spatial {
+
+namespace {
+
+constexpr std::size_t kMaxEntries = 16;
+constexpr std::size_t kMinEntries = 6;
+
+struct RNode;
+
+struct LeafSlot {
+  ObjectId id;
+  geo::Point pos;
+};
+
+struct RNode {
+  bool leaf = true;
+  RNode* parent = nullptr;
+  geo::Rect box = geo::Rect::empty();
+  std::vector<std::unique_ptr<RNode>> children;  // if !leaf
+  std::vector<LeafSlot> slots;                   // if leaf
+
+  std::size_t count() const { return leaf ? slots.size() : children.size(); }
+};
+
+double enlargement(const geo::Rect& box, geo::Point p) {
+  geo::Rect grown = box;
+  grown.extend(p);
+  return grown.area() - box.area();
+}
+
+geo::Rect slot_box(const LeafSlot& s) { return geo::Rect{s.pos, s.pos}; }
+
+class RTree final : public SpatialIndex {
+ public:
+  RTree() : root_(std::make_unique<RNode>()) {}
+
+  void insert(ObjectId id, geo::Point pos) override {
+    assert(leaf_of_.find(id) == leaf_of_.end());
+    insert_slot({id, pos});
+    ++size_;
+  }
+
+  bool remove(ObjectId id) override {
+    auto it = leaf_of_.find(id);
+    if (it == leaf_of_.end()) return false;
+    RNode* leaf = it->second;
+    auto& slots = leaf->slots;
+    const auto slot_it = std::find_if(slots.begin(), slots.end(),
+                                      [&](const LeafSlot& s) { return s.id == id; });
+    assert(slot_it != slots.end());
+    slots.erase(slot_it);
+    leaf_of_.erase(it);
+    --size_;
+    condense(leaf);
+    return true;
+  }
+
+  void query_rect(const geo::Rect& rect, std::vector<Entry>& out) const override {
+    query_rec(root_.get(), rect, out);
+  }
+
+  std::vector<Entry> k_nearest(geo::Point p, std::size_t k) const override {
+    struct Item {
+      double dist2;
+      const RNode* node;       // subtree, or
+      const LeafSlot* slot;    // candidate point
+    };
+    const auto cmp = [](const Item& a, const Item& b) { return a.dist2 > b.dist2; };
+    std::priority_queue<Item, std::vector<Item>, decltype(cmp)> heap(cmp);
+    heap.push({0.0, root_.get(), nullptr});
+    std::vector<Entry> result;
+    while (!heap.empty() && result.size() < k) {
+      const Item item = heap.top();
+      heap.pop();
+      if (item.slot != nullptr) {
+        result.push_back({item.slot->id, item.slot->pos});
+        continue;
+      }
+      const RNode* n = item.node;
+      if (n->leaf) {
+        for (const LeafSlot& s : n->slots) {
+          heap.push({geo::distance2(p, s.pos), nullptr, &s});
+        }
+      } else {
+        for (const auto& c : n->children) {
+          heap.push({c->box.distance2_to(p), c.get(), nullptr});
+        }
+      }
+    }
+    return result;
+  }
+
+  std::size_t size() const override { return size_; }
+
+  void clear() override {
+    root_ = std::make_unique<RNode>();
+    leaf_of_.clear();
+    size_ = 0;
+  }
+
+  const char* name() const override { return "rtree"; }
+
+ private:
+  void insert_slot(LeafSlot slot) {
+    RNode* leaf = choose_leaf(root_.get(), slot.pos);
+    leaf->slots.push_back(slot);
+    leaf_of_[slot.id] = leaf;
+    leaf->box.extend(slot.pos);
+    if (leaf->slots.size() > kMaxEntries) {
+      split_leaf(leaf);
+    } else {
+      adjust_boxes_upward(leaf->parent);
+    }
+  }
+
+  RNode* choose_leaf(RNode* n, geo::Point p) {
+    while (!n->leaf) {
+      RNode* best = nullptr;
+      double best_enl = std::numeric_limits<double>::max();
+      double best_area = std::numeric_limits<double>::max();
+      for (const auto& c : n->children) {
+        const double enl = enlargement(c->box, p);
+        const double area = c->box.area();
+        if (enl < best_enl || (enl == best_enl && area < best_area)) {
+          best = c.get();
+          best_enl = enl;
+          best_area = area;
+        }
+      }
+      n = best;
+    }
+    return n;
+  }
+
+  void recompute_box(RNode* n) {
+    n->box = geo::Rect::empty();
+    if (n->leaf) {
+      for (const LeafSlot& s : n->slots) n->box.extend(s.pos);
+    } else {
+      for (const auto& c : n->children) n->box.extend(c->box);
+    }
+  }
+
+  void adjust_boxes_upward(RNode* n) {
+    for (; n != nullptr; n = n->parent) recompute_box(n);
+  }
+
+  /// Guttman's quadratic split applied to an overfull leaf.
+  void split_leaf(RNode* leaf) {
+    std::vector<LeafSlot> all;
+    all.swap(leaf->slots);
+    // Pick seeds: the pair wasting the most area.
+    std::size_t seed_a = 0, seed_b = 1;
+    double worst = -1.0;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      for (std::size_t j = i + 1; j < all.size(); ++j) {
+        geo::Rect combined = slot_box(all[i]);
+        combined.extend(all[j].pos);
+        const double waste = combined.area();
+        if (waste > worst) {
+          worst = waste;
+          seed_a = i;
+          seed_b = j;
+        }
+      }
+    }
+    auto sibling = std::make_unique<RNode>();
+    sibling->leaf = true;
+    RNode* group_a = leaf;
+    RNode* group_b = sibling.get();
+    geo::Rect box_a = slot_box(all[seed_a]);
+    geo::Rect box_b = slot_box(all[seed_b]);
+    group_a->slots.push_back(all[seed_a]);
+    group_b->slots.push_back(all[seed_b]);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (i == seed_a || i == seed_b) continue;
+      const LeafSlot& s = all[i];
+      const std::size_t remaining = all.size() - i;
+      // Force assignment if a group must take all remaining to reach kMin.
+      if (group_a->slots.size() + remaining <= kMinEntries) {
+        group_a->slots.push_back(s);
+        box_a.extend(s.pos);
+        continue;
+      }
+      if (group_b->slots.size() + remaining <= kMinEntries) {
+        group_b->slots.push_back(s);
+        box_b.extend(s.pos);
+        continue;
+      }
+      geo::Rect grown_a = box_a;
+      grown_a.extend(s.pos);
+      geo::Rect grown_b = box_b;
+      grown_b.extend(s.pos);
+      const double d_a = grown_a.area() - box_a.area();
+      const double d_b = grown_b.area() - box_b.area();
+      if (d_a < d_b || (d_a == d_b && group_a->slots.size() < group_b->slots.size())) {
+        group_a->slots.push_back(s);
+        box_a = grown_a;
+      } else {
+        group_b->slots.push_back(s);
+        box_b = grown_b;
+      }
+    }
+    group_a->box = box_a;
+    group_b->box = box_b;
+    for (const LeafSlot& s : group_b->slots) leaf_of_[s.id] = group_b;
+    install_sibling(leaf, std::move(sibling));
+  }
+
+  /// Hooks a freshly split-off sibling next to `node`, splitting internal
+  /// nodes (by middle-of-sorted-centers, a simpler but adequate policy)
+  /// upward as needed.
+  void install_sibling(RNode* node, std::unique_ptr<RNode> sibling) {
+    RNode* parent = node->parent;
+    if (parent == nullptr) {
+      // node was the root: grow the tree.
+      auto new_root = std::make_unique<RNode>();
+      new_root->leaf = false;
+      auto old_root = std::move(root_);
+      old_root->parent = new_root.get();
+      sibling->parent = new_root.get();
+      new_root->children.push_back(std::move(old_root));
+      new_root->children.push_back(std::move(sibling));
+      recompute_box(new_root.get());
+      root_ = std::move(new_root);
+      return;
+    }
+    sibling->parent = parent;
+    parent->children.push_back(std::move(sibling));
+    recompute_box(parent);
+    if (parent->children.size() > kMaxEntries) {
+      split_internal(parent);
+    } else {
+      adjust_boxes_upward(parent->parent);
+    }
+  }
+
+  void split_internal(RNode* node) {
+    // Sort children by box center x (or y, whichever axis is wider) and cut
+    // in half -- a linear split that keeps the code tractable.
+    auto& kids = node->children;
+    const bool by_x = node->box.width() >= node->box.height();
+    std::sort(kids.begin(), kids.end(), [&](const auto& a, const auto& b) {
+      return by_x ? a->box.center().x < b->box.center().x
+                  : a->box.center().y < b->box.center().y;
+    });
+    auto sibling = std::make_unique<RNode>();
+    sibling->leaf = false;
+    const std::size_t half = kids.size() / 2;
+    for (std::size_t i = half; i < kids.size(); ++i) {
+      kids[i]->parent = sibling.get();
+      sibling->children.push_back(std::move(kids[i]));
+    }
+    kids.resize(half);
+    recompute_box(node);
+    recompute_box(sibling.get());
+    install_sibling(node, std::move(sibling));
+  }
+
+  void condense(RNode* leaf) {
+    // Collect orphaned slots from underfull nodes on the path to the root.
+    std::vector<LeafSlot> orphans;
+    RNode* n = leaf;
+    while (n->parent != nullptr) {
+      RNode* parent = n->parent;
+      if (n->count() < kMinEntries) {
+        collect_slots(n, orphans);
+        auto& siblings = parent->children;
+        const auto it = std::find_if(siblings.begin(), siblings.end(),
+                                     [&](const auto& c) { return c.get() == n; });
+        assert(it != siblings.end());
+        siblings.erase(it);
+      } else {
+        recompute_box(n);
+      }
+      n = parent;
+    }
+    recompute_box(root_.get());
+    // Shrink a root that lost all but one child.
+    while (!root_->leaf && root_->children.size() == 1) {
+      std::unique_ptr<RNode> child = std::move(root_->children.front());
+      child->parent = nullptr;
+      root_ = std::move(child);
+    }
+    if (!root_->leaf && root_->children.empty()) {
+      root_ = std::make_unique<RNode>();
+    }
+    for (const LeafSlot& s : orphans) {
+      leaf_of_.erase(s.id);  // will be re-added by insert_slot
+    }
+    for (const LeafSlot& s : orphans) {
+      insert_slot(s);
+    }
+  }
+
+  void collect_slots(RNode* n, std::vector<LeafSlot>& out) {
+    if (n->leaf) {
+      out.insert(out.end(), n->slots.begin(), n->slots.end());
+      return;
+    }
+    for (const auto& c : n->children) collect_slots(c.get(), out);
+  }
+
+  void query_rec(const RNode* n, const geo::Rect& rect, std::vector<Entry>& out) const {
+    if (n->count() > 0 && !rect.intersects(n->box)) return;
+    if (n->leaf) {
+      for (const LeafSlot& s : n->slots) {
+        if (rect.contains(s.pos)) out.push_back({s.id, s.pos});
+      }
+      return;
+    }
+    for (const auto& c : n->children) query_rec(c.get(), rect, out);
+  }
+
+  std::unique_ptr<RNode> root_;
+  std::unordered_map<ObjectId, RNode*> leaf_of_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<SpatialIndex> make_rtree() { return std::make_unique<RTree>(); }
+
+}  // namespace locs::spatial

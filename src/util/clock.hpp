@@ -1,0 +1,55 @@
+// Time handling. All timestamps are microseconds since an arbitrary epoch.
+//
+// The paper assumes synchronized clocks for sighting timestamps (§3.1,
+// footnote: "achieved by using the very accurate time provided by a GPS
+// receiver"); a shared Clock instance models exactly that. ManualClock
+// drives the deterministic network simulation in virtual time,
+// SystemClock is used with the real UDP transport.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace locs {
+
+/// Microseconds since epoch.
+using TimePoint = std::int64_t;
+/// Microseconds.
+using Duration = std::int64_t;
+
+constexpr Duration microseconds(std::int64_t us) { return us; }
+constexpr Duration milliseconds(std::int64_t ms) { return ms * 1000; }
+constexpr Duration seconds(std::int64_t s) { return s * 1000000; }
+constexpr double to_seconds(Duration d) { return static_cast<double>(d) / 1e6; }
+constexpr double to_millis(Duration d) { return static_cast<double>(d) / 1e3; }
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePoint now() const = 0;
+};
+
+/// Virtual time, advanced explicitly (by SimNetwork or tests).
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(TimePoint start = 0) : now_(start) {}
+
+  TimePoint now() const override { return now_; }
+  void advance(Duration d) { now_ += d; }
+  void set(TimePoint t) { now_ = t; }
+
+ private:
+  TimePoint now_;
+};
+
+/// Wall clock (steady, monotonic).
+class SystemClock : public Clock {
+ public:
+  TimePoint now() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace locs

@@ -1,0 +1,13 @@
+// CRC-32 (IEEE 802.3 polynomial), used to checksum persistent-log records.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace locs {
+
+/// Computes CRC-32 over `len` bytes, continuing from `seed` (pass the result
+/// of a previous call to checksum data in chunks).
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+}  // namespace locs

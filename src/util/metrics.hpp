@@ -1,0 +1,62 @@
+// Latency histograms and throughput counters used by the benchmark harness
+// and the load generator (paper §7: response time + overall throughput).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace locs {
+
+/// Records latency samples (microseconds) and reports mean / percentiles.
+/// Stores raw samples; intended for bench runs of up to a few million ops.
+class LatencyHistogram {
+ public:
+  void record(Duration us) { samples_.push_back(us); }
+
+  std::size_t count() const { return samples_.size(); }
+
+  double mean_us() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (Duration s : samples_) sum += static_cast<double>(s);
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  /// q in [0,1]; e.g. 0.5 for the median, 0.99 for p99.
+  Duration percentile_us(double q) const {
+    if (samples_.empty()) return 0;
+    std::vector<Duration> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto idx = static_cast<std::size_t>(pos);
+    return sorted[std::min(idx, sorted.size() - 1)];
+  }
+
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<Duration> samples_;
+};
+
+/// Operations-per-second over an explicitly delimited interval.
+class ThroughputMeter {
+ public:
+  void start(TimePoint now) { start_ = now; ops_ = 0; }
+  void add(std::uint64_t n = 1) { ops_ += n; }
+  std::uint64_t ops() const { return ops_; }
+
+  double ops_per_sec(TimePoint now) const {
+    const double elapsed = to_seconds(now - start_);
+    return elapsed > 0 ? static_cast<double>(ops_) / elapsed : 0.0;
+  }
+
+ private:
+  TimePoint start_ = 0;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace locs

@@ -1,0 +1,158 @@
+// Binary wire codec: bounds-checked little-endian reader/writer with varint
+// compression. All protocol messages (wire/messages.hpp) serialize through
+// this, both over real UDP and over the in-process simulated network, so
+// serialization cost is always on the measured path (as it was in the
+// paper's UDP prototype).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace locs::wire {
+
+using Buffer = std::vector<std::uint8_t>;
+
+class Writer {
+ public:
+  explicit Writer(Buffer& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u32_fixed(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  /// LEB128 varint.
+  void u64(std::uint64_t v) {
+    while (v >= 0x80) {
+      out_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void u32(std::uint32_t v) { u64(v); }
+
+  /// ZigZag-encoded signed varint.
+  void i64(std::int64_t v) {
+    u64((static_cast<std::uint64_t>(v) << 1) ^
+        static_cast<std::uint64_t>(v >> 63));
+  }
+
+  void f64(double v) { u64_fixed(std::bit_cast<std::uint64_t>(v)); }
+
+  void str(std::string_view s) {
+    u64(s.size());
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  void boolean(bool b) { u8(b ? 1 : 0); }
+
+  void bytes(const std::uint8_t* data, std::size_t len) {
+    out_.insert(out_.end(), data, data + len);
+  }
+
+ private:
+  void u64_fixed(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  Buffer& out_;
+};
+
+/// Bounds-checked reader. On any overrun sets a sticky failure flag; callers
+/// check ok() once after decoding a whole message (monadic style keeps the
+/// per-field code branch-free).
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t len) : data_(data), len_(len) {}
+  explicit Reader(const Buffer& buf) : Reader(buf.data(), buf.size()) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return len_ - pos_; }
+
+  std::uint8_t u8() {
+    if (!ensure(1)) return 0;
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32_fixed() {
+    if (!ensure(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      if (!ensure(1) || shift > 63) {
+        ok_ = false;
+        return 0;
+      }
+      const std::uint8_t byte = data_[pos_++];
+      v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    return v;
+  }
+
+  std::uint32_t u32() {
+    const std::uint64_t v = u64();
+    if (v > 0xffffffffULL) ok_ = false;
+    return static_cast<std::uint32_t>(v);
+  }
+
+  std::int64_t i64() {
+    const std::uint64_t z = u64();
+    return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+
+  double f64() { return std::bit_cast<double>(u64_fixed()); }
+
+  std::string str() {
+    const std::uint64_t n = u64();
+    if (!ensure(n)) return {};
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  bool boolean() { return u8() != 0; }
+
+  Status status() const {
+    return ok_ ? Status::ok()
+               : Status(StatusCode::kCorruptData, "wire decode out of bounds");
+  }
+
+ private:
+  std::uint64_t u64_fixed() {
+    if (!ensure(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  bool ensure(std::uint64_t n) {
+    if (!ok_ || n > len_ - pos_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace locs::wire

@@ -1,0 +1,718 @@
+#include "wire/messages.hpp"
+
+namespace locs::wire {
+
+namespace {
+
+constexpr std::uint8_t kWireVersion = 1;
+
+// --- field helpers -----------------------------------------------------------
+
+void put(Writer& w, geo::Point p) {
+  w.f64(p.x);
+  w.f64(p.y);
+}
+
+geo::Point get_point(Reader& r) {
+  geo::Point p;
+  p.x = r.f64();
+  p.y = r.f64();
+  return p;
+}
+
+void put(Writer& w, const geo::Polygon& poly) {
+  w.u64(poly.size());
+  for (const geo::Point& p : poly.vertices()) put(w, p);
+}
+
+geo::Polygon get_polygon(Reader& r) {
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || n > 1'000'000) return geo::Polygon{};
+  std::vector<geo::Point> pts;
+  pts.reserve(n);
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) pts.push_back(get_point(r));
+  return geo::Polygon(std::move(pts));
+}
+
+void put(Writer& w, ObjectId id) { w.u64(id.value); }
+ObjectId get_oid(Reader& r) { return ObjectId{r.u64()}; }
+
+void put(Writer& w, NodeId id) { w.u32(id.value); }
+NodeId get_node(Reader& r) { return NodeId{r.u32()}; }
+
+void put(Writer& w, const Sighting& s) {
+  put(w, s.oid);
+  w.i64(s.t);
+  put(w, s.pos);
+  w.f64(s.acc_sens);
+}
+
+Sighting get_sighting(Reader& r) {
+  Sighting s;
+  s.oid = get_oid(r);
+  s.t = r.i64();
+  s.pos = get_point(r);
+  s.acc_sens = r.f64();
+  return s;
+}
+
+void put(Writer& w, const LocationDescriptor& ld) {
+  put(w, ld.pos);
+  w.f64(ld.acc);
+}
+
+LocationDescriptor get_ld(Reader& r) {
+  LocationDescriptor ld;
+  ld.pos = get_point(r);
+  ld.acc = r.f64();
+  return ld;
+}
+
+void put(Writer& w, const AccuracyRange& a) {
+  w.f64(a.desired);
+  w.f64(a.minimum);
+}
+
+AccuracyRange get_acc_range(Reader& r) {
+  AccuracyRange a;
+  a.desired = r.f64();
+  a.minimum = r.f64();
+  return a;
+}
+
+void put(Writer& w, const RegInfo& ri) {
+  put(w, ri.reg_inst);
+  put(w, ri.acc_range);
+}
+
+RegInfo get_reg_info(Reader& r) {
+  RegInfo ri;
+  ri.reg_inst = get_node(r);
+  ri.acc_range = get_acc_range(r);
+  return ri;
+}
+
+void put(Writer& w, const ObjectResult& res) {
+  put(w, res.oid);
+  put(w, res.ld);
+}
+
+ObjectResult get_object_result(Reader& r) {
+  ObjectResult res;
+  res.oid = get_oid(r);
+  res.ld = get_ld(r);
+  return res;
+}
+
+void put(Writer& w, const std::vector<ObjectResult>& v) {
+  w.u64(v.size());
+  for (const auto& res : v) put(w, res);
+}
+
+std::vector<ObjectResult> get_results(Reader& r) {
+  const std::uint64_t n = r.u64();
+  if (!r.ok() || n > 10'000'000) return {};
+  std::vector<ObjectResult> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) v.push_back(get_object_result(r));
+  return v;
+}
+
+void put(Writer& w, const std::optional<OriginArea>& origin) {
+  w.boolean(origin.has_value());
+  if (origin) {
+    put(w, origin->leaf);
+    put(w, origin->area);
+  }
+}
+
+std::optional<OriginArea> get_origin(Reader& r) {
+  if (!r.boolean()) return std::nullopt;
+  OriginArea o;
+  o.leaf = get_node(r);
+  o.area = get_polygon(r);
+  return o;
+}
+
+// --- per-message encode ------------------------------------------------------
+
+void encode(Writer& w, const RegisterReq& m) {
+  put(w, m.s);
+  w.str(m.obj_info);
+  put(w, m.acc_range);
+  put(w, m.reg_inst);
+  w.u64(m.req_id);
+}
+
+void encode(Writer& w, const RegisterRes& m) {
+  put(w, m.agent);
+  w.f64(m.offered_acc);
+  w.u64(m.req_id);
+}
+
+void encode(Writer& w, const RegisterFailed& m) {
+  put(w, m.server);
+  w.f64(m.best_acc);
+  w.u64(m.req_id);
+}
+
+void encode(Writer& w, const CreatePath& m) { put(w, m.oid); }
+void encode(Writer& w, const RemovePath& m) { put(w, m.oid); }
+void encode(Writer& w, const UpdateReq& m) { put(w, m.s); }
+
+void encode(Writer& w, const UpdateAck& m) {
+  put(w, m.oid);
+  w.f64(m.offered_acc);
+}
+
+void encode(Writer& w, const HandoverReq& m) {
+  put(w, m.s);
+  put(w, m.reg_info);
+  w.f64(m.prev_offered_acc);
+  w.boolean(m.direct);
+  w.u64(m.req_id);
+  put(w, m.origin);
+}
+
+void encode(Writer& w, const HandoverRes& m) {
+  put(w, m.oid);
+  put(w, m.new_agent);
+  w.f64(m.offered_acc);
+  w.u64(m.req_id);
+  put(w, m.origin);
+}
+
+void encode(Writer& w, const AgentChanged& m) {
+  put(w, m.oid);
+  put(w, m.new_agent);
+  w.f64(m.offered_acc);
+}
+
+void encode(Writer& w, const PosQueryReq& m) {
+  put(w, m.oid);
+  w.u64(m.req_id);
+}
+
+void encode(Writer& w, const PosQueryFwd& m) {
+  put(w, m.oid);
+  put(w, m.entry);
+  w.u64(m.req_id);
+}
+
+void encode(Writer& w, const PosQueryRes& m) {
+  put(w, m.oid);
+  w.boolean(m.found);
+  put(w, m.ld);
+  put(w, m.agent);
+  w.u64(m.req_id);
+  put(w, m.origin);
+}
+
+void encode(Writer& w, const RangeQueryReq& m) {
+  put(w, m.area);
+  w.f64(m.req_acc);
+  w.f64(m.req_overlap);
+  w.u64(m.req_id);
+}
+
+void encode(Writer& w, const RangeQueryFwd& m) {
+  put(w, m.area);
+  w.f64(m.req_acc);
+  w.f64(m.req_overlap);
+  put(w, m.entry);
+  w.u64(m.req_id);
+  w.boolean(m.direct);
+}
+
+void encode(Writer& w, const RangeQuerySubRes& m) {
+  w.u64(m.req_id);
+  w.f64(m.covered_size);
+  put(w, m.results);
+  put(w, m.origin);
+}
+
+void encode(Writer& w, const RangeQueryRes& m) {
+  w.u64(m.req_id);
+  w.boolean(m.complete);
+  put(w, m.results);
+}
+
+void encode(Writer& w, const NNQueryReq& m) {
+  put(w, m.p);
+  w.f64(m.req_acc);
+  w.f64(m.near_qual);
+  w.u64(m.req_id);
+}
+
+void encode(Writer& w, const NNProbeFwd& m) {
+  put(w, m.p);
+  w.f64(m.radius);
+  w.f64(m.req_acc);
+  put(w, m.coordinator);
+  w.u64(m.req_id);
+}
+
+void encode(Writer& w, const NNProbeSubRes& m) {
+  w.u64(m.req_id);
+  w.f64(m.covered_size);
+  put(w, m.candidates);
+  put(w, m.origin);
+}
+
+void encode(Writer& w, const NNQueryRes& m) {
+  w.u64(m.req_id);
+  w.boolean(m.found);
+  put(w, m.nearest);
+  put(w, m.near_set);
+}
+
+void encode(Writer& w, const ChangeAccReq& m) {
+  put(w, m.oid);
+  put(w, m.acc_range);
+  w.u64(m.req_id);
+}
+
+void encode(Writer& w, const ChangeAccRes& m) {
+  w.u64(m.req_id);
+  w.boolean(m.ok);
+  w.f64(m.offered_acc);
+}
+
+void encode(Writer& w, const NotifyAvailAcc& m) {
+  put(w, m.oid);
+  w.f64(m.offered_acc);
+}
+
+void encode(Writer& w, const DeregisterReq& m) { put(w, m.oid); }
+void encode(Writer& w, const RefreshReq& m) { put(w, m.oid); }
+
+void encode(Writer& w, const EventSubscribe& m) {
+  w.u64(m.sub_id);
+  w.u8(static_cast<std::uint8_t>(m.kind));
+  put(w, m.area);
+  w.u32(m.threshold);
+  put(w, m.obj_a);
+  put(w, m.obj_b);
+  w.f64(m.dist);
+  put(w, m.subscriber);
+}
+
+void encode(Writer& w, const EventInstall& m) {
+  w.u64(m.sub_id);
+  w.u8(static_cast<std::uint8_t>(m.kind));
+  put(w, m.area);
+  put(w, m.obj_a);
+  put(w, m.obj_b);
+  w.f64(m.dist);
+  put(w, m.coordinator);
+}
+
+void encode(Writer& w, const EventDelta& m) {
+  w.u64(m.sub_id);
+  put(w, m.oid);
+  w.boolean(m.entered);
+  put(w, m.pos);
+}
+
+void encode(Writer& w, const EventNotify& m) {
+  w.u64(m.sub_id);
+  w.boolean(m.fired);
+  w.u32(m.count);
+}
+
+void encode(Writer& w, const EventUnsubscribe& m) { w.u64(m.sub_id); }
+
+// --- per-message decode ------------------------------------------------------
+
+template <typename T>
+T decode(Reader& r);
+
+template <>
+RegisterReq decode(Reader& r) {
+  RegisterReq m;
+  m.s = get_sighting(r);
+  m.obj_info = r.str();
+  m.acc_range = get_acc_range(r);
+  m.reg_inst = get_node(r);
+  m.req_id = r.u64();
+  return m;
+}
+
+template <>
+RegisterRes decode(Reader& r) {
+  RegisterRes m;
+  m.agent = get_node(r);
+  m.offered_acc = r.f64();
+  m.req_id = r.u64();
+  return m;
+}
+
+template <>
+RegisterFailed decode(Reader& r) {
+  RegisterFailed m;
+  m.server = get_node(r);
+  m.best_acc = r.f64();
+  m.req_id = r.u64();
+  return m;
+}
+
+template <>
+CreatePath decode(Reader& r) {
+  return CreatePath{get_oid(r)};
+}
+
+template <>
+RemovePath decode(Reader& r) {
+  return RemovePath{get_oid(r)};
+}
+
+template <>
+UpdateReq decode(Reader& r) {
+  return UpdateReq{get_sighting(r)};
+}
+
+template <>
+UpdateAck decode(Reader& r) {
+  UpdateAck m;
+  m.oid = get_oid(r);
+  m.offered_acc = r.f64();
+  return m;
+}
+
+template <>
+HandoverReq decode(Reader& r) {
+  HandoverReq m;
+  m.s = get_sighting(r);
+  m.reg_info = get_reg_info(r);
+  m.prev_offered_acc = r.f64();
+  m.direct = r.boolean();
+  m.req_id = r.u64();
+  m.origin = get_origin(r);
+  return m;
+}
+
+template <>
+HandoverRes decode(Reader& r) {
+  HandoverRes m;
+  m.oid = get_oid(r);
+  m.new_agent = get_node(r);
+  m.offered_acc = r.f64();
+  m.req_id = r.u64();
+  m.origin = get_origin(r);
+  return m;
+}
+
+template <>
+AgentChanged decode(Reader& r) {
+  AgentChanged m;
+  m.oid = get_oid(r);
+  m.new_agent = get_node(r);
+  m.offered_acc = r.f64();
+  return m;
+}
+
+template <>
+PosQueryReq decode(Reader& r) {
+  PosQueryReq m;
+  m.oid = get_oid(r);
+  m.req_id = r.u64();
+  return m;
+}
+
+template <>
+PosQueryFwd decode(Reader& r) {
+  PosQueryFwd m;
+  m.oid = get_oid(r);
+  m.entry = get_node(r);
+  m.req_id = r.u64();
+  return m;
+}
+
+template <>
+PosQueryRes decode(Reader& r) {
+  PosQueryRes m;
+  m.oid = get_oid(r);
+  m.found = r.boolean();
+  m.ld = get_ld(r);
+  m.agent = get_node(r);
+  m.req_id = r.u64();
+  m.origin = get_origin(r);
+  return m;
+}
+
+template <>
+RangeQueryReq decode(Reader& r) {
+  RangeQueryReq m;
+  m.area = get_polygon(r);
+  m.req_acc = r.f64();
+  m.req_overlap = r.f64();
+  m.req_id = r.u64();
+  return m;
+}
+
+template <>
+RangeQueryFwd decode(Reader& r) {
+  RangeQueryFwd m;
+  m.area = get_polygon(r);
+  m.req_acc = r.f64();
+  m.req_overlap = r.f64();
+  m.entry = get_node(r);
+  m.req_id = r.u64();
+  m.direct = r.boolean();
+  return m;
+}
+
+template <>
+RangeQuerySubRes decode(Reader& r) {
+  RangeQuerySubRes m;
+  m.req_id = r.u64();
+  m.covered_size = r.f64();
+  m.results = get_results(r);
+  m.origin = get_origin(r);
+  return m;
+}
+
+template <>
+RangeQueryRes decode(Reader& r) {
+  RangeQueryRes m;
+  m.req_id = r.u64();
+  m.complete = r.boolean();
+  m.results = get_results(r);
+  return m;
+}
+
+template <>
+NNQueryReq decode(Reader& r) {
+  NNQueryReq m;
+  m.p = get_point(r);
+  m.req_acc = r.f64();
+  m.near_qual = r.f64();
+  m.req_id = r.u64();
+  return m;
+}
+
+template <>
+NNProbeFwd decode(Reader& r) {
+  NNProbeFwd m;
+  m.p = get_point(r);
+  m.radius = r.f64();
+  m.req_acc = r.f64();
+  m.coordinator = get_node(r);
+  m.req_id = r.u64();
+  return m;
+}
+
+template <>
+NNProbeSubRes decode(Reader& r) {
+  NNProbeSubRes m;
+  m.req_id = r.u64();
+  m.covered_size = r.f64();
+  m.candidates = get_results(r);
+  m.origin = get_origin(r);
+  return m;
+}
+
+template <>
+NNQueryRes decode(Reader& r) {
+  NNQueryRes m;
+  m.req_id = r.u64();
+  m.found = r.boolean();
+  m.nearest = get_object_result(r);
+  m.near_set = get_results(r);
+  return m;
+}
+
+template <>
+ChangeAccReq decode(Reader& r) {
+  ChangeAccReq m;
+  m.oid = get_oid(r);
+  m.acc_range = get_acc_range(r);
+  m.req_id = r.u64();
+  return m;
+}
+
+template <>
+ChangeAccRes decode(Reader& r) {
+  ChangeAccRes m;
+  m.req_id = r.u64();
+  m.ok = r.boolean();
+  m.offered_acc = r.f64();
+  return m;
+}
+
+template <>
+NotifyAvailAcc decode(Reader& r) {
+  NotifyAvailAcc m;
+  m.oid = get_oid(r);
+  m.offered_acc = r.f64();
+  return m;
+}
+
+template <>
+DeregisterReq decode(Reader& r) {
+  return DeregisterReq{get_oid(r)};
+}
+
+template <>
+RefreshReq decode(Reader& r) {
+  return RefreshReq{get_oid(r)};
+}
+
+template <>
+EventSubscribe decode(Reader& r) {
+  EventSubscribe m;
+  m.sub_id = r.u64();
+  m.kind = static_cast<PredicateKind>(r.u8());
+  m.area = get_polygon(r);
+  m.threshold = r.u32();
+  m.obj_a = get_oid(r);
+  m.obj_b = get_oid(r);
+  m.dist = r.f64();
+  m.subscriber = get_node(r);
+  return m;
+}
+
+template <>
+EventInstall decode(Reader& r) {
+  EventInstall m;
+  m.sub_id = r.u64();
+  m.kind = static_cast<PredicateKind>(r.u8());
+  m.area = get_polygon(r);
+  m.obj_a = get_oid(r);
+  m.obj_b = get_oid(r);
+  m.dist = r.f64();
+  m.coordinator = get_node(r);
+  return m;
+}
+
+template <>
+EventDelta decode(Reader& r) {
+  EventDelta m;
+  m.sub_id = r.u64();
+  m.oid = get_oid(r);
+  m.entered = r.boolean();
+  m.pos = get_point(r);
+  return m;
+}
+
+template <>
+EventNotify decode(Reader& r) {
+  EventNotify m;
+  m.sub_id = r.u64();
+  m.fired = r.boolean();
+  m.count = r.u32();
+  return m;
+}
+
+template <>
+EventUnsubscribe decode(Reader& r) {
+  return EventUnsubscribe{r.u64()};
+}
+
+}  // namespace
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kRegisterReq: return "RegisterReq";
+    case MsgType::kRegisterRes: return "RegisterRes";
+    case MsgType::kRegisterFailed: return "RegisterFailed";
+    case MsgType::kCreatePath: return "CreatePath";
+    case MsgType::kRemovePath: return "RemovePath";
+    case MsgType::kUpdateReq: return "UpdateReq";
+    case MsgType::kUpdateAck: return "UpdateAck";
+    case MsgType::kHandoverReq: return "HandoverReq";
+    case MsgType::kHandoverRes: return "HandoverRes";
+    case MsgType::kAgentChanged: return "AgentChanged";
+    case MsgType::kPosQueryReq: return "PosQueryReq";
+    case MsgType::kPosQueryFwd: return "PosQueryFwd";
+    case MsgType::kPosQueryRes: return "PosQueryRes";
+    case MsgType::kRangeQueryReq: return "RangeQueryReq";
+    case MsgType::kRangeQueryFwd: return "RangeQueryFwd";
+    case MsgType::kRangeQuerySubRes: return "RangeQuerySubRes";
+    case MsgType::kRangeQueryRes: return "RangeQueryRes";
+    case MsgType::kNNQueryReq: return "NNQueryReq";
+    case MsgType::kNNProbeFwd: return "NNProbeFwd";
+    case MsgType::kNNProbeSubRes: return "NNProbeSubRes";
+    case MsgType::kNNQueryRes: return "NNQueryRes";
+    case MsgType::kChangeAccReq: return "ChangeAccReq";
+    case MsgType::kChangeAccRes: return "ChangeAccRes";
+    case MsgType::kNotifyAvailAcc: return "NotifyAvailAcc";
+    case MsgType::kDeregisterReq: return "DeregisterReq";
+    case MsgType::kRefreshReq: return "RefreshReq";
+    case MsgType::kEventSubscribe: return "EventSubscribe";
+    case MsgType::kEventInstall: return "EventInstall";
+    case MsgType::kEventDelta: return "EventDelta";
+    case MsgType::kEventNotify: return "EventNotify";
+    case MsgType::kEventUnsubscribe: return "EventUnsubscribe";
+  }
+  return "Unknown";
+}
+
+MsgType message_type(const Message& msg) {
+  return std::visit([](const auto& m) { return std::decay_t<decltype(m)>::kType; },
+                    msg);
+}
+
+Buffer encode_envelope(NodeId src, const Message& msg) {
+  Buffer buf;
+  buf.reserve(64);
+  Writer w(buf);
+  w.u8(kWireVersion);
+  w.u8(static_cast<std::uint8_t>(message_type(msg)));
+  w.u32_fixed(src.value);
+  std::visit([&w](const auto& m) { encode(w, m); }, msg);
+  return buf;
+}
+
+Result<Envelope> decode_envelope(const std::uint8_t* data, std::size_t len) {
+  Reader r(data, len);
+  const std::uint8_t version = r.u8();
+  if (!r.ok() || version != kWireVersion) {
+    return Status(StatusCode::kCorruptData, "bad wire version");
+  }
+  const auto type = static_cast<MsgType>(r.u8());
+  const NodeId src{r.u32_fixed()};
+  Envelope env;
+  env.src = src;
+  switch (type) {
+    case MsgType::kRegisterReq: env.msg = decode<RegisterReq>(r); break;
+    case MsgType::kRegisterRes: env.msg = decode<RegisterRes>(r); break;
+    case MsgType::kRegisterFailed: env.msg = decode<RegisterFailed>(r); break;
+    case MsgType::kCreatePath: env.msg = decode<CreatePath>(r); break;
+    case MsgType::kRemovePath: env.msg = decode<RemovePath>(r); break;
+    case MsgType::kUpdateReq: env.msg = decode<UpdateReq>(r); break;
+    case MsgType::kUpdateAck: env.msg = decode<UpdateAck>(r); break;
+    case MsgType::kHandoverReq: env.msg = decode<HandoverReq>(r); break;
+    case MsgType::kHandoverRes: env.msg = decode<HandoverRes>(r); break;
+    case MsgType::kAgentChanged: env.msg = decode<AgentChanged>(r); break;
+    case MsgType::kPosQueryReq: env.msg = decode<PosQueryReq>(r); break;
+    case MsgType::kPosQueryFwd: env.msg = decode<PosQueryFwd>(r); break;
+    case MsgType::kPosQueryRes: env.msg = decode<PosQueryRes>(r); break;
+    case MsgType::kRangeQueryReq: env.msg = decode<RangeQueryReq>(r); break;
+    case MsgType::kRangeQueryFwd: env.msg = decode<RangeQueryFwd>(r); break;
+    case MsgType::kRangeQuerySubRes: env.msg = decode<RangeQuerySubRes>(r); break;
+    case MsgType::kRangeQueryRes: env.msg = decode<RangeQueryRes>(r); break;
+    case MsgType::kNNQueryReq: env.msg = decode<NNQueryReq>(r); break;
+    case MsgType::kNNProbeFwd: env.msg = decode<NNProbeFwd>(r); break;
+    case MsgType::kNNProbeSubRes: env.msg = decode<NNProbeSubRes>(r); break;
+    case MsgType::kNNQueryRes: env.msg = decode<NNQueryRes>(r); break;
+    case MsgType::kChangeAccReq: env.msg = decode<ChangeAccReq>(r); break;
+    case MsgType::kChangeAccRes: env.msg = decode<ChangeAccRes>(r); break;
+    case MsgType::kNotifyAvailAcc: env.msg = decode<NotifyAvailAcc>(r); break;
+    case MsgType::kDeregisterReq: env.msg = decode<DeregisterReq>(r); break;
+    case MsgType::kRefreshReq: env.msg = decode<RefreshReq>(r); break;
+    case MsgType::kEventSubscribe: env.msg = decode<EventSubscribe>(r); break;
+    case MsgType::kEventInstall: env.msg = decode<EventInstall>(r); break;
+    case MsgType::kEventDelta: env.msg = decode<EventDelta>(r); break;
+    case MsgType::kEventNotify: env.msg = decode<EventNotify>(r); break;
+    case MsgType::kEventUnsubscribe: env.msg = decode<EventUnsubscribe>(r); break;
+    default:
+      return Status(StatusCode::kCorruptData, "unknown message type");
+  }
+  if (!r.ok()) {
+    return Status(StatusCode::kCorruptData, "truncated message");
+  }
+  return env;
+}
+
+}  // namespace locs::wire

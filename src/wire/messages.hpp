@@ -1,0 +1,380 @@
+// Protocol messages of the location service.
+//
+// One struct per message named in §6 of the paper (registerReq/Res/Failed,
+// createPath, update, handoverReq/Res, posQueryReq/Fwd/Res,
+// rangeQueryReq/Fwd/SubRes/Res), plus:
+//  * neighborQuery messages and internal NN probes (the paper defines the
+//    semantics in §3.2 but no distributed algorithm; see core/location_server),
+//  * accuracy management (changeAcc, notifyAvailAcc) of §3.1,
+//  * soft-state / recovery messages (removePath, refreshReq) of §5,
+//  * the event mechanism sketched in §1/§8 (subscribe/delta/notify).
+//
+// Server-to-server messages carry an optional origin (leaf id + service
+// area): the §6.5 piggyback that feeds the (leaf server -> service area)
+// cache: "in each request and response message forwarded within the server
+// hierarchy the originator of the message includes a specification of its
+// (leaf) service area".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/types.hpp"
+#include "geo/polygon.hpp"
+#include "util/ids.hpp"
+#include "util/result.hpp"
+#include "wire/codec.hpp"
+
+namespace locs::wire {
+
+using core::AccuracyRange;
+using core::LocationDescriptor;
+using core::ObjectResult;
+using core::RegInfo;
+using core::Sighting;
+
+enum class MsgType : std::uint8_t {
+  kRegisterReq = 1,
+  kRegisterRes,
+  kRegisterFailed,
+  kCreatePath,
+  kRemovePath,
+  kUpdateReq,
+  kUpdateAck,
+  kHandoverReq,
+  kHandoverRes,
+  kAgentChanged,
+  kPosQueryReq,
+  kPosQueryFwd,
+  kPosQueryRes,
+  kRangeQueryReq,
+  kRangeQueryFwd,
+  kRangeQuerySubRes,
+  kRangeQueryRes,
+  kNNQueryReq,
+  kNNProbeFwd,
+  kNNProbeSubRes,
+  kNNQueryRes,
+  kChangeAccReq,
+  kChangeAccRes,
+  kNotifyAvailAcc,
+  kDeregisterReq,
+  kRefreshReq,
+  kEventSubscribe,
+  kEventInstall,
+  kEventDelta,
+  kEventNotify,
+  kEventUnsubscribe,
+};
+
+const char* msg_type_name(MsgType t);
+
+/// §6.5 piggyback: originating leaf server and its service area.
+struct OriginArea {
+  NodeId leaf;
+  geo::Polygon area;
+};
+
+// --- Registration (Algorithm 6-1) ------------------------------------------
+
+struct RegisterReq {
+  static constexpr MsgType kType = MsgType::kRegisterReq;
+  Sighting s;
+  std::string obj_info;  // the paper's oInfo
+  AccuracyRange acc_range;
+  NodeId reg_inst;  // registering instance, receives the response
+  std::uint64_t req_id = 0;
+};
+
+struct RegisterRes {
+  static constexpr MsgType kType = MsgType::kRegisterRes;
+  NodeId agent;  // the leaf server now responsible ("self" in Alg 6-1)
+  double offered_acc = 0.0;
+  std::uint64_t req_id = 0;
+};
+
+struct RegisterFailed {
+  static constexpr MsgType kType = MsgType::kRegisterFailed;
+  NodeId server;
+  double best_acc = 0.0;  // the accuracy the server could have offered
+  std::uint64_t req_id = 0;
+};
+
+/// Sent leaf-to-root to create the forwarding path (Alg 6-1 "create path");
+/// the forwarding reference at each receiver points to the message's sender.
+struct CreatePath {
+  static constexpr MsgType kType = MsgType::kCreatePath;
+  ObjectId oid;
+};
+
+/// Leaf-to-root removal of a forwarding path (deregistration §3.1 and
+/// soft-state expiry §5).
+struct RemovePath {
+  static constexpr MsgType kType = MsgType::kRemovePath;
+  ObjectId oid;
+};
+
+// --- Updates and handover (Algorithms 6-2 / 6-3) ---------------------------
+
+struct UpdateReq {
+  static constexpr MsgType kType = MsgType::kUpdateReq;
+  Sighting s;
+};
+
+struct UpdateAck {
+  static constexpr MsgType kType = MsgType::kUpdateAck;
+  ObjectId oid;
+  double offered_acc = 0.0;
+};
+
+struct HandoverReq {
+  static constexpr MsgType kType = MsgType::kHandoverReq;
+  Sighting s;
+  RegInfo reg_info;
+  double prev_offered_acc = 0.0;  // so the new agent can detect acc changes
+  // §6.5 cache shortcut: the old agent contacted the new leaf directly
+  // (bypassing the hierarchy); the new agent must repair the forwarding path
+  // itself via createPath, and the old agent prunes its stale branch with
+  // removePath.
+  bool direct = false;
+  std::uint64_t req_id = 0;
+  std::optional<OriginArea> origin;  // old agent's leaf area (cache piggyback)
+};
+
+/// Propagated back along the request path hop by hop; every intermediate
+/// server repairs its forwarding pointer (Alg 6-3 lines 11-14).
+struct HandoverRes {
+  static constexpr MsgType kType = MsgType::kHandoverRes;
+  ObjectId oid;
+  NodeId new_agent;
+  double offered_acc = 0.0;
+  std::uint64_t req_id = 0;
+  std::optional<OriginArea> origin;  // new agent's leaf area (cache piggyback)
+};
+
+/// Old agent -> tracked object: "your new agent is ...".
+struct AgentChanged {
+  static constexpr MsgType kType = MsgType::kAgentChanged;
+  ObjectId oid;
+  NodeId new_agent;
+  double offered_acc = 0.0;
+};
+
+// --- Position query (Algorithm 6-4) -----------------------------------------
+
+struct PosQueryReq {
+  static constexpr MsgType kType = MsgType::kPosQueryReq;
+  ObjectId oid;
+  std::uint64_t req_id = 0;
+};
+
+struct PosQueryFwd {
+  static constexpr MsgType kType = MsgType::kPosQueryFwd;
+  ObjectId oid;
+  NodeId entry;  // lse: entry server that receives the result directly
+  std::uint64_t req_id = 0;
+};
+
+struct PosQueryRes {
+  static constexpr MsgType kType = MsgType::kPosQueryRes;
+  ObjectId oid;
+  bool found = false;
+  LocationDescriptor ld;
+  NodeId agent;  // responding leaf; feeds the (object -> agent) cache
+  std::uint64_t req_id = 0;
+  std::optional<OriginArea> origin;
+};
+
+// --- Range query (Algorithm 6-5) --------------------------------------------
+
+struct RangeQueryReq {
+  static constexpr MsgType kType = MsgType::kRangeQueryReq;
+  geo::Polygon area;
+  double req_acc = 0.0;
+  double req_overlap = 0.0;
+  std::uint64_t req_id = 0;
+};
+
+struct RangeQueryFwd {
+  static constexpr MsgType kType = MsgType::kRangeQueryFwd;
+  geo::Polygon area;
+  double req_acc = 0.0;
+  double req_overlap = 0.0;
+  NodeId entry;
+  std::uint64_t req_id = 0;
+  // §6.5 cache shortcut: sent directly to a known leaf; the receiver answers
+  // locally and must not propagate the query further.
+  bool direct = false;
+};
+
+/// Partial result from one leaf: its matching objects plus the size of the
+/// covered portion (area ∩ leaf service area) for the entry server's
+/// completion bookkeeping.
+struct RangeQuerySubRes {
+  static constexpr MsgType kType = MsgType::kRangeQuerySubRes;
+  std::uint64_t req_id = 0;
+  double covered_size = 0.0;
+  std::vector<ObjectResult> results;
+  std::optional<OriginArea> origin;
+};
+
+struct RangeQueryRes {
+  static constexpr MsgType kType = MsgType::kRangeQueryRes;
+  std::uint64_t req_id = 0;
+  bool complete = true;  // false if assembled on timeout
+  std::vector<ObjectResult> results;
+};
+
+// --- Nearest-neighbor query (§3.2 semantics) ---------------------------------
+
+struct NNQueryReq {
+  static constexpr MsgType kType = MsgType::kNNQueryReq;
+  geo::Point p;
+  double req_acc = 0.0;
+  double near_qual = 0.0;
+  std::uint64_t req_id = 0;
+};
+
+/// Internal expanding-ring probe: "report objects with ld.acc <= req_acc and
+/// position within `radius` of p in your subtree".
+struct NNProbeFwd {
+  static constexpr MsgType kType = MsgType::kNNProbeFwd;
+  geo::Point p;
+  double radius = 0.0;
+  double req_acc = 0.0;
+  NodeId coordinator;
+  std::uint64_t req_id = 0;
+};
+
+struct NNProbeSubRes {
+  static constexpr MsgType kType = MsgType::kNNProbeSubRes;
+  std::uint64_t req_id = 0;
+  double covered_size = 0.0;  // size of probe-disk ∩ leaf area
+  std::vector<ObjectResult> candidates;
+  std::optional<OriginArea> origin;
+};
+
+struct NNQueryRes {
+  static constexpr MsgType kType = MsgType::kNNQueryRes;
+  std::uint64_t req_id = 0;
+  bool found = false;
+  ObjectResult nearest;
+  std::vector<ObjectResult> near_set;  // nearObjSet per §3.2
+};
+
+// --- Accuracy management (§3.1) ---------------------------------------------
+
+struct ChangeAccReq {
+  static constexpr MsgType kType = MsgType::kChangeAccReq;
+  ObjectId oid;
+  AccuracyRange acc_range;
+  std::uint64_t req_id = 0;
+};
+
+struct ChangeAccRes {
+  static constexpr MsgType kType = MsgType::kChangeAccRes;
+  std::uint64_t req_id = 0;
+  bool ok = false;
+  double offered_acc = 0.0;
+};
+
+struct NotifyAvailAcc {
+  static constexpr MsgType kType = MsgType::kNotifyAvailAcc;
+  ObjectId oid;
+  double offered_acc = 0.0;
+};
+
+// --- Lifecycle ---------------------------------------------------------------
+
+struct DeregisterReq {
+  static constexpr MsgType kType = MsgType::kDeregisterReq;
+  ObjectId oid;
+};
+
+/// Server -> tracked object: request an immediate position update (used
+/// after recovery, when the persistent visitorDB survived but the in-memory
+/// sightingDB did not; §5).
+struct RefreshReq {
+  static constexpr MsgType kType = MsgType::kRefreshReq;
+  ObjectId oid;
+};
+
+// --- Event mechanism (extension; §1 / §8 future work) ------------------------
+
+enum class PredicateKind : std::uint8_t {
+  kAreaCount = 0,  // "more than N objects are in a certain area"
+  kProximity = 1,  // "two users of the system meet"
+};
+
+struct EventSubscribe {
+  static constexpr MsgType kType = MsgType::kEventSubscribe;
+  std::uint64_t sub_id = 0;
+  PredicateKind kind = PredicateKind::kAreaCount;
+  geo::Polygon area;        // kAreaCount
+  std::uint32_t threshold = 0;
+  ObjectId obj_a, obj_b;    // kProximity
+  double dist = 0.0;
+  NodeId subscriber;
+};
+
+/// Coordinator -> leaf: install local membership tracking for a predicate.
+struct EventInstall {
+  static constexpr MsgType kType = MsgType::kEventInstall;
+  std::uint64_t sub_id = 0;
+  PredicateKind kind = PredicateKind::kAreaCount;
+  geo::Polygon area;
+  ObjectId obj_a, obj_b;
+  double dist = 0.0;
+  NodeId coordinator;
+};
+
+/// Leaf -> coordinator: membership change for a predicate.
+struct EventDelta {
+  static constexpr MsgType kType = MsgType::kEventDelta;
+  std::uint64_t sub_id = 0;
+  ObjectId oid;
+  bool entered = false;  // entered (true) / left (false) the predicate scope
+  geo::Point pos;        // current position (used by proximity predicates)
+};
+
+struct EventNotify {
+  static constexpr MsgType kType = MsgType::kEventNotify;
+  std::uint64_t sub_id = 0;
+  bool fired = false;  // predicate became true (fired) / false again
+  std::uint32_t count = 0;
+};
+
+struct EventUnsubscribe {
+  static constexpr MsgType kType = MsgType::kEventUnsubscribe;
+  std::uint64_t sub_id = 0;
+};
+
+// --- Envelope ----------------------------------------------------------------
+
+using Message = std::variant<
+    RegisterReq, RegisterRes, RegisterFailed, CreatePath, RemovePath, UpdateReq,
+    UpdateAck, HandoverReq, HandoverRes, AgentChanged, PosQueryReq, PosQueryFwd,
+    PosQueryRes, RangeQueryReq, RangeQueryFwd, RangeQuerySubRes, RangeQueryRes,
+    NNQueryReq, NNProbeFwd, NNProbeSubRes, NNQueryRes, ChangeAccReq, ChangeAccRes,
+    NotifyAvailAcc, DeregisterReq, RefreshReq, EventSubscribe, EventInstall,
+    EventDelta, EventNotify, EventUnsubscribe>;
+
+struct Envelope {
+  NodeId src;
+  Message msg;
+};
+
+MsgType message_type(const Message& msg);
+
+/// Serializes [version][type][src][payload].
+Buffer encode_envelope(NodeId src, const Message& msg);
+
+Result<Envelope> decode_envelope(const std::uint8_t* data, std::size_t len);
+inline Result<Envelope> decode_envelope(const Buffer& buf) {
+  return decode_envelope(buf.data(), buf.size());
+}
+
+}  // namespace locs::wire

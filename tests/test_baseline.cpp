@@ -1,0 +1,165 @@
+// Two-tier HLR/VLR baseline: functional correctness plus the structural
+// cost differences vs the hierarchy (home updates on every region change).
+#include <gtest/gtest.h>
+
+#include "baseline/two_tier.hpp"
+#include "core/client.hpp"
+#include "net/sim_network.hpp"
+#include "test_support.hpp"
+
+namespace locs::baseline {
+namespace {
+
+using core::TrackedObject;
+
+const geo::Rect kArea{{0, 0}, {1000, 1000}};
+
+struct TwoTierWorld {
+  net::SimNetwork net;
+  TwoTierDeployment deployment;
+  std::uint32_t next_client = 1 << 20;
+
+  TwoTierWorld()
+      : deployment(net, net.clock(), RegionMap::grid(kArea, 2, 2), {}) {}
+
+  NodeId client_node() { return NodeId{next_client++}; }
+  void run() { net.run_until_idle(); }
+};
+
+TEST(TwoTier, RegisterUpdateQuery) {
+  TwoTierWorld world;
+  TrackedObject obj(world.client_node(), ObjectId{1}, world.net, world.net.clock());
+  obj.start_register(world.deployment.entry_for({100, 100}), {100, 100}, 1.0,
+                     {10.0, 50.0});
+  world.run();
+  ASSERT_TRUE(obj.tracked());
+
+  core::QueryClient qc(world.client_node(), world.net, world.net.clock());
+  qc.set_entry(world.deployment.entry_for({900, 900}));  // remote entry
+  const std::uint64_t id = qc.send_pos_query(ObjectId{1});
+  world.run();
+  const auto res = qc.take_pos(id);
+  ASSERT_TRUE(res.has_value());
+  ASSERT_TRUE(res->found);
+  EXPECT_EQ(res->ld.pos, (geo::Point{100, 100}));
+}
+
+TEST(TwoTier, RegionChangeUpdatesHome) {
+  TwoTierWorld world;
+  TrackedObject obj(world.client_node(), ObjectId{1}, world.net, world.net.clock());
+  obj.start_register(world.deployment.entry_for({100, 100}), {100, 100}, 1.0,
+                     {10.0, 50.0});
+  world.run();
+  ASSERT_TRUE(obj.tracked());
+  const auto stats_before = world.deployment.total_stats();
+
+  obj.feed_position({900, 900});  // cross into another region
+  world.run();
+  EXPECT_TRUE(obj.tracked());
+  EXPECT_EQ(obj.agent(), world.deployment.entry_for({900, 900}));
+  const auto stats_after = world.deployment.total_stats();
+  EXPECT_EQ(stats_after.handovers, stats_before.handovers + 1);
+  // The defining HLR/VLR cost: the home pointer is rewritten on every
+  // region change.
+  EXPECT_GT(stats_after.home_updates, stats_before.home_updates);
+
+  // Queries find the object at its new region from anywhere.
+  core::QueryClient qc(world.client_node(), world.net, world.net.clock());
+  qc.set_entry(world.deployment.entry_for({100, 100}));
+  const std::uint64_t id = qc.send_pos_query(ObjectId{1});
+  world.run();
+  const auto res = qc.take_pos(id);
+  ASSERT_TRUE(res.has_value());
+  ASSERT_TRUE(res->found);
+  EXPECT_EQ(res->ld.pos, (geo::Point{900, 900}));
+}
+
+TEST(TwoTier, RangeQueryBroadcastsToOverlappingRegions) {
+  TwoTierWorld world;
+  std::vector<std::unique_ptr<TrackedObject>> objs;
+  const std::vector<geo::Point> positions{{100, 100}, {900, 100}, {100, 900}, {900, 900}};
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    objs.push_back(std::make_unique<TrackedObject>(world.client_node(),
+                                                   ObjectId{i + 1}, world.net,
+                                                   world.net.clock()));
+    objs.back()->start_register(world.deployment.entry_for(positions[i]),
+                                positions[i], 1.0, {10.0, 50.0});
+    world.run();
+    ASSERT_TRUE(objs.back()->tracked());
+  }
+  core::QueryClient qc(world.client_node(), world.net, world.net.clock());
+  qc.set_entry(world.deployment.entry_for({100, 100}));
+  // Query spanning all four regions.
+  const std::uint64_t id = qc.send_range_query(
+      geo::Polygon::from_rect(geo::Rect{{50, 50}, {950, 950}}), 25.0, 0.5);
+  world.run();
+  const auto res = qc.take_range(id);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_TRUE(res->complete);
+  EXPECT_EQ(res->objects.size(), 4u);
+}
+
+TEST(TwoTier, LeavingServiceAreaDeregisters) {
+  TwoTierWorld world;
+  TrackedObject obj(world.client_node(), ObjectId{1}, world.net, world.net.clock());
+  obj.start_register(world.deployment.entry_for({100, 100}), {100, 100}, 1.0,
+                     {10.0, 50.0});
+  world.run();
+  ASSERT_TRUE(obj.tracked());
+  obj.feed_position({5000, 5000});
+  world.run();
+  EXPECT_EQ(obj.state(), TrackedObject::State::kDeregistered);
+}
+
+TEST(TwoTier, DeregisterCleansHomePointer) {
+  TwoTierWorld world;
+  TrackedObject obj(world.client_node(), ObjectId{1}, world.net, world.net.clock());
+  obj.start_register(world.deployment.entry_for({100, 100}), {100, 100}, 1.0,
+                     {10.0, 50.0});
+  world.run();
+  obj.deregister();
+  world.run();
+  core::QueryClient qc(world.client_node(), world.net, world.net.clock());
+  qc.set_entry(world.deployment.entry_for({900, 900}));
+  const std::uint64_t id = qc.send_pos_query(ObjectId{1});
+  world.run();
+  const auto res = qc.take_pos(id);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_FALSE(res->found);
+}
+
+TEST(TwoTier, HierarchyBeatsTwoTierOnLocalizedRangeQueries) {
+  // Structural comparison (ablation A4's core claim): for a small local
+  // range query, the hierarchy touches one leaf; the two-tier system must
+  // still answer from one region, so message counts are comparable -- but
+  // for *position* queries of remote objects the two-tier detours via a
+  // hashed home while the hierarchy exploits locality of the pivot.
+  test::SimWorld hier(core::HierarchyBuilder::grid(kArea, 2, 2, 1));
+  auto h_obj = hier.register_object(ObjectId{1}, {450, 450}, 1.0, {10.0, 50.0});
+  auto h_qc = hier.make_query_client(hier.deployment->entry_leaf_for({460, 460}));
+  const std::uint64_t h_before = hier.net.messages_sent();
+  ASSERT_TRUE(hier.pos_query(*h_qc, ObjectId{1}).found);
+  const std::uint64_t h_msgs = hier.net.messages_sent() - h_before;
+
+  TwoTierWorld flat;
+  TrackedObject f_obj(flat.client_node(), ObjectId{1}, flat.net, flat.net.clock());
+  f_obj.start_register(flat.deployment.entry_for({450, 450}), {450, 450}, 1.0,
+                       {10.0, 50.0});
+  flat.run();
+  core::QueryClient f_qc(flat.client_node(), flat.net, flat.net.clock());
+  f_qc.set_entry(flat.deployment.entry_for({460, 460}));
+  const std::uint64_t f_before = flat.net.messages_sent();
+  const std::uint64_t id = f_qc.send_pos_query(ObjectId{1});
+  flat.run();
+  ASSERT_TRUE(f_qc.take_pos(id).value().found);
+  const std::uint64_t f_msgs = flat.net.messages_sent() - f_before;
+
+  // Both entries are the object's own region server -> both answer locally
+  // with 2 messages. The interesting cost difference is exercised in the
+  // ablation bench; here we just pin the local-query equivalence.
+  EXPECT_EQ(h_msgs, 2u);
+  EXPECT_EQ(f_msgs, 2u);
+}
+
+}  // namespace
+}  // namespace locs::baseline

@@ -1,0 +1,158 @@
+// Event mechanism (extension; §1 / §8 future work): area-count and
+// proximity predicates with asynchronous notifications.
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace locs::test {
+namespace {
+
+const geo::Rect kArea{{0, 0}, {1000, 1000}};
+
+TEST(Events, AreaCountFiresOnThreshold) {
+  SimWorld world(core::HierarchyBuilder::fig6(kArea));
+  auto qc = world.make_query_client(NodeId{4});
+  // "more than five objects are in a certain area" -- here threshold 3.
+  const geo::Polygon area = geo::Polygon::from_rect(geo::Rect{{0, 0}, {300, 300}});
+  const std::uint64_t sub = qc->subscribe_area_count(area, 3);
+  world.run();
+
+  std::vector<std::unique_ptr<TrackedObject>> objs;
+  objs.push_back(world.register_object(ObjectId{1}, {100, 100}));
+  objs.push_back(world.register_object(ObjectId{2}, {150, 150}));
+  EXPECT_TRUE(qc->take_events().empty());  // 2 < 3: no notification yet
+  objs.push_back(world.register_object(ObjectId{3}, {200, 200}));
+  world.run();
+  const auto events = qc->take_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].sub_id, sub);
+  EXPECT_TRUE(events[0].fired);
+  EXPECT_EQ(events[0].count, 3u);
+}
+
+TEST(Events, AreaCountUnfiresWhenObjectsLeave) {
+  SimWorld world(core::HierarchyBuilder::fig6(kArea));
+  auto qc = world.make_query_client(NodeId{4});
+  const geo::Polygon area = geo::Polygon::from_rect(geo::Rect{{0, 0}, {300, 300}});
+  const std::uint64_t sub = qc->subscribe_area_count(area, 2);
+  world.run();
+  auto o1 = world.register_object(ObjectId{1}, {100, 100}, 1.0, {10.0, 50.0});
+  auto o2 = world.register_object(ObjectId{2}, {150, 150}, 1.0, {10.0, 50.0});
+  world.run();
+  auto events = qc->take_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].fired);
+
+  // One object walks out of the predicate area (but stays in the leaf).
+  o1->feed_position({400, 100});
+  world.run();
+  events = qc->take_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].fired);
+  EXPECT_EQ(events[0].count, 1u);
+}
+
+TEST(Events, AreaCountSeededByPreexistingObjects) {
+  SimWorld world(core::HierarchyBuilder::fig6(kArea));
+  // Objects registered BEFORE the subscription must count immediately.
+  auto o1 = world.register_object(ObjectId{1}, {100, 100});
+  auto o2 = world.register_object(ObjectId{2}, {120, 120});
+  auto qc = world.make_query_client(NodeId{4});
+  const geo::Polygon area = geo::Polygon::from_rect(geo::Rect{{0, 0}, {300, 300}});
+  qc->subscribe_area_count(area, 2);
+  world.run();
+  const auto events = qc->take_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].fired);
+  EXPECT_EQ(events[0].count, 2u);
+}
+
+TEST(Events, AreaCountSpanningMultipleLeaves) {
+  SimWorld world(core::HierarchyBuilder::fig6(kArea));
+  auto qc = world.make_query_client(NodeId{4});
+  // Area spans all four leaves; coordinator must be the root.
+  const geo::Polygon area =
+      geo::Polygon::from_rect(geo::Rect{{400, 400}, {600, 600}});
+  qc->subscribe_area_count(area, 2);
+  world.run();
+  auto o1 = world.register_object(ObjectId{1}, {450, 450});  // s4 side
+  auto o2 = world.register_object(ObjectId{2}, {550, 550});  // s7 side
+  world.run();
+  const auto events = qc->take_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].fired);
+}
+
+TEST(Events, AreaCountExpiryDecrements) {
+  core::LocationServer::Options opts;
+  opts.sighting_ttl = seconds(10);
+  SimWorld world(core::HierarchyBuilder::fig6(kArea), opts);
+  auto qc = world.make_query_client(NodeId{4});
+  const geo::Polygon area = geo::Polygon::from_rect(geo::Rect{{0, 0}, {300, 300}});
+  qc->subscribe_area_count(area, 1);
+  world.run();
+  auto o1 = world.register_object(ObjectId{1}, {100, 100});
+  world.run();
+  auto events = qc->take_events();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_TRUE(events[0].fired);
+  // Soft-state expiry must also lower the count ("fired" -> false).
+  world.advance(seconds(30));
+  events = qc->take_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].fired);
+}
+
+TEST(Events, ProximityFiresWhenTwoObjectsMeet) {
+  SimWorld world(core::HierarchyBuilder::fig6(kArea));
+  auto qc = world.make_query_client(NodeId{4});
+  // "two users of the system meet" (§1).
+  const std::uint64_t sub = qc->subscribe_proximity(ObjectId{1}, ObjectId{2}, 50.0);
+  world.run();
+  auto o1 = world.register_object(ObjectId{1}, {100, 100}, 1.0, {10.0, 50.0});
+  auto o2 = world.register_object(ObjectId{2}, {800, 800}, 1.0, {10.0, 50.0});
+  world.run();
+  EXPECT_TRUE(qc->take_events().empty());  // far apart
+
+  // o2 walks to o1 -- crossing leaves on the way.
+  o2->feed_position({120, 120});
+  world.run();
+  const auto events = qc->take_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].sub_id, sub);
+  EXPECT_TRUE(events[0].fired);
+}
+
+TEST(Events, ProximityUnfiresWhenSeparating) {
+  SimWorld world(core::HierarchyBuilder::fig6(kArea));
+  auto qc = world.make_query_client(NodeId{4});
+  qc->subscribe_proximity(ObjectId{1}, ObjectId{2}, 100.0);
+  world.run();
+  auto o1 = world.register_object(ObjectId{1}, {100, 100}, 1.0, {10.0, 50.0});
+  auto o2 = world.register_object(ObjectId{2}, {150, 100}, 1.0, {10.0, 50.0});
+  world.run();
+  auto events = qc->take_events();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_TRUE(events[0].fired);
+  o2->feed_position({700, 700});
+  world.run();
+  events = qc->take_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].fired);
+}
+
+TEST(Events, UnsubscribeStopsNotifications) {
+  SimWorld world(core::HierarchyBuilder::fig6(kArea));
+  auto qc = world.make_query_client(NodeId{4});
+  const geo::Polygon area = geo::Polygon::from_rect(geo::Rect{{0, 0}, {300, 300}});
+  const std::uint64_t sub = qc->subscribe_area_count(area, 1);
+  world.run();
+  qc->unsubscribe(sub);
+  world.run();
+  auto obj = world.register_object(ObjectId{1}, {100, 100});
+  world.run();
+  EXPECT_TRUE(qc->take_events().empty());
+}
+
+}  // namespace
+}  // namespace locs::test

@@ -1,0 +1,126 @@
+// Polygon clipping (the Alg 6-5 "covered" accounting) and the Enlarge()
+// buffer (the routing margin for range queries).
+#include <gtest/gtest.h>
+
+#include "geo/polygon.hpp"
+#include "util/rng.hpp"
+
+namespace locs::geo {
+namespace {
+
+TEST(ClipConvex, FullyInside) {
+  const Polygon subject = Polygon::from_rect(Rect{{2, 2}, {4, 4}});
+  const Polygon clip = Polygon::from_rect(Rect{{0, 0}, {10, 10}});
+  EXPECT_NEAR(clip_convex(subject, clip).area(), 4.0, 1e-12);
+}
+
+TEST(ClipConvex, FullyOutside) {
+  const Polygon subject = Polygon::from_rect(Rect{{20, 20}, {30, 30}});
+  const Polygon clip = Polygon::from_rect(Rect{{0, 0}, {10, 10}});
+  EXPECT_TRUE(clip_convex(subject, clip).empty());
+}
+
+TEST(ClipConvex, PartialOverlapRects) {
+  const Polygon subject = Polygon::from_rect(Rect{{5, 5}, {15, 15}});
+  const Polygon clip = Polygon::from_rect(Rect{{0, 0}, {10, 10}});
+  EXPECT_NEAR(intersection_area(subject, clip), 25.0, 1e-9);
+}
+
+TEST(ClipConvex, TriangleVsRect) {
+  const Polygon tri({{0, 0}, {10, 0}, {0, 10}});
+  const Polygon clip = Polygon::from_rect(Rect{{0, 0}, {5, 100}});
+  // The triangle's part with x <= 5: trapezoid with area 50 - 12.5 = 37.5.
+  EXPECT_NEAR(intersection_area(tri, clip), 37.5, 1e-9);
+}
+
+TEST(ClipConvex, NonConvexSubject) {
+  // L-shape clipped to its left column.
+  Polygon l({{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}});
+  const Polygon clip = Polygon::from_rect(Rect{{0, 0}, {2, 4}});
+  EXPECT_NEAR(intersection_area(l, clip), 8.0, 1e-9);
+}
+
+TEST(ClipConvex, TilingIsExhaustive) {
+  // Sibling service areas tile the parent: the pieces of any query polygon
+  // must sum to the area of query ∩ parent (the invariant Alg 6-5's covered
+  // accounting relies on).
+  const Polygon query({{-50, 20}, {130, -10}, {160, 90}, {40, 140}});
+  const Rect parent{{0, 0}, {100, 100}};
+  double pieces = 0.0;
+  for (int ix = 0; ix < 2; ++ix) {
+    for (int iy = 0; iy < 2; ++iy) {
+      const Rect quarter{{ix * 50.0, iy * 50.0}, {(ix + 1) * 50.0, (iy + 1) * 50.0}};
+      pieces += intersection_area(query, Polygon::from_rect(quarter));
+    }
+  }
+  EXPECT_NEAR(pieces, intersection_area(query, Polygon::from_rect(parent)), 1e-6);
+}
+
+TEST(ConvexContains, Polygon) {
+  const Polygon outer = Polygon::from_rect(Rect{{0, 0}, {10, 10}});
+  EXPECT_TRUE(convex_contains_polygon(outer, Polygon::from_rect(Rect{{1, 1}, {9, 9}})));
+  EXPECT_FALSE(convex_contains_polygon(outer, Polygon::from_rect(Rect{{5, 5}, {11, 9}})));
+  EXPECT_TRUE(convex_contains_polygon(outer, outer));  // boundary inclusive
+}
+
+TEST(Enlarge, RectangleGrowsByMargin) {
+  const Polygon rect = Polygon::from_rect(Rect{{0, 0}, {10, 10}});
+  const Polygon grown = enlarge(rect, 3.0);
+  EXPECT_NEAR(grown.area(), 16.0 * 16.0, 1e-6);  // mitre on a rect = inflate
+  EXPECT_TRUE(grown.contains({-3, -3}));
+  EXPECT_FALSE(grown.contains({-3.2, -3.2}));
+}
+
+TEST(Enlarge, ZeroMarginIsIdentity) {
+  const Polygon rect = Polygon::from_rect(Rect{{0, 0}, {10, 10}});
+  EXPECT_NEAR(enlarge(rect, 0.0).area(), rect.area(), 1e-12);
+}
+
+// Property (correctness requirement from §6.4): Enlarge(area, d) contains
+// every point within distance d of the area -- otherwise a leaf holding a
+// qualifying candidate could be skipped by the routing.
+class EnlargeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EnlargeProperty, ContainsAllPointsWithinMargin) {
+  Rng rng(GetParam() * 1337);
+  for (int iter = 0; iter < 20; ++iter) {
+    // Random convex or concave polygon from a random point cloud.
+    std::vector<Point> cloud;
+    const int n = static_cast<int>(rng.uniform_int(3, 8));
+    for (int i = 0; i < n; ++i) {
+      cloud.push_back({rng.uniform(-40, 40), rng.uniform(-40, 40)});
+    }
+    const Polygon poly = convex_hull(cloud);
+    if (poly.empty()) continue;
+    const double margin = rng.uniform(0.5, 20.0);
+    const Polygon grown = enlarge(poly, margin);
+    for (int s = 0; s < 200; ++s) {
+      // Random point near the polygon; keep those within `margin` of it.
+      const Point probe{rng.uniform(-70, 70), rng.uniform(-70, 70)};
+      const double d = poly.distance_to(probe);
+      if (d <= margin) {
+        EXPECT_TRUE(grown.contains(probe))
+            << "point (" << probe.x << "," << probe.y << ") at distance " << d
+            << " missing from polygon enlarged by " << margin;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnlargeProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Enlarge, NonConvexUsesHullConservatively) {
+  Polygon l({{0, 0}, {10, 0}, {10, 2}, {2, 2}, {2, 10}, {0, 10}});
+  const Polygon grown = enlarge(l, 1.0);
+  // Every point within 1 of the L must be inside.
+  Rng rng(4242);
+  for (int s = 0; s < 500; ++s) {
+    const Point probe{rng.uniform(-3, 13), rng.uniform(-3, 13)};
+    if (l.distance_to(probe) <= 1.0) {
+      EXPECT_TRUE(grown.contains(probe));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace locs::geo

@@ -1,0 +1,126 @@
+// Hierarchy construction invariants (§4): children tile their parent,
+// siblings do not overlap, leaves tile the root service area.
+#include <gtest/gtest.h>
+
+#include "core/hierarchy_builder.hpp"
+#include "test_support.hpp"
+
+namespace locs::core {
+namespace {
+
+const geo::Rect kRoot{{0, 0}, {1600, 900}};
+
+void check_invariants(const HierarchySpec& spec) {
+  const HierarchySpec::Node* root = spec.find(spec.root);
+  ASSERT_NE(root, nullptr);
+  EXPECT_TRUE(root->cfg.is_root());
+
+  double leaf_area_sum = 0.0;
+  for (const HierarchySpec::Node& node : spec.nodes) {
+    // Parent pointers are consistent.
+    if (!node.cfg.is_root()) {
+      const HierarchySpec::Node* parent = spec.find(node.cfg.parent);
+      ASSERT_NE(parent, nullptr);
+      bool found = false;
+      for (const ChildRecord& c : parent->cfg.children) found |= c.id == node.id;
+      EXPECT_TRUE(found) << "node " << node.id.value << " missing from parent";
+    }
+    if (node.cfg.is_leaf()) {
+      leaf_area_sum += node.cfg.sa.area();
+      continue;
+    }
+    // (1) A non-leaf service area is the union of its children: area sums
+    // match and every child vertex is inside the parent.
+    double child_sum = 0.0;
+    for (const ChildRecord& c : node.cfg.children) {
+      child_sum += c.sa.area();
+      EXPECT_TRUE(geo::convex_contains_polygon(node.cfg.sa, c.sa));
+    }
+    EXPECT_NEAR(child_sum, node.cfg.sa.area(), 1e-6);
+    // (2) Sibling service areas do not overlap (pairwise intersection 0).
+    for (std::size_t i = 0; i < node.cfg.children.size(); ++i) {
+      for (std::size_t j = i + 1; j < node.cfg.children.size(); ++j) {
+        EXPECT_NEAR(geo::intersection_area(node.cfg.children[i].sa,
+                                           node.cfg.children[j].sa),
+                    0.0, 1e-6);
+      }
+    }
+  }
+  EXPECT_NEAR(leaf_area_sum, root->cfg.sa.area(), 1e-6);
+}
+
+TEST(HierarchyBuilder, GridInvariantsAcrossShapes) {
+  for (const auto& [fx, fy, levels] :
+       std::vector<std::tuple<int, int, int>>{
+           {2, 2, 1}, {2, 2, 2}, {3, 3, 2}, {4, 2, 1}, {1, 1, 3}, {2, 2, 0}}) {
+    const HierarchySpec spec = HierarchyBuilder::grid(kRoot, fx, fy, levels);
+    SCOPED_TRACE("fanout " + std::to_string(fx) + "x" + std::to_string(fy) +
+                 " levels " + std::to_string(levels));
+    check_invariants(spec);
+    // Node count: sum of (fx*fy)^l for l in 0..levels.
+    std::size_t expected = 0, layer = 1;
+    for (int l = 0; l <= levels; ++l, layer *= static_cast<std::size_t>(fx) * fy) {
+      expected += layer;
+    }
+    EXPECT_EQ(spec.nodes.size(), expected);
+  }
+}
+
+TEST(HierarchyBuilder, SingleServerIsRootAndLeaf) {
+  const HierarchySpec spec = HierarchyBuilder::grid(kRoot, 2, 2, 0);
+  ASSERT_EQ(spec.nodes.size(), 1u);
+  EXPECT_TRUE(spec.nodes[0].cfg.is_root());
+  EXPECT_TRUE(spec.nodes[0].cfg.is_leaf());
+}
+
+TEST(HierarchyBuilder, LeafForCoversEveryPoint) {
+  const HierarchySpec spec = HierarchyBuilder::grid(kRoot, 3, 2, 2);
+  Rng rng(321);
+  for (int i = 0; i < 500; ++i) {
+    const geo::Point p{rng.uniform(kRoot.min.x, kRoot.max.x),
+                       rng.uniform(kRoot.min.y, kRoot.max.y)};
+    const NodeId leaf = spec.leaf_for(p);
+    ASSERT_TRUE(leaf.valid()) << p.x << "," << p.y;
+    EXPECT_TRUE(spec.find(leaf)->cfg.covers(p));
+  }
+  EXPECT_FALSE(spec.leaf_for({-1, -1}).valid());
+}
+
+TEST(HierarchyBuilder, ChildForIsDeterministicOnBoundary) {
+  const HierarchySpec spec = HierarchyBuilder::grid(kRoot, 2, 2, 1);
+  const ConfigRecord& root = spec.find(spec.root)->cfg;
+  // A point on the shared boundary of all four children.
+  const geo::Point mid{kRoot.center()};
+  const NodeId a = root.child_for(mid);
+  const NodeId b = root.child_for(mid);
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a, b);
+}
+
+TEST(HierarchyBuilder, Fig6Topology) {
+  const HierarchySpec spec = HierarchyBuilder::fig6(kRoot);
+  check_invariants(spec);
+  ASSERT_EQ(spec.nodes.size(), 7u);
+  EXPECT_EQ(spec.root, NodeId{1});
+  const auto* s1 = spec.find(NodeId{1});
+  ASSERT_EQ(s1->cfg.children.size(), 2u);
+  const auto* s2 = spec.find(NodeId{2});
+  EXPECT_EQ(s2->cfg.parent, NodeId{1});
+  ASSERT_EQ(s2->cfg.children.size(), 2u);
+  EXPECT_EQ(s2->cfg.children[0].id, NodeId{4});
+  const auto leaves = spec.leaves();
+  EXPECT_EQ(leaves.size(), 4u);
+}
+
+TEST(HierarchyBuilder, Table2Topology) {
+  const HierarchySpec spec = HierarchyBuilder::table2(geo::Rect{{0, 0}, {1500, 1500}});
+  check_invariants(spec);
+  ASSERT_EQ(spec.nodes.size(), 5u);
+  EXPECT_EQ(spec.leaves().size(), 4u);
+  for (const NodeId leaf : spec.leaves()) {
+    EXPECT_NEAR(spec.find(leaf)->cfg.sa.area(), 750.0 * 750.0, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace locs::core

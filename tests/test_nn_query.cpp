@@ -1,0 +1,161 @@
+// Nearest-neighbor queries: §3.2 semantics (accuracy filter, nearQual ring,
+// the 2*reqAcc completeness guarantee) over the distributed expanding-ring
+// implementation.
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace locs::test {
+namespace {
+
+const geo::Rect kArea{{0, 0}, {1000, 1000}};
+
+TEST(NNQuery, FindsLocalNearest) {
+  SimWorld world(core::HierarchyBuilder::fig6(kArea));
+  auto o1 = world.register_object(ObjectId{1}, {100, 100}, 1.0, {10.0, 50.0});
+  auto o2 = world.register_object(ObjectId{2}, {150, 150}, 1.0, {10.0, 50.0});
+  auto qc = world.make_query_client(NodeId{4});
+  const auto res = world.nn_query(*qc, {105, 105}, 50.0, 0.0);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.nearest.oid, ObjectId{1});
+  EXPECT_TRUE(res.near_set.empty());  // nearQual = 0 => empty nearObjSet
+}
+
+TEST(NNQuery, FindsRemoteNearestAcrossLeaves) {
+  SimWorld world(core::HierarchyBuilder::fig6(kArea));
+  // Nearest to the probe point lives in a *different* leaf than the entry.
+  auto far = world.register_object(ObjectId{1}, {100, 100}, 1.0, {10.0, 50.0});   // s4
+  auto near = world.register_object(ObjectId{2}, {510, 490}, 1.0, {10.0, 50.0});  // s6
+  ASSERT_EQ(near->agent(), NodeId{6});
+  auto qc = world.make_query_client(NodeId{4});
+  const auto res = world.nn_query(*qc, {480, 480}, 50.0, 0.0);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.nearest.oid, ObjectId{2});
+}
+
+TEST(NNQuery, AccuracyFilterSkipsCoarseObjects) {
+  // Fig 4: o3 not considered because of insufficient accuracy.
+  SimWorld world(core::HierarchyBuilder::fig6(kArea));
+  auto coarse = world.register_object(ObjectId{1}, {110, 100}, 1.0, {80.0, 200.0});
+  auto fine = world.register_object(ObjectId{2}, {200, 100}, 1.0, {10.0, 50.0});
+  auto qc = world.make_query_client(NodeId{4});
+  const auto res = world.nn_query(*qc, {100, 100}, 20.0, 0.0);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.nearest.oid, ObjectId{2});  // nearest *qualifying* object
+}
+
+TEST(NNQuery, NearQualCollectsRing) {
+  SimWorld world(core::HierarchyBuilder::fig6(kArea));
+  auto o1 = world.register_object(ObjectId{1}, {100, 100}, 1.0, {10.0, 50.0});
+  auto o2 = world.register_object(ObjectId{2}, {140, 100}, 1.0, {10.0, 50.0});
+  auto o3 = world.register_object(ObjectId{3}, {400, 100}, 1.0, {10.0, 50.0});
+  auto qc = world.make_query_client(NodeId{4});
+  // d* = 10 (o1 at distance 10); nearQual = 50 admits o2 (distance 50) but
+  // not o3 (distance 310).
+  const auto res = world.nn_query(*qc, {90, 100}, 50.0, 50.0);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.nearest.oid, ObjectId{1});
+  ASSERT_EQ(res.near_set.size(), 1u);
+  EXPECT_EQ(res.near_set[0].oid, ObjectId{2});
+}
+
+TEST(NNQuery, TwoReqAccGuarantee) {
+  // §3.2: with nearQual = 2*reqAcc every object that could potentially be
+  // closer than the winner is guaranteed to be in nearObjSet.
+  SimWorld world(core::HierarchyBuilder::grid(kArea, 2, 2, 2));
+  Rng rng(42);
+  std::vector<std::unique_ptr<TrackedObject>> objs;
+  const double req_acc = 30.0;
+  for (std::uint64_t i = 1; i <= 80; ++i) {
+    const geo::Point p{rng.uniform(0, 1000), rng.uniform(0, 1000)};
+    objs.push_back(world.register_object(ObjectId{i}, p, 1.0, {25.0, 100.0}));
+  }
+  auto qc = world.make_query_client(world.deployment->leaf_ids().front());
+  for (int q = 0; q < 8; ++q) {
+    const geo::Point p{rng.uniform(0, 1000), rng.uniform(0, 1000)};
+    const auto res = world.nn_query(*qc, p, req_acc, 2.0 * req_acc);
+    ASSERT_TRUE(res.found);
+    const double d_star = geo::distance(res.nearest.ld.pos, p);
+    // Any object whose location area could reach closer than the winner's
+    // worst case must be listed.
+    for (const auto& obj : objs) {
+      const ObjectId oid = obj->oid();
+      if (oid == res.nearest.oid) continue;
+      // Find its true stored position.
+      const auto* db = world.deployment->server(obj->agent()).sightings();
+      const auto* rec = db->find(oid);
+      ASSERT_NE(rec, nullptr);
+      const double d = geo::distance(rec->sighting.pos, p);
+      const bool could_be_closer = d - rec->offered_acc < d_star + res.nearest.ld.acc;
+      if (could_be_closer && d <= d_star + 2.0 * req_acc) {
+        const bool listed =
+            std::any_of(res.near_set.begin(), res.near_set.end(),
+                        [&](const ObjectResult& r) { return r.oid == oid; });
+        EXPECT_TRUE(listed) << "object " << oid.value << " at distance " << d
+                            << " missing (d* = " << d_star << ")";
+      }
+    }
+  }
+}
+
+class NNOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NNOracle, MatchesBruteForce) {
+  SimWorld world(core::HierarchyBuilder::grid(kArea, 3, 3, 1));
+  Rng rng(GetParam() * 7907);
+  std::vector<ObjectResult> truth;
+  std::vector<std::unique_ptr<TrackedObject>> objs;
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    const geo::Point p{rng.uniform(0, 1000), rng.uniform(0, 1000)};
+    const double desired = rng.uniform(5.0, 50.0);
+    objs.push_back(world.register_object(ObjectId{i}, p, 1.0, {desired, 100.0}));
+    truth.push_back({ObjectId{i}, {p, objs.back()->offered_acc()}});
+  }
+  for (int q = 0; q < 10; ++q) {
+    const geo::Point p{rng.uniform(-100, 1100), rng.uniform(-100, 1100)};
+    const double req_acc = rng.uniform(10.0, 60.0);
+    const NodeId entry =
+        world.deployment->leaf_ids()[rng.next_below(world.deployment->leaf_ids().size())];
+    auto qc = world.make_query_client(entry);
+    const auto res = world.nn_query(*qc, p, req_acc, 0.0);
+    const auto expected = oracle_nearest(truth, p, req_acc);
+    ASSERT_EQ(res.found, expected.has_value());
+    if (expected) {
+      EXPECT_EQ(res.nearest.oid, expected->oid)
+          << "probe (" << p.x << "," << p.y << ") reqAcc " << req_acc;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NNOracle, ::testing::Values(1, 2, 3, 4));
+
+TEST(NNQuery, EmptyDatabaseNotFound) {
+  SimWorld world(core::HierarchyBuilder::fig6(kArea));
+  auto qc = world.make_query_client(NodeId{4});
+  const auto res = world.nn_query(*qc, {500, 500}, 50.0, 10.0);
+  EXPECT_FALSE(res.found);
+}
+
+TEST(NNQuery, NoQualifyingAccuracyNotFound) {
+  SimWorld world(core::HierarchyBuilder::fig6(kArea));
+  auto coarse = world.register_object(ObjectId{1}, {500, 400}, 1.0, {90.0, 200.0});
+  auto qc = world.make_query_client(NodeId{4});
+  const auto res = world.nn_query(*qc, {500, 500}, 20.0, 0.0);
+  EXPECT_FALSE(res.found);
+}
+
+TEST(NNQuery, NearSetSortedByDistance) {
+  SimWorld world(core::HierarchyBuilder::fig6(kArea));
+  auto o1 = world.register_object(ObjectId{1}, {100, 100}, 1.0, {10.0, 50.0});
+  auto o2 = world.register_object(ObjectId{2}, {160, 100}, 1.0, {10.0, 50.0});
+  auto o3 = world.register_object(ObjectId{3}, {130, 100}, 1.0, {10.0, 50.0});
+  auto qc = world.make_query_client(NodeId{4});
+  const auto res = world.nn_query(*qc, {95, 100}, 50.0, 100.0);
+  ASSERT_TRUE(res.found);
+  ASSERT_EQ(res.near_set.size(), 2u);
+  EXPECT_EQ(res.near_set[0].oid, ObjectId{3});
+  EXPECT_EQ(res.near_set[1].oid, ObjectId{2});
+}
+
+}  // namespace
+}  // namespace locs::test

@@ -1,0 +1,141 @@
+// Shared helpers for the test suite: simulated deployments, synchronous
+// drivers, and brute-force oracles for the paper's query semantics.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/deployment.hpp"
+#include "core/hierarchy_builder.hpp"
+#include "core/types.hpp"
+#include "geo/circle.hpp"
+#include "net/sim_network.hpp"
+#include "util/rng.hpp"
+
+namespace locs::test {
+
+using core::AccuracyRange;
+using core::LocationDescriptor;
+using core::ObjectResult;
+using core::QueryClient;
+using core::Sighting;
+using core::TrackedObject;
+
+/// A complete simulated world: network + hierarchy + client id allocation.
+struct SimWorld {
+  net::SimNetwork net;
+  std::unique_ptr<core::Deployment> deployment;
+  std::uint32_t next_client_id = 1u << 20;
+
+  explicit SimWorld(core::HierarchySpec spec,
+                    core::LocationServer::Options opts = {},
+                    net::SimNetwork::Options net_opts = {})
+      : net(net_opts) {
+    core::Deployment::Config cfg;
+    cfg.server = opts;
+    deployment = std::make_unique<core::Deployment>(net, net.clock(),
+                                                    std::move(spec), cfg);
+  }
+
+  NodeId client_node() { return NodeId{next_client_id++}; }
+
+  void run() { net.run_until_idle(); }
+
+  void tick() { deployment->tick_all(net.now()); }
+
+  /// Advances virtual time in slices, running expiry sweeps in between.
+  void advance(Duration d, int slices = 4) {
+    for (int i = 0; i < slices; ++i) {
+      net.clock().advance(d / slices);
+      tick();
+      run();
+    }
+  }
+
+  /// Registers a tracked object synchronously; returns the client handle.
+  std::unique_ptr<TrackedObject> register_object(ObjectId oid, geo::Point pos,
+                                                 double sensor_acc = 1.0,
+                                                 AccuracyRange range = {10.0, 100.0}) {
+    auto obj = std::make_unique<TrackedObject>(client_node(), oid, net, net.clock());
+    const NodeId entry = deployment->entry_leaf_for(pos);
+    EXPECT_TRUE(entry.valid()) << "no leaf covers the registration position";
+    obj->start_register(entry, pos, sensor_acc, range);
+    run();
+    return obj;
+  }
+
+  std::unique_ptr<QueryClient> make_query_client(NodeId entry) {
+    auto qc = std::make_unique<QueryClient>(client_node(), net, net.clock());
+    qc->set_entry(entry);
+    return qc;
+  }
+
+  QueryClient::PosResult pos_query(QueryClient& qc, ObjectId oid) {
+    const std::uint64_t id = qc.send_pos_query(oid);
+    run();
+    auto res = qc.take_pos(id);
+    EXPECT_TRUE(res.has_value()) << "position query did not complete";
+    return res.value_or(QueryClient::PosResult{});
+  }
+
+  QueryClient::RangeResult range_query(QueryClient& qc, const geo::Polygon& area,
+                                       double req_acc, double req_overlap) {
+    const std::uint64_t id = qc.send_range_query(area, req_acc, req_overlap);
+    run();
+    auto res = qc.take_range(id);
+    EXPECT_TRUE(res.has_value()) << "range query did not complete";
+    return res ? std::move(*res) : QueryClient::RangeResult{};
+  }
+
+  QueryClient::NNResult nn_query(QueryClient& qc, geo::Point p, double req_acc,
+                                 double near_qual) {
+    const std::uint64_t id = qc.send_nn_query(p, req_acc, near_qual);
+    run();
+    auto res = qc.take_nn(id);
+    EXPECT_TRUE(res.has_value()) << "NN query did not complete";
+    return res ? std::move(*res) : QueryClient::NNResult{};
+  }
+};
+
+/// Brute-force oracle for the paper's range-query semantics (§3.2):
+/// objSet = { (o, ld) | Overlap(a, o) >= reqOverlap > 0 and ld.acc <= reqAcc }.
+inline std::vector<ObjectResult> oracle_range(
+    const std::vector<ObjectResult>& all, const geo::Polygon& area, double req_acc,
+    double req_overlap) {
+  std::vector<ObjectResult> out;
+  for (const ObjectResult& o : all) {
+    if (o.ld.acc > req_acc) continue;
+    const double ov = geo::overlap_degree(area, o.ld.location_area());
+    if (ov >= std::max(req_overlap, 1e-12)) out.push_back(o);
+  }
+  return out;
+}
+
+/// Brute-force oracle for the nearest neighbor (§3.2).
+inline std::optional<ObjectResult> oracle_nearest(const std::vector<ObjectResult>& all,
+                                                  geo::Point p, double req_acc) {
+  std::optional<ObjectResult> best;
+  double best_d = 0.0;
+  for (const ObjectResult& o : all) {
+    if (o.ld.acc > req_acc) continue;
+    const double d = geo::distance(o.ld.pos, p);
+    if (!best || d < best_d || (d == best_d && o.oid < best->oid)) {
+      best = o;
+      best_d = d;
+    }
+  }
+  return best;
+}
+
+inline std::vector<ObjectId> sorted_ids(const std::vector<ObjectResult>& v) {
+  std::vector<ObjectId> ids;
+  ids.reserve(v.size());
+  for (const ObjectResult& o : v) ids.push_back(o.oid);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace locs::test
