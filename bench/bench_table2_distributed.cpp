@@ -58,6 +58,8 @@ class UpdateClient {
     });
   }
 
+  ~UpdateClient() { net_.detach(self_); }
+
   bool update_blocking(const core::Sighting& s, NodeId agent) {
     std::uint64_t wait_for;
     {
@@ -147,6 +149,9 @@ struct World {
       reg_state.cv.wait_for(lock, std::chrono::seconds(10),
                             [&] { return reg_state.done >= kObjects * 99 / 100; });
     }
+    // The handler captures reg_state by reference; straggler RegisterRes
+    // beyond the 99% wait must not touch it after this frame returns.
+    net.detach(NodeId{91});
     (void)registered;
     (void)cv;
     (void)mu;

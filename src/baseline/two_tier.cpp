@@ -44,7 +44,7 @@ const geo::Polygon& TwoTierServer::my_area() const {
 void TwoTierServer::send_msg(NodeId to, const wire::Message& msg) {
   if (!to.valid()) return;
   ++stats_.msgs_sent;
-  net_.send(self_, to, wm::encode_envelope(self_, msg));
+  net::send_message(net_, self_, to, msg);
 }
 
 std::uint64_t TwoTierServer::next_req_id() {
@@ -361,7 +361,7 @@ void TwoTierServer::tick(TimePoint now) {
 
 TwoTierDeployment::TwoTierDeployment(net::Transport& net, Clock& clock,
                                      RegionMap map, TwoTierServer::Options opts)
-    : map_(std::move(map)) {
+    : net_(net), map_(std::move(map)) {
   for (const RegionMap::Region& region : map_.regions) {
     auto server = std::make_unique<TwoTierServer>(region.id, map_, net, clock, opts);
     TwoTierServer* raw = server.get();
@@ -370,6 +370,10 @@ TwoTierDeployment::TwoTierDeployment(net::Transport& net, Clock& clock,
     });
     servers_.emplace(region.id, std::move(server));
   }
+}
+
+TwoTierDeployment::~TwoTierDeployment() {
+  for (const auto& [id, server] : servers_) net_.detach(id);
 }
 
 void TwoTierDeployment::tick_all(TimePoint now) {

@@ -148,6 +148,8 @@ class TwoTierDeployment {
  public:
   TwoTierDeployment(net::Transport& net, Clock& clock, RegionMap map,
                     TwoTierServer::Options opts = {});
+  /// Detaches every server before they are destroyed.
+  ~TwoTierDeployment();
 
   TwoTierServer& server(NodeId id) { return *servers_.at(id); }
   const RegionMap& map() const { return map_; }
@@ -156,6 +158,7 @@ class TwoTierDeployment {
   TwoTierServer::Stats total_stats() const;
 
  private:
+  net::Transport& net_;
   RegionMap map_;
   std::unordered_map<NodeId, std::unique_ptr<TwoTierServer>> servers_;
 };

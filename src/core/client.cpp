@@ -21,6 +21,8 @@ TrackedObject::TrackedObject(NodeId self, ObjectId oid, net::Transport& net,
   });
 }
 
+TrackedObject::~TrackedObject() { net_.detach(self_); }
+
 void TrackedObject::start_register(NodeId entry_server, geo::Point pos,
                                    double sensor_acc, AccuracyRange range) {
   sensor_acc_ = sensor_acc;
@@ -32,7 +34,7 @@ void TrackedObject::start_register(NodeId entry_server, geo::Point pos,
   req.reg_inst = self_;
   req.req_id = ++req_counter_;
   last_sent_pos_ = pos;
-  net_.send(self_, entry_server, wm::encode_envelope(self_, req));
+  send_msg(entry_server, req);
 }
 
 bool TrackedObject::feed_position(geo::Point pos) {
@@ -53,24 +55,22 @@ void TrackedObject::send_update(geo::Point pos) {
   last_send_time_ = clock_.now();
   update_pending_ = true;
   ++updates_sent_;
-  net_.send(self_, agent_, wm::encode_envelope(self_, req));
+  send_msg(agent_, req);
 }
 
 void TrackedObject::request_change_acc(AccuracyRange range) {
   if (state_ != State::kTracked) return;
-  net_.send(self_, agent_,
-            wm::encode_envelope(self_, wm::ChangeAccReq{oid_, range, ++req_counter_}));
+  send_msg(agent_, wm::ChangeAccReq{oid_, range, ++req_counter_});
 }
 
 void TrackedObject::deregister() {
   if (state_ != State::kTracked) return;
-  net_.send(self_, agent_, wm::encode_envelope(self_, wm::DeregisterReq{oid_}));
+  send_msg(agent_, wm::DeregisterReq{oid_});
   state_ = State::kDeregistered;
 }
 
 void TrackedObject::handle(const std::uint8_t* data, std::size_t len) {
-  auto decoded = wm::decode_envelope(data, len);
-  if (!decoded.ok()) return;
+  if (!wm::decode_envelope_into(rx_scratch_, data, len).is_ok()) return;
   std::visit(
       [&](const auto& m) {
         using T = std::decay_t<decltype(m)>;
@@ -110,7 +110,7 @@ void TrackedObject::handle(const std::uint8_t* data, std::size_t len) {
           }
         }
       },
-      decoded.value().msg);
+      rx_scratch_.msg);
 }
 
 // --------------------------------------------------------------------------
@@ -122,6 +122,8 @@ QueryClient::QueryClient(NodeId self, net::Transport& net, Clock& clock)
     handle(data, len);
   });
 }
+
+QueryClient::~QueryClient() { net_.detach(self_); }
 
 std::uint64_t QueryClient::next_req_id() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -153,23 +155,21 @@ std::uint64_t QueryClient::send_pos_query(ObjectId oid) {
     }
     pos_targets_[id] = oid;
   }
-  net_.send(self_, entry_, wm::encode_envelope(self_, wm::PosQueryReq{oid, id}));
+  send_msg(entry_, wm::PosQueryReq{oid, id});
   return id;
 }
 
 std::uint64_t QueryClient::send_range_query(const geo::Polygon& area, double req_acc,
                                             double req_overlap) {
   const std::uint64_t id = next_req_id();
-  net_.send(self_, entry_,
-            wm::encode_envelope(self_, wm::RangeQueryReq{area, req_acc, req_overlap, id}));
+  send_msg(entry_, wm::RangeQueryReq{area, req_acc, req_overlap, id});
   return id;
 }
 
 std::uint64_t QueryClient::send_nn_query(geo::Point p, double req_acc,
                                          double near_qual) {
   const std::uint64_t id = next_req_id();
-  net_.send(self_, entry_,
-            wm::encode_envelope(self_, wm::NNQueryReq{p, req_acc, near_qual, id}));
+  send_msg(entry_, wm::NNQueryReq{p, req_acc, near_qual, id});
   return id;
 }
 
@@ -266,7 +266,7 @@ std::uint64_t QueryClient::subscribe_area_count(const geo::Polygon& area,
   sub.area = area;
   sub.threshold = threshold;
   sub.subscriber = self_;
-  net_.send(self_, entry_, wm::encode_envelope(self_, sub));
+  send_msg(entry_, sub);
   return sub_id;
 }
 
@@ -280,12 +280,12 @@ std::uint64_t QueryClient::subscribe_proximity(ObjectId a, ObjectId b, double di
   sub.obj_b = b;
   sub.dist = dist;
   sub.subscriber = self_;
-  net_.send(self_, entry_, wm::encode_envelope(self_, sub));
+  send_msg(entry_, sub);
   return sub_id;
 }
 
 void QueryClient::unsubscribe(std::uint64_t sub_id) {
-  net_.send(self_, entry_, wm::encode_envelope(self_, wm::EventUnsubscribe{sub_id}));
+  send_msg(entry_, wm::EventUnsubscribe{sub_id});
 }
 
 std::vector<wire::EventNotify> QueryClient::take_events() {
@@ -296,8 +296,9 @@ std::vector<wire::EventNotify> QueryClient::take_events() {
 }
 
 void QueryClient::handle(const std::uint8_t* data, std::size_t len) {
-  auto decoded = wm::decode_envelope(data, len);
-  if (!decoded.ok()) return;
+  // Only the node's single receive thread calls handle(), so the scratch
+  // envelope needs no locking; the result maps below do.
+  if (!wm::decode_envelope_into(rx_scratch_, data, len).is_ok()) return;
   {
     std::lock_guard<std::mutex> lock(mu_);
     std::visit(
@@ -321,7 +322,7 @@ void QueryClient::handle(const std::uint8_t* data, std::size_t len) {
             events_.push_back(m);
           }
         },
-        decoded.value().msg);
+        rx_scratch_.msg);
   }
   cv_.notify_all();
 }

@@ -40,6 +40,8 @@ class TrackedObject {
   TrackedObject(NodeId self, ObjectId oid, net::Transport& net, Clock& clock,
                 Options opts);
   TrackedObject(NodeId self, ObjectId oid, net::Transport& net, Clock& clock);
+  /// Detaches from the transport (no callback can outlive the object).
+  ~TrackedObject();
 
   /// Registers with the LS through `entry_server` (Alg 6-1).
   void start_register(NodeId entry_server, geo::Point pos, double sensor_acc,
@@ -72,6 +74,13 @@ class TrackedObject {
   void handle(const std::uint8_t* data, std::size_t len);
   void send_update(geo::Point pos);
 
+  /// Encodes into a pooled transport buffer and sends (zero allocations in
+  /// steady state; see net/buffer_pool.hpp).
+  template <typename M>
+  void send_msg(NodeId to, const M& msg) {
+    net::send_message(net_, self_, to, msg);
+  }
+
   NodeId self_;
   ObjectId oid_;
   net::Transport& net_;
@@ -83,6 +92,7 @@ class TrackedObject {
   double offered_acc_ = 0.0;
   double sensor_acc_ = 0.0;
   double register_failed_acc_ = 0.0;
+  wire::Envelope rx_scratch_;  // receive-side decode scratch (handle())
   geo::Point last_sent_pos_;
   geo::Point last_fed_pos_;
   bool update_pending_ = false;  // sent but unacknowledged
@@ -110,6 +120,8 @@ class QueryClient {
   };
 
   QueryClient(NodeId self, net::Transport& net, Clock& clock);
+  /// Detaches from the transport (no callback can outlive the client).
+  ~QueryClient();
 
   void set_entry(NodeId entry_server) { entry_ = entry_server; }
   NodeId entry() const { return entry_; }
@@ -151,11 +163,19 @@ class QueryClient {
   void handle(const std::uint8_t* data, std::size_t len);
   std::uint64_t next_req_id();
 
+  /// Encodes into a pooled transport buffer and sends (zero allocations in
+  /// steady state; see net/buffer_pool.hpp).
+  template <typename M>
+  void send_msg(NodeId to, const M& msg) {
+    net::send_message(net_, self_, to, msg);
+  }
+
   NodeId self_;
   net::Transport& net_;
   Clock& clock_;
   NodeId entry_;
 
+  wire::Envelope rx_scratch_;  // receive-side decode scratch (handle())
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::uint64_t req_counter_ = 0;

@@ -7,7 +7,7 @@ Deployment::Deployment(net::Transport& net, Clock& clock, HierarchySpec spec)
 
 Deployment::Deployment(net::Transport& net, Clock& clock, HierarchySpec spec,
                        Config cfg)
-    : spec_(std::move(spec)) {
+    : net_(net), spec_(std::move(spec)) {
   for (const HierarchySpec::Node& node : spec_.nodes) {
     store::VisitorDb vdb;
     if (cfg.visitor_db_factory) vdb = cfg.visitor_db_factory(node.id);
@@ -29,6 +29,10 @@ Deployment::Deployment(net::Transport& net, Clock& clock, HierarchySpec spec,
     });
     servers_.emplace(node.id, std::move(entry));
   }
+}
+
+Deployment::~Deployment() {
+  for (const auto& [id, entry] : servers_) net_.detach(id);
 }
 
 void Deployment::tick_all(TimePoint now) {

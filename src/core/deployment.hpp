@@ -36,6 +36,10 @@ class Deployment {
   Deployment(net::Transport& net, Clock& clock, HierarchySpec spec);
   Deployment(net::Transport& net, Clock& clock, HierarchySpec spec, Config cfg);
 
+  /// Detaches every server from the transport before the servers are
+  /// destroyed (a UDP receive thread must not invoke a freed reactor).
+  ~Deployment();
+
   LocationServer& server(NodeId id) { return *servers_.at(id).server; }
   const HierarchySpec& spec() const { return spec_; }
 
@@ -55,6 +59,7 @@ class Deployment {
     std::unique_ptr<std::mutex> mu;  // only when lock_handlers
   };
 
+  net::Transport& net_;
   HierarchySpec spec_;
   std::unordered_map<NodeId, Entry> servers_;
 };

@@ -38,20 +38,24 @@ LocationServer::LocationServer(NodeId self, ConfigRecord cfg, net::Transport& ne
     if (!index_factory) index_factory = [] { return spatial::make_point_quadtree(); };
     sightings_.emplace(std::move(index_factory));
   }
+  if (opts_.piggyback_origin && cfg_.is_leaf()) {
+    origin_cache_ = wm::OriginArea{self_, cfg_.sa};
+  }
 }
 
 // --------------------------------------------------------------------------
 // dispatch
 
 void LocationServer::handle(const std::uint8_t* data, std::size_t len) {
-  auto decoded = wm::decode_envelope(data, len);
-  if (!decoded.ok()) {
+  // Decode into the scratch envelope: a steady stream of one message type
+  // reuses its vectors' capacity, so dispatch allocates nothing.
+  if (!wm::decode_envelope_into(rx_scratch_, data, len).is_ok()) {
     ++stats_.decode_errors;
     return;
   }
   ++stats_.msgs_handled;
-  const NodeId src = decoded.value().src;
-  wm::Message& msg = decoded.value().msg;
+  const NodeId src = rx_scratch_.src;
+  wm::Message& msg = rx_scratch_.msg;
   std::visit(
       [&](auto& m) {
         using T = std::decay_t<decltype(m)>;
@@ -107,19 +111,8 @@ void LocationServer::handle(const std::uint8_t* data, std::size_t len) {
 // --------------------------------------------------------------------------
 // helpers
 
-void LocationServer::send_msg(NodeId to, const wm::Message& msg) {
-  if (!to.valid()) return;
-  ++stats_.msgs_sent;
-  net_.send(self_, to, wm::encode_envelope(self_, msg));
-}
-
 std::uint64_t LocationServer::next_req_id() {
   return (static_cast<std::uint64_t>(self_.value) << 40) | ++req_counter_;
-}
-
-std::optional<wm::OriginArea> LocationServer::origin_piggyback() const {
-  if (!opts_.piggyback_origin || !cfg_.is_leaf()) return std::nullopt;
-  return wm::OriginArea{self_, cfg_.sa};
 }
 
 void LocationServer::learn_origin(const std::optional<wm::OriginArea>& origin) {
@@ -575,8 +568,11 @@ void LocationServer::answer_range_locally(const geo::Polygon& area,
                                           NodeId entry, std::uint64_t req_id,
                                           double extra_covered) {
   assert(sightings_);
-  wm::RangeQuerySubRes sub;
+  // Scratch message: reusing the results vector and origin polygon capacity
+  // makes the leaf's answer path allocation-free in steady state.
+  wm::RangeQuerySubRes& sub = range_sub_scratch_;
   sub.req_id = req_id;
+  sub.results.clear();
   sightings_->objects_in_area(area, req_acc, req_overlap, sub.results);
   sub.covered_size = geo::intersection_area(enlarged, cfg_.sa) + extra_covered;
   sub.origin = origin_piggyback();
@@ -642,6 +638,13 @@ void LocationServer::on_nn_query_req(NodeId src, const wm::NNQueryReq& m) {
   op.p = m.p;
   op.req_acc = m.req_acc;
   op.near_qual = std::max(m.near_qual, 0.0);
+  if (!nn_map_pool_.empty()) {
+    // Reuse a retired candidate map (bucket array intact) from an earlier
+    // completed NN operation.
+    op.candidates = std::move(nn_map_pool_.back());
+    nn_map_pool_.pop_back();
+    op.candidates.clear();
+  }
 
   // Seed radius: the local nearest neighbor if we have one, else the size of
   // our own service area.
@@ -668,9 +671,9 @@ std::uint64_t LocationServer::launch_nn_ring(PendingNN op) {
 
   // Local contribution.
   if (cfg_.is_leaf() && sightings_ && probe_poly.intersects(cfg_.sa)) {
-    std::vector<ObjectResult> local;
-    sightings_->objects_in_circle({op.p, op.radius}, op.req_acc, local);
-    for (const ObjectResult& r : local) op.candidates[r.oid] = r.ld;
+    nn_local_scratch_.clear();
+    sightings_->objects_in_circle({op.p, op.radius}, op.req_acc, nn_local_scratch_);
+    for (const ObjectResult& r : nn_local_scratch_) op.candidates[r.oid] = r.ld;
     op.covered += geo::intersection_area(probe_poly, cfg_.sa);
   }
   if (cfg_.is_root()) {
@@ -708,8 +711,9 @@ void LocationServer::answer_nn_probe_locally(const wm::NNProbeFwd& probe,
   assert(sightings_);
   const geo::Polygon probe_poly =
       geo::Polygon::circumscribed_circle(probe.p, probe.radius, opts_.nn_probe_sides);
-  wm::NNProbeSubRes sub;
+  wm::NNProbeSubRes& sub = nn_sub_scratch_;
   sub.req_id = probe.req_id;
+  sub.candidates.clear();
   sightings_->objects_in_circle({probe.p, probe.radius}, probe.req_acc,
                                 sub.candidates);
   sub.covered_size = geo::intersection_area(probe_poly, cfg_.sa) + extra_covered;
@@ -789,8 +793,11 @@ void LocationServer::finish_nn(std::uint64_t ring_key) {
   PendingNN op = std::move(it->second);
   pending_nn_.erase(it);
 
-  wm::NNQueryRes res;
+  wm::NNQueryRes& res = nn_res_scratch_;
   res.req_id = op.client_req_id;
+  res.found = false;
+  res.nearest = {};
+  res.near_set.clear();
   if (!op.candidates.empty()) {
     // Deterministic winner: smallest distance, ties by object id.
     ObjectId best_oid;
@@ -818,6 +825,7 @@ void LocationServer::finish_nn(std::uint64_t ring_key) {
               });
   }
   send_msg(op.client, res);
+  nn_map_pool_.push_back(std::move(op.candidates));
 }
 
 // --------------------------------------------------------------------------

@@ -168,9 +168,22 @@ class LocationServer {
   void on_event_unsubscribe(NodeId src, const wire::EventUnsubscribe& m);
 
   // -- helpers --
-  void send_msg(NodeId to, const wire::Message& msg);
+  /// Encodes into a pooled transport buffer (zero allocations in steady
+  /// state) and sends. Templated so concrete message types hit the per-type
+  /// encode_envelope_into overloads -- no Message variant construction, no
+  /// copy of embedded result vectors.
+  template <typename M>
+  void send_msg(NodeId to, const M& msg) {
+    if (!to.valid()) return;
+    ++stats_.msgs_sent;
+    net::send_message(net_, self_, to, msg);
+  }
   std::uint64_t next_req_id();
-  std::optional<wire::OriginArea> origin_piggyback() const;
+  /// §6.5 piggyback, cached at construction (config is immutable): avoids
+  /// re-copying the service-area polygon on every leaf response.
+  const std::optional<wire::OriginArea>& origin_piggyback() const {
+    return origin_cache_;
+  }
   void learn_origin(const std::optional<wire::OriginArea>& origin);
   double negotiate_offered_acc(const AccuracyRange& range) const;
   TimePoint now() const { return clock_.now(); }
@@ -228,6 +241,20 @@ class LocationServer {
   PositionCache position_cache_;
 
   std::uint64_t req_counter_ = 0;
+  std::optional<wire::OriginArea> origin_cache_;
+
+  // -- hot-path scratch state, reused across operations --
+  // Receive-side scratch envelope for handle(); see decode_envelope_into.
+  wire::Envelope rx_scratch_;
+  // Message scratch: field assignment into an already-sized message reuses
+  // vector/polygon capacity, so answering a query allocates nothing once the
+  // scratch has reached its working size.
+  wire::RangeQuerySubRes range_sub_scratch_;
+  wire::NNProbeSubRes nn_sub_scratch_;
+  wire::NNQueryRes nn_res_scratch_;
+  std::vector<ObjectResult> nn_local_scratch_;
+  // Retired NN candidate maps (bucket arrays intact) for the next ring.
+  std::vector<std::unordered_map<ObjectId, LocationDescriptor>> nn_map_pool_;
 
   // -- pending distributed operations --
   struct PendingHandover {

@@ -27,6 +27,13 @@ class Polygon {
 
   const std::vector<Point>& vertices() const { return vertices_; }
   std::size_t size() const { return vertices_.size(); }
+
+  /// Steals the vertex vector (leaves the polygon empty). Lets decoders
+  /// recycle the vector's capacity: take, refill, reconstruct.
+  std::vector<Point> take_vertices() {
+    bbox_ = Rect::empty();
+    return std::move(vertices_);
+  }
   bool empty() const { return vertices_.size() < 3; }
 
   /// Positive area (vertices are kept CCW).

@@ -1,10 +1,11 @@
 #include "net/sim_network.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace locs::net {
 
-void SimNetwork::send(NodeId from, NodeId to, wire::Buffer bytes) {
+void SimNetwork::send(NodeId from, NodeId to, PooledBuffer bytes) {
   ++messages_sent_;
   bytes_sent_ += bytes.size();
   if (drop_fn_ && drop_fn_(from, to)) {
@@ -22,21 +23,22 @@ void SimNetwork::send(NodeId from, NodeId to, wire::Buffer bytes) {
     latency *= 1.0 + opts_.jitter_frac * (2.0 * rng_.next_double() - 1.0);
   }
   const auto delay = static_cast<Duration>(std::llround(std::max(latency, 0.0)));
-  queue_.push(Event{clock_.now() + delay, seq_++, from, to, std::move(bytes)});
+  queue_.push_back(Event{clock_.now() + delay, seq_++, from, to, std::move(bytes)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
 }
 
 bool SimNetwork::step() {
   if (queue_.empty()) return false;
-  // priority_queue::top returns const&; the buffer must be moved out via a
-  // copy here (small messages; the simulator is not the measured datapath).
-  Event ev = queue_.top();
-  queue_.pop();
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  Event ev = std::move(queue_.back());
+  queue_.pop_back();
   if (ev.at > clock_.now()) clock_.set(ev.at);
-  if (tracer_) tracer_(ev.at, ev.from, ev.to, ev.bytes);
+  if (tracer_) tracer_(ev.at, ev.from, ev.to, *ev.bytes);
   const auto it = handlers_.find(ev.to);
   if (it != handlers_.end() && it->second) {
     it->second(ev.bytes.data(), ev.bytes.size());
   }
+  // `ev.bytes` returns to the pool here, ready for the next send.
   return true;
 }
 
@@ -48,7 +50,7 @@ std::size_t SimNetwork::run_until_idle(std::size_t max_events) {
 
 std::size_t SimNetwork::run_until(TimePoint deadline) {
   std::size_t delivered = 0;
-  while (!queue_.empty() && queue_.top().at <= deadline) {
+  while (!queue_.empty() && queue_.front().at <= deadline) {
     step();
     ++delivered;
   }

@@ -3,12 +3,13 @@
 // Messages are serialized through the real wire codec, delayed by a
 // configurable latency model (base + per-byte + jitter), optionally dropped
 // or blocked (failure injection), and delivered in virtual time from a
-// single event queue. Identical seeds yield identical executions.
+// single event queue. Identical seeds yield identical executions; buffer
+// pooling recycles payloads after delivery and is trace-invariant (the
+// determinism tests compare pooled vs unpooled runs byte for byte).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -35,10 +36,15 @@ class SimNetwork : public Transport {
     handlers_[node] = std::move(handler);
   }
 
-  void send(NodeId from, NodeId to, wire::Buffer bytes) override;
+  /// Queued messages addressed to a detached node are dropped at delivery.
+  void detach(NodeId node) override { handlers_.erase(node); }
+
+  using Transport::send;
+  void send(NodeId from, NodeId to, PooledBuffer bytes) override;
 
   /// Delivers the next pending message (advancing virtual time). Returns
-  /// false if the queue is empty.
+  /// false if the queue is empty. The delivered payload returns to the
+  /// buffer pool afterwards.
   bool step();
 
   /// Runs until no messages are pending (or `max_events` deliveries).
@@ -72,7 +78,7 @@ class SimNetwork : public Transport {
     TimePoint at;
     std::uint64_t seq;  // FIFO tie-break for equal timestamps
     NodeId from, to;
-    wire::Buffer bytes;
+    PooledBuffer bytes;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -83,7 +89,11 @@ class SimNetwork : public Transport {
   Options opts_;
   Rng rng_;
   ManualClock clock_;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Binary heap over a plain vector (std::push_heap/pop_heap) instead of
+  // std::priority_queue: the top event can be MOVED out (priority_queue::top
+  // is const&, forcing a payload copy), and the vector's capacity is reused
+  // across the run -- both matter on the zero-allocation delivery path.
+  std::vector<Event> queue_;
   std::unordered_map<NodeId, MessageHandler> handlers_;
   DropFn drop_fn_;
   Tracer tracer_;

@@ -7,13 +7,25 @@
 //                    (tests, latency ablations),
 //   * UdpNetwork  -- real UDP sockets over loopback (the Table-2 benchmark,
 //                    matching the paper's UDP prototype).
+//
+// Hot-path buffer ownership (see net/buffer_pool.hpp for the full rules):
+// every transport owns a BufferPool. Senders acquire a recycled buffer with
+// make_buffer(), encode into it, and pass the handle to send(); the
+// transport returns the buffer to the pool once the datagram has been
+// delivered (SimNetwork) or written to the socket (UdpNetwork). Steady-state
+// send therefore allocates nothing. Handler callbacks receive a pointer into
+// a transport-owned receive buffer that is only valid for the duration of
+// the callback -- decoded views (wire::Reader::str()/bytes()) inherit that
+// lifetime and must be own()ed to outlive it.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 
+#include "net/buffer_pool.hpp"
 #include "util/ids.hpp"
 #include "wire/codec.hpp"
+#include "wire/messages.hpp"
 
 namespace locs::net {
 
@@ -27,9 +39,41 @@ class Transport {
   /// Registers a node and its datagram handler.
   virtual void attach(NodeId node, MessageHandler handler) = 0;
 
+  /// Unregisters a node's handler. After this returns, the handler is never
+  /// invoked again (UdpNetwork waits for an in-flight callback to finish),
+  /// so a reactor can safely detach itself before destruction. Must not be
+  /// called concurrently with the transport's own teardown.
+  virtual void detach(NodeId node) { (void)node; }
+
   /// Sends a datagram from `from` to `to`. Fire and forget (UDP semantics);
-  /// the protocol layer owns retries/timeouts.
-  virtual void send(NodeId from, NodeId to, wire::Buffer bytes) = 0;
+  /// the protocol layer owns retries/timeouts. Consumes the handle; the
+  /// buffer is recycled into the pool after delivery.
+  virtual void send(NodeId from, NodeId to, PooledBuffer bytes) = 0;
+
+  /// Convenience overload for raw buffers (tests, cold paths); the buffer
+  /// joins the pool after delivery.
+  void send(NodeId from, NodeId to, wire::Buffer bytes) {
+    send(from, to, PooledBuffer(&pool_, std::move(bytes)));
+  }
+
+  /// Acquires an empty recycled buffer to encode an outgoing message into.
+  PooledBuffer make_buffer() { return PooledBuffer(&pool_, pool_.acquire()); }
+
+  BufferPool& pool() { return pool_; }
+
+ protected:
+  BufferPool pool_;
 };
+
+/// The canonical hot-path send used by every reactor: encodes `msg` into a
+/// pooled buffer (zero allocations in steady state) and sends it. Concrete
+/// message types hit the per-type encode_envelope_into overloads, skipping
+/// Message variant construction.
+template <typename M>
+void send_message(Transport& net, NodeId from, NodeId to, const M& msg) {
+  PooledBuffer buf = net.make_buffer();
+  wire::encode_envelope_into(*buf, from, msg);
+  net.send(from, to, std::move(buf));
+}
 
 }  // namespace locs::net

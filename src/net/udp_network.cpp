@@ -67,6 +67,9 @@ int make_socket(std::uint16_t bind_port) {
 struct UdpNetwork::Node {
   NodeId id;
   int fd = -1;
+  // Guards handler invocation vs detach(): a reactor clearing its handler
+  // before destruction must not race an in-flight callback.
+  std::mutex handler_mu;
   MessageHandler handler;
   std::thread thread;
   // Reassembly buffers keyed by (sender msg_id); single-threaded per node.
@@ -95,6 +98,19 @@ void UdpNetwork::attach(NodeId node, MessageHandler handler) {
   raw->thread = std::thread([this, raw] { receive_loop(*raw); });
 }
 
+void UdpNetwork::detach(NodeId node) {
+  Node* raw = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = nodes_.find(node);
+    if (it == nodes_.end()) return;
+    raw = it->second.get();
+  }
+  // Taken without mu_ held: the handler itself may send (which locks mu_).
+  std::lock_guard<std::mutex> lock(raw->handler_mu);
+  raw->handler = nullptr;
+}
+
 int UdpNetwork::socket_for_send(NodeId from) {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -105,13 +121,13 @@ int UdpNetwork::socket_for_send(NodeId from) {
   }
 }
 
-void UdpNetwork::send(NodeId from, NodeId to, wire::Buffer bytes) {
+void UdpNetwork::send(NodeId from, NodeId to, PooledBuffer bytes) {
   const int fd = socket_for_send(from);
   if (fd < 0) {
     send_errors_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  const sockaddr_in dst = addr_for(static_cast<std::uint16_t>(base_port_ + to.value));
+  sockaddr_in dst = addr_for(static_cast<std::uint16_t>(base_port_ + to.value));
   const std::size_t total = bytes.size();
   const std::size_t frag_count = (total + kMaxFragPayload - 1) / kMaxFragPayload;
   const std::uint32_t msg_id = next_msg_id_.fetch_add(1, std::memory_order_relaxed);
@@ -123,20 +139,24 @@ void UdpNetwork::send(NodeId from, NodeId to, wire::Buffer bytes) {
     put_u32(header + 2, msg_id);
     put_u16(header + 6, static_cast<std::uint16_t>(i));
     put_u16(header + 8, static_cast<std::uint16_t>(frag_count));
-    std::vector<std::uint8_t> datagram;
-    datagram.reserve(kFragHeader + len);
-    datagram.insert(datagram.end(), header, header + kFragHeader);
-    datagram.insert(datagram.end(), bytes.begin() + static_cast<std::ptrdiff_t>(off),
-                    bytes.begin() + static_cast<std::ptrdiff_t>(off + len));
-    const ssize_t sent =
-        ::sendto(fd, datagram.data(), datagram.size(), 0,
-                 reinterpret_cast<const sockaddr*>(&dst), sizeof dst);
+    // Scatter/gather write: header + payload slice straight from the pooled
+    // buffer, no per-fragment datagram assembly.
+    iovec iov[2];
+    iov[0] = {header, kFragHeader};
+    iov[1] = {const_cast<std::uint8_t*>(bytes.data()) + off, len};
+    msghdr msg{};
+    msg.msg_name = &dst;
+    msg.msg_namelen = sizeof dst;
+    msg.msg_iov = iov;
+    msg.msg_iovlen = len > 0 ? 2 : 1;
+    const ssize_t sent = ::sendmsg(fd, &msg, 0);
     if (sent < 0) {
       send_errors_.fetch_add(1, std::memory_order_relaxed);
     } else {
       datagrams_sent_.fetch_add(1, std::memory_order_relaxed);
     }
   }
+  // `bytes` is recycled into the pool on return.
 }
 
 void UdpNetwork::receive_loop(Node& node) {
@@ -154,6 +174,7 @@ void UdpNetwork::receive_loop(Node& node) {
     const std::uint8_t* payload = buf.data() + kFragHeader;
     const std::size_t payload_len = static_cast<std::size_t>(n) - kFragHeader;
     if (count <= 1) {
+      std::lock_guard<std::mutex> lock(node.handler_mu);
       if (node.handler) node.handler(payload, payload_len);
       continue;
     }
@@ -168,6 +189,7 @@ void UdpNetwork::receive_loop(Node& node) {
         whole.insert(whole.end(), frag.begin(), frag.end());
       }
       node.partials.erase(msg_id);
+      std::lock_guard<std::mutex> lock(node.handler_mu);
       if (node.handler) node.handler(whole.data(), whole.size());
     }
     // Bound reassembly memory: drop oldest partials beyond a small cap.

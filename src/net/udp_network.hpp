@@ -35,7 +35,14 @@ class UdpNetwork : public Transport {
   UdpNetwork& operator=(const UdpNetwork&) = delete;
 
   void attach(NodeId node, MessageHandler handler) override;
-  void send(NodeId from, NodeId to, wire::Buffer bytes) override;
+  /// Clears the node's handler; blocks until an in-flight callback on the
+  /// receive thread has returned. The socket keeps draining (and dropping)
+  /// datagrams until stop().
+  void detach(NodeId node) override;
+  using Transport::send;
+  // Fragments are written with scatter/gather I/O (header + payload slice),
+  // so sending allocates nothing; the pooled buffer is recycled on return.
+  void send(NodeId from, NodeId to, PooledBuffer bytes) override;
 
   /// Joins all receive threads and closes sockets. Called by the destructor.
   void stop();

@@ -40,6 +40,40 @@ class PointQuadtree final : public SpatialIndex {
     return true;
   }
 
+  /// Position update without the remove+insert hash churn of the default.
+  /// One root walk finds where `pos` would insert; if that terminates at the
+  /// object's own (childless) node, the point moves in place -- every
+  /// ancestor's quadrant relation still holds. Otherwise the old node is
+  /// tombstoned and a recycled node attaches at the walk's end, reusing the
+  /// existing by_id_ slot. Steady-state updates allocate nothing: the node
+  /// free list is restocked wholesale by the amortized rebuilds.
+  void update(ObjectId id, geo::Point pos) override {
+    const auto it = by_id_.find(id);
+    if (it == by_id_.end()) {
+      insert(id, pos);
+      return;
+    }
+    Node* node = it->second;
+    Node* cur = root_.get();
+    for (;;) {
+      const int q = quadrant_of(cur->pos, pos);
+      Node* next = cur->child[q].get();
+      if (next == nullptr) {
+        if (cur == node && is_leaf(node)) {
+          node->pos = pos;
+          return;
+        }
+        node->alive = false;
+        ++dead_;
+        cur->child[q] = make_node(id, pos);
+        it->second = cur->child[q].get();
+        maybe_rebuild();
+        return;
+      }
+      cur = next;
+    }
+  }
+
   void query_rect(const geo::Rect& rect, std::vector<Entry>& out) const override {
     query_rect_rec(root_.get(), rect, out);
   }
@@ -85,6 +119,7 @@ class PointQuadtree final : public SpatialIndex {
   void clear() override {
     root_.reset();
     by_id_.clear();
+    free_.clear();
     alive_ = 0;
     dead_ = 0;
   }
@@ -121,11 +156,30 @@ class PointQuadtree final : public SpatialIndex {
     return r;
   }
 
-  static std::unique_ptr<Node> make_node(ObjectId id, geo::Point pos) {
-    auto node = std::make_unique<Node>();
+  static bool is_leaf(const Node* n) {
+    return !n->child[0] && !n->child[1] && !n->child[2] && !n->child[3];
+  }
+
+  std::unique_ptr<Node> make_node(ObjectId id, geo::Point pos) {
+    std::unique_ptr<Node> node;
+    if (!free_.empty()) {
+      node = std::move(free_.back());
+      free_.pop_back();
+      node->alive = true;
+      for (auto& c : node->child) c.reset();
+    } else {
+      node = std::make_unique<Node>();
+    }
     node->id = id;
     node->pos = pos;
     return node;
+  }
+
+  /// Moves an entire subtree into the free list (children first).
+  void harvest(std::unique_ptr<Node> n) {
+    if (!n) return;
+    for (auto& c : n->child) harvest(std::move(c));
+    free_.push_back(std::move(n));
   }
 
   Node* insert_node(ObjectId id, geo::Point pos) {
@@ -168,7 +222,10 @@ class PointQuadtree final : public SpatialIndex {
     // insertion order; a deterministic shuffle restores expected O(log n).
     Rng rng(0x9d7f3c2b1ULL + entries.size());
     std::shuffle(entries.begin(), entries.end(), rng);
-    root_.reset();
+    // Recycle every node (live and tombstoned): the free list this leaves
+    // behind feeds make_node until the next rebuild, making steady-state
+    // updates allocation-free.
+    harvest(std::move(root_));
     by_id_.clear();
     dead_ = 0;
     alive_ = 0;
@@ -184,6 +241,7 @@ class PointQuadtree final : public SpatialIndex {
   }
 
   std::unique_ptr<Node> root_;
+  std::vector<std::unique_ptr<Node>> free_;
   std::unordered_map<ObjectId, Node*> by_id_;
   std::size_t alive_ = 0;
   std::size_t dead_ = 0;

@@ -83,9 +83,9 @@ void SightingDb::objects_in_area(const geo::Polygon& area, double req_acc,
   // within req_acc of the area: the inflated bounding box is a complete
   // candidate set.
   const geo::Rect search = area.bounding_box().inflated(std::max(req_acc, 0.0));
-  std::vector<spatial::Entry> candidates;
-  index_->query_rect(search, candidates);
-  for (const spatial::Entry& cand : candidates) {
+  candidates_scratch_.clear();
+  index_->query_rect(search, candidates_scratch_);
+  for (const spatial::Entry& cand : candidates_scratch_) {
     const auto it = records_.find(cand.id);
     assert(it != records_.end());
     const Record& rec = it->second;
@@ -99,9 +99,9 @@ void SightingDb::objects_in_area(const geo::Polygon& area, double req_acc,
 
 void SightingDb::objects_in_circle(const geo::Circle& circle, double req_acc,
                                    std::vector<core::ObjectResult>& out) const {
-  std::vector<spatial::Entry> candidates;
-  index_->query_circle(circle, candidates);
-  for (const spatial::Entry& cand : candidates) {
+  candidates_scratch_.clear();
+  index_->query_circle(circle, candidates_scratch_);
+  for (const spatial::Entry& cand : candidates_scratch_) {
     const auto it = records_.find(cand.id);
     assert(it != records_.end());
     const Record& rec = it->second;

@@ -84,6 +84,10 @@ class SightingDb {
 
   spatial::IndexFactory index_factory_;
   std::unique_ptr<spatial::SpatialIndex> index_;
+  // Candidate scratch for the area/circle queries, reused across calls (the
+  // owning server is a single-threaded reactor, so const queries never run
+  // concurrently).
+  mutable std::vector<spatial::Entry> candidates_scratch_;
   std::unordered_map<ObjectId, Record> records_;
   std::vector<HeapEntry> expiry_heap_;  // min-heap via std::push_heap
   std::uint64_t next_generation_ = 1;

@@ -120,6 +120,7 @@ Status VisitorDb::compact() {
       w.u64(oid.value);
       w.u32(rec.forward_ref.value);
     }
+    w.flush();
     records.push_back(std::move(buf));
   }
   return log_->rewrite(records);
@@ -132,6 +133,7 @@ void VisitorDb::log_set_forward(ObjectId oid, NodeId child) {
   w.u8(static_cast<std::uint8_t>(LogOp::kSetForward));
   w.u64(oid.value);
   w.u32(child.value);
+  w.flush();
   log_->append(buf);
 }
 
@@ -145,6 +147,7 @@ void VisitorDb::log_insert_leaf(ObjectId oid, double acc, const core::RegInfo& r
   w.u32(reg.reg_inst.value);
   w.f64(reg.acc_range.desired);
   w.f64(reg.acc_range.minimum);
+  w.flush();
   log_->append(buf);
 }
 
@@ -155,6 +158,7 @@ void VisitorDb::log_set_acc(ObjectId oid, double acc) {
   w.u8(static_cast<std::uint8_t>(LogOp::kSetAcc));
   w.u64(oid.value);
   w.f64(acc);
+  w.flush();
   log_->append(buf);
 }
 
@@ -164,6 +168,7 @@ void VisitorDb::log_remove(ObjectId oid) {
   wire::Writer w(buf);
   w.u8(static_cast<std::uint8_t>(LogOp::kRemove));
   w.u64(oid.value);
+  w.flush();
   log_->append(buf);
 }
 

@@ -3,11 +3,29 @@
 // this, both over real UDP and over the in-process simulated network, so
 // serialization cost is always on the measured path (as it was in the
 // paper's UDP prototype).
+//
+// Hot-path design (zero-allocation steady state):
+//  * Writer is cursor-based: fields are stored through a raw pointer with
+//    one bounds check each (never per-byte container bookkeeping), and the
+//    buffer size is finalized by flush(). Its reserve() size-hint protocol
+//    lets encode_envelope_into() pre-size the buffer per message, so a
+//    pooled buffer reaches steady-state capacity after the first few
+//    messages and never reallocates again.
+//  * Reader is zero-copy: str() and bytes() return views INTO the datagram
+//    being decoded. View lifetime contract: a view is valid only while the
+//    receive buffer it points into is alive and unmodified -- i.e. for the
+//    duration of the transport handler invocation. A decoded message that
+//    must outlive the datagram (stored, queued, re-sent later) must take an
+//    explicit owning copy of every view field via own().
+//  * Varint decode is hardened: encodings longer than 10 bytes, or whose
+//    10th byte carries bits beyond 2^64, set the sticky failure flag
+//    (never UB, never silent truncation).
 #pragma once
 
 #include <bit>
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -18,23 +36,68 @@ namespace locs::wire {
 
 using Buffer = std::vector<std::uint8_t>;
 
+/// The explicit "own" step of the view lifetime contract: copies a view
+/// returned by Reader::str() into an owning string.
+inline std::string own(std::string_view v) { return std::string(v); }
+
+/// Cursor-based writer appending to a Buffer. Fields are written through a
+/// raw pointer (one bounds check per field, no per-byte container
+/// bookkeeping); the buffer's SIZE is only correct after flush(), which the
+/// destructor also runs. Idiom:
+///
+///   { Writer w(buf); w.u64(...); ... }   // flushed by scope exit, or
+///   Writer w(buf); ...; w.flush();       // explicit, then read buf
+///
+/// Growth doubles the working region, so with a reserve() size hint (or a
+/// pooled buffer at working capacity) a message encodes with zero
+/// reallocations.
 class Writer {
  public:
-  explicit Writer(Buffer& out) : out_(out) {}
-
-  void u8(std::uint8_t v) { out_.push_back(v); }
-
-  void u32_fixed(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  explicit Writer(Buffer& out) : out_(out) {
+    cur_ = end_ = out_.data() + out_.size();
   }
 
-  /// LEB128 varint.
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  // Only flushes when there is an unflushed tail: after an explicit flush()
+  // cur_ == end_, which also makes it safe to move the buffer out (flush
+  // first!) and let the Writer die afterwards.
+  ~Writer() {
+    if (cur_ != end_) flush();
+  }
+
+  /// Shrinks the buffer to the bytes actually written. Idempotent; writing
+  /// may continue after a flush. Call this before reading the buffer or
+  /// moving it elsewhere.
+  void flush() {
+    out_.resize(static_cast<std::size_t>(cur_ - out_.data()));
+    end_ = cur_;
+  }
+
+  /// Size-hint protocol: pre-grows the working region by `n` bytes so the
+  /// writes that follow never reallocate.
+  void reserve(std::size_t n) { ensure(n); }
+
+  void u8(std::uint8_t v) {
+    ensure(1);
+    *cur_++ = v;
+  }
+
+  void u32_fixed(std::uint32_t v) {
+    ensure(4);
+    store_le(cur_, v);
+    cur_ += 4;
+  }
+
+  /// LEB128 varint; one capacity check, then raw stores.
   void u64(std::uint64_t v) {
+    ensure(10);
     while (v >= 0x80) {
-      out_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      *cur_++ = static_cast<std::uint8_t>(v) | 0x80;
       v >>= 7;
     }
-    out_.push_back(static_cast<std::uint8_t>(v));
+    *cur_++ = static_cast<std::uint8_t>(v);
   }
 
   void u32(std::uint32_t v) { u64(v); }
@@ -45,64 +108,101 @@ class Writer {
         static_cast<std::uint64_t>(v >> 63));
   }
 
-  void f64(double v) { u64_fixed(std::bit_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    ensure(8);
+    store_le(cur_, std::bit_cast<std::uint64_t>(v));
+    cur_ += 8;
+  }
 
   void str(std::string_view s) {
     u64(s.size());
-    out_.insert(out_.end(), s.begin(), s.end());
+    bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
   }
 
   void boolean(bool b) { u8(b ? 1 : 0); }
 
   void bytes(const std::uint8_t* data, std::size_t len) {
-    out_.insert(out_.end(), data, data + len);
+    ensure(len);
+    if (len > 0) std::memcpy(cur_, data, len);
+    cur_ += len;
   }
 
  private:
-  void u64_fixed(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  void ensure(std::size_t n) {
+    if (static_cast<std::size_t>(end_ - cur_) < n) grow(n);
+  }
+
+  void grow(std::size_t n) {
+    const std::size_t used = static_cast<std::size_t>(cur_ - out_.data());
+    const std::size_t grown = std::max(used + n, 2 * out_.size());
+    out_.resize(std::max<std::size_t>(grown, 64));
+    cur_ = out_.data() + used;
+    end_ = out_.data() + out_.size();
+  }
+
+  template <typename T>
+  static void store_le(std::uint8_t* p, T v) {
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(p, &v, sizeof v);
+    } else {
+      for (std::size_t i = 0; i < sizeof v; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
   }
 
   Buffer& out_;
+  std::uint8_t* cur_;
+  std::uint8_t* end_;
 };
 
-/// Bounds-checked reader. On any overrun sets a sticky failure flag; callers
-/// check ok() once after decoding a whole message (monadic style keeps the
-/// per-field code branch-free).
+/// Bounds-checked reader over a datagram. On any overrun or malformed field
+/// it sets a sticky failure flag; callers check ok() once after decoding a
+/// whole message (monadic style keeps the per-field code branch-free).
+///
+/// Zero-copy: str() and bytes() return views into the datagram (see the
+/// lifetime contract in the header comment; copy via own() to outlive it).
 class Reader {
  public:
-  Reader(const std::uint8_t* data, std::size_t len) : data_(data), len_(len) {}
+  Reader(const std::uint8_t* data, std::size_t len)
+      : p_(data), end_(data + len) {}
   explicit Reader(const Buffer& buf) : Reader(buf.data(), buf.size()) {}
 
   bool ok() const { return ok_; }
-  std::size_t remaining() const { return len_ - pos_; }
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
 
   std::uint8_t u8() {
     if (!ensure(1)) return 0;
-    return data_[pos_++];
+    return *p_++;
   }
 
   std::uint32_t u32_fixed() {
     if (!ensure(4)) return 0;
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    const std::uint32_t v = load_le<std::uint32_t>(p_);
+    p_ += 4;
     return v;
   }
 
+  /// Hardened LEB128 decode: accepts at most 10 bytes, and the 10th byte may
+  /// only contribute bit 63 (values 0x00/0x01). Overlong >10-byte encodings
+  /// and 2^64 overflow set the sticky failure flag instead of truncating.
   std::uint64_t u64() {
+    if (!ok_) return 0;
+    const std::uint8_t* p = p_;
+    const std::uint8_t* lim = end_ - p > 10 ? p + 10 : end_;
     std::uint64_t v = 0;
     int shift = 0;
-    for (;;) {
-      if (!ensure(1) || shift > 63) {
-        ok_ = false;
-        return 0;
+    while (p != lim) {
+      const std::uint64_t byte = *p++;
+      v |= (byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        if (shift == 63 && byte > 1) break;  // bits beyond 2^64: malformed
+        p_ = p;
+        return v;
       }
-      const std::uint8_t byte = data_[pos_++];
-      v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-      if ((byte & 0x80) == 0) break;
       shift += 7;
     }
-    return v;
+    ok_ = false;  // truncated, continuation past 10 bytes, or overflow
+    return 0;
   }
 
   std::uint32_t u32() {
@@ -116,14 +216,30 @@ class Reader {
     return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
   }
 
-  double f64() { return std::bit_cast<double>(u64_fixed()); }
+  double f64() {
+    if (!ensure(8)) return 0.0;
+    const std::uint64_t v = load_le<std::uint64_t>(p_);
+    p_ += 8;
+    return std::bit_cast<double>(v);
+  }
 
-  std::string str() {
+  /// View into the datagram (length-prefixed); copies nothing. See the
+  /// lifetime contract above -- use own() for a copy that outlives it.
+  std::string_view str() {
     const std::uint64_t n = u64();
     if (!ensure(n)) return {};
-    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
-    pos_ += n;
-    return s;
+    std::string_view v(reinterpret_cast<const char*>(p_),
+                       static_cast<std::size_t>(n));
+    p_ += n;
+    return v;
+  }
+
+  /// View of the next `n` raw bytes; copies nothing (same contract as str).
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    if (!ensure(n)) return {};
+    std::span<const std::uint8_t> v(p_, n);
+    p_ += n;
+    return v;
   }
 
   bool boolean() { return u8() != 0; }
@@ -134,24 +250,30 @@ class Reader {
   }
 
  private:
-  std::uint64_t u64_fixed() {
-    if (!ensure(8)) return 0;
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
-    return v;
+  template <typename T>
+  static T load_le(const std::uint8_t* p) {
+    if constexpr (std::endian::native == std::endian::little) {
+      T v;
+      std::memcpy(&v, p, sizeof v);
+      return v;
+    } else {
+      T v = 0;
+      for (std::size_t i = 0; i < sizeof v; ++i)
+        v |= static_cast<T>(p[i]) << (8 * i);
+      return v;
+    }
   }
 
   bool ensure(std::uint64_t n) {
-    if (!ok_ || n > len_ - pos_) {
+    if (!ok_ || n > static_cast<std::size_t>(end_ - p_)) {
       ok_ = false;
       return false;
     }
     return true;
   }
 
-  const std::uint8_t* data_;
-  std::size_t len_;
-  std::size_t pos_ = 0;
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
   bool ok_ = true;
 };
 

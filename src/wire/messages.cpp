@@ -1,5 +1,7 @@
 #include "wire/messages.hpp"
 
+#include <algorithm>
+
 namespace locs::wire {
 
 namespace {
@@ -25,13 +27,19 @@ void put(Writer& w, const geo::Polygon& poly) {
   for (const geo::Point& p : poly.vertices()) put(w, p);
 }
 
-geo::Polygon get_polygon(Reader& r) {
+/// In-place polygon decode: steals the target's vertex vector so its
+/// capacity is reused across messages (zero allocations in steady state).
+void get_polygon_into(Reader& r, geo::Polygon& out) {
+  std::vector<geo::Point> pts = out.take_vertices();
+  pts.clear();
   const std::uint64_t n = r.u64();
-  if (!r.ok() || n > 1'000'000) return geo::Polygon{};
-  std::vector<geo::Point> pts;
-  pts.reserve(n);
-  for (std::uint64_t i = 0; i < n && r.ok(); ++i) pts.push_back(get_point(r));
-  return geo::Polygon(std::move(pts));
+  if (r.ok() && n <= 1'000'000) {
+    // Clamp the reserve by the bytes actually present (16 per point): a
+    // corrupt length prefix must not pin megabytes in the scratch envelope.
+    pts.reserve(std::min<std::uint64_t>(n, r.remaining() / 16 + 1));
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) pts.push_back(get_point(r));
+  }
+  out = geo::Polygon(std::move(pts));
 }
 
 void put(Writer& w, ObjectId id) { w.u64(id.value); }
@@ -109,13 +117,14 @@ void put(Writer& w, const std::vector<ObjectResult>& v) {
   for (const auto& res : v) put(w, res);
 }
 
-std::vector<ObjectResult> get_results(Reader& r) {
+void get_results_into(Reader& r, std::vector<ObjectResult>& v) {
+  v.clear();
   const std::uint64_t n = r.u64();
-  if (!r.ok() || n > 10'000'000) return {};
-  std::vector<ObjectResult> v;
-  v.reserve(n);
+  if (!r.ok() || n > 10'000'000) return;
+  // Clamp the reserve by the bytes actually present (>= 25 per result): a
+  // corrupt length prefix must not pin hundreds of MB in scratch envelopes.
+  v.reserve(std::min<std::uint64_t>(n, r.remaining() / 25 + 1));
   for (std::uint64_t i = 0; i < n && r.ok(); ++i) v.push_back(get_object_result(r));
-  return v;
 }
 
 void put(Writer& w, const std::optional<OriginArea>& origin) {
@@ -126,12 +135,14 @@ void put(Writer& w, const std::optional<OriginArea>& origin) {
   }
 }
 
-std::optional<OriginArea> get_origin(Reader& r) {
-  if (!r.boolean()) return std::nullopt;
-  OriginArea o;
-  o.leaf = get_node(r);
-  o.area = get_polygon(r);
-  return o;
+void get_origin_into(Reader& r, std::optional<OriginArea>& out) {
+  if (!r.boolean()) {
+    out.reset();
+    return;
+  }
+  if (!out) out.emplace();
+  out->leaf = get_node(r);
+  get_polygon_into(r, out->area);
 }
 
 // --- per-message encode ------------------------------------------------------
@@ -323,290 +334,266 @@ void encode(Writer& w, const EventNotify& m) {
 void encode(Writer& w, const EventUnsubscribe& m) { w.u64(m.sub_id); }
 
 // --- per-message decode ------------------------------------------------------
+//
+// decode_into fills an existing message in place: vectors/polygons/strings
+// keep their capacity, so decoding a steady stream of one message type into
+// a scratch envelope allocates nothing.
 
-template <typename T>
-T decode(Reader& r);
-
-template <>
-RegisterReq decode(Reader& r) {
-  RegisterReq m;
+void decode_into(Reader& r, RegisterReq& m) {
   m.s = get_sighting(r);
-  m.obj_info = r.str();
+  // Messages outlive the datagram, so the string view must be owned here
+  // (assign reuses the existing capacity).
+  const std::string_view info = r.str();
+  m.obj_info.assign(info.data(), info.size());
   m.acc_range = get_acc_range(r);
   m.reg_inst = get_node(r);
   m.req_id = r.u64();
-  return m;
 }
 
-template <>
-RegisterRes decode(Reader& r) {
-  RegisterRes m;
+void decode_into(Reader& r, RegisterRes& m) {
   m.agent = get_node(r);
   m.offered_acc = r.f64();
   m.req_id = r.u64();
-  return m;
 }
 
-template <>
-RegisterFailed decode(Reader& r) {
-  RegisterFailed m;
+void decode_into(Reader& r, RegisterFailed& m) {
   m.server = get_node(r);
   m.best_acc = r.f64();
   m.req_id = r.u64();
-  return m;
 }
 
-template <>
-CreatePath decode(Reader& r) {
-  return CreatePath{get_oid(r)};
-}
+void decode_into(Reader& r, CreatePath& m) { m.oid = get_oid(r); }
+void decode_into(Reader& r, RemovePath& m) { m.oid = get_oid(r); }
+void decode_into(Reader& r, UpdateReq& m) { m.s = get_sighting(r); }
 
-template <>
-RemovePath decode(Reader& r) {
-  return RemovePath{get_oid(r)};
-}
-
-template <>
-UpdateReq decode(Reader& r) {
-  return UpdateReq{get_sighting(r)};
-}
-
-template <>
-UpdateAck decode(Reader& r) {
-  UpdateAck m;
+void decode_into(Reader& r, UpdateAck& m) {
   m.oid = get_oid(r);
   m.offered_acc = r.f64();
-  return m;
 }
 
-template <>
-HandoverReq decode(Reader& r) {
-  HandoverReq m;
+void decode_into(Reader& r, HandoverReq& m) {
   m.s = get_sighting(r);
   m.reg_info = get_reg_info(r);
   m.prev_offered_acc = r.f64();
   m.direct = r.boolean();
   m.req_id = r.u64();
-  m.origin = get_origin(r);
-  return m;
+  get_origin_into(r, m.origin);
 }
 
-template <>
-HandoverRes decode(Reader& r) {
-  HandoverRes m;
+void decode_into(Reader& r, HandoverRes& m) {
   m.oid = get_oid(r);
   m.new_agent = get_node(r);
   m.offered_acc = r.f64();
   m.req_id = r.u64();
-  m.origin = get_origin(r);
-  return m;
+  get_origin_into(r, m.origin);
 }
 
-template <>
-AgentChanged decode(Reader& r) {
-  AgentChanged m;
+void decode_into(Reader& r, AgentChanged& m) {
   m.oid = get_oid(r);
   m.new_agent = get_node(r);
   m.offered_acc = r.f64();
-  return m;
 }
 
-template <>
-PosQueryReq decode(Reader& r) {
-  PosQueryReq m;
+void decode_into(Reader& r, PosQueryReq& m) {
   m.oid = get_oid(r);
   m.req_id = r.u64();
-  return m;
 }
 
-template <>
-PosQueryFwd decode(Reader& r) {
-  PosQueryFwd m;
+void decode_into(Reader& r, PosQueryFwd& m) {
   m.oid = get_oid(r);
   m.entry = get_node(r);
   m.req_id = r.u64();
-  return m;
 }
 
-template <>
-PosQueryRes decode(Reader& r) {
-  PosQueryRes m;
+void decode_into(Reader& r, PosQueryRes& m) {
   m.oid = get_oid(r);
   m.found = r.boolean();
   m.ld = get_ld(r);
   m.agent = get_node(r);
   m.req_id = r.u64();
-  m.origin = get_origin(r);
-  return m;
+  get_origin_into(r, m.origin);
 }
 
-template <>
-RangeQueryReq decode(Reader& r) {
-  RangeQueryReq m;
-  m.area = get_polygon(r);
+void decode_into(Reader& r, RangeQueryReq& m) {
+  get_polygon_into(r, m.area);
   m.req_acc = r.f64();
   m.req_overlap = r.f64();
   m.req_id = r.u64();
-  return m;
 }
 
-template <>
-RangeQueryFwd decode(Reader& r) {
-  RangeQueryFwd m;
-  m.area = get_polygon(r);
+void decode_into(Reader& r, RangeQueryFwd& m) {
+  get_polygon_into(r, m.area);
   m.req_acc = r.f64();
   m.req_overlap = r.f64();
   m.entry = get_node(r);
   m.req_id = r.u64();
   m.direct = r.boolean();
-  return m;
 }
 
-template <>
-RangeQuerySubRes decode(Reader& r) {
-  RangeQuerySubRes m;
+void decode_into(Reader& r, RangeQuerySubRes& m) {
   m.req_id = r.u64();
   m.covered_size = r.f64();
-  m.results = get_results(r);
-  m.origin = get_origin(r);
-  return m;
+  get_results_into(r, m.results);
+  get_origin_into(r, m.origin);
 }
 
-template <>
-RangeQueryRes decode(Reader& r) {
-  RangeQueryRes m;
+void decode_into(Reader& r, RangeQueryRes& m) {
   m.req_id = r.u64();
   m.complete = r.boolean();
-  m.results = get_results(r);
-  return m;
+  get_results_into(r, m.results);
 }
 
-template <>
-NNQueryReq decode(Reader& r) {
-  NNQueryReq m;
+void decode_into(Reader& r, NNQueryReq& m) {
   m.p = get_point(r);
   m.req_acc = r.f64();
   m.near_qual = r.f64();
   m.req_id = r.u64();
-  return m;
 }
 
-template <>
-NNProbeFwd decode(Reader& r) {
-  NNProbeFwd m;
+void decode_into(Reader& r, NNProbeFwd& m) {
   m.p = get_point(r);
   m.radius = r.f64();
   m.req_acc = r.f64();
   m.coordinator = get_node(r);
   m.req_id = r.u64();
-  return m;
 }
 
-template <>
-NNProbeSubRes decode(Reader& r) {
-  NNProbeSubRes m;
+void decode_into(Reader& r, NNProbeSubRes& m) {
   m.req_id = r.u64();
   m.covered_size = r.f64();
-  m.candidates = get_results(r);
-  m.origin = get_origin(r);
-  return m;
+  get_results_into(r, m.candidates);
+  get_origin_into(r, m.origin);
 }
 
-template <>
-NNQueryRes decode(Reader& r) {
-  NNQueryRes m;
+void decode_into(Reader& r, NNQueryRes& m) {
   m.req_id = r.u64();
   m.found = r.boolean();
   m.nearest = get_object_result(r);
-  m.near_set = get_results(r);
-  return m;
+  get_results_into(r, m.near_set);
 }
 
-template <>
-ChangeAccReq decode(Reader& r) {
-  ChangeAccReq m;
+void decode_into(Reader& r, ChangeAccReq& m) {
   m.oid = get_oid(r);
   m.acc_range = get_acc_range(r);
   m.req_id = r.u64();
-  return m;
 }
 
-template <>
-ChangeAccRes decode(Reader& r) {
-  ChangeAccRes m;
+void decode_into(Reader& r, ChangeAccRes& m) {
   m.req_id = r.u64();
   m.ok = r.boolean();
   m.offered_acc = r.f64();
-  return m;
 }
 
-template <>
-NotifyAvailAcc decode(Reader& r) {
-  NotifyAvailAcc m;
+void decode_into(Reader& r, NotifyAvailAcc& m) {
   m.oid = get_oid(r);
   m.offered_acc = r.f64();
-  return m;
 }
 
-template <>
-DeregisterReq decode(Reader& r) {
-  return DeregisterReq{get_oid(r)};
-}
+void decode_into(Reader& r, DeregisterReq& m) { m.oid = get_oid(r); }
+void decode_into(Reader& r, RefreshReq& m) { m.oid = get_oid(r); }
 
-template <>
-RefreshReq decode(Reader& r) {
-  return RefreshReq{get_oid(r)};
-}
-
-template <>
-EventSubscribe decode(Reader& r) {
-  EventSubscribe m;
+void decode_into(Reader& r, EventSubscribe& m) {
   m.sub_id = r.u64();
   m.kind = static_cast<PredicateKind>(r.u8());
-  m.area = get_polygon(r);
+  get_polygon_into(r, m.area);
   m.threshold = r.u32();
   m.obj_a = get_oid(r);
   m.obj_b = get_oid(r);
   m.dist = r.f64();
   m.subscriber = get_node(r);
-  return m;
 }
 
-template <>
-EventInstall decode(Reader& r) {
-  EventInstall m;
+void decode_into(Reader& r, EventInstall& m) {
   m.sub_id = r.u64();
   m.kind = static_cast<PredicateKind>(r.u8());
-  m.area = get_polygon(r);
+  get_polygon_into(r, m.area);
   m.obj_a = get_oid(r);
   m.obj_b = get_oid(r);
   m.dist = r.f64();
   m.coordinator = get_node(r);
-  return m;
 }
 
-template <>
-EventDelta decode(Reader& r) {
-  EventDelta m;
+void decode_into(Reader& r, EventDelta& m) {
   m.sub_id = r.u64();
   m.oid = get_oid(r);
   m.entered = r.boolean();
   m.pos = get_point(r);
-  return m;
 }
 
-template <>
-EventNotify decode(Reader& r) {
-  EventNotify m;
+void decode_into(Reader& r, EventNotify& m) {
   m.sub_id = r.u64();
   m.fired = r.boolean();
   m.count = r.u32();
-  return m;
 }
 
-template <>
-EventUnsubscribe decode(Reader& r) {
-  return EventUnsubscribe{r.u64()};
+void decode_into(Reader& r, EventUnsubscribe& m) { m.sub_id = r.u64(); }
+
+// --- per-message size hints --------------------------------------------------
+//
+// Upper-bound-ish estimates of the encoded payload, used by the Writer
+// reserve() size-hint protocol. Exactness is not required: the hint only has
+// to make buffer growth converge quickly so pooled buffers stop reallocating.
+
+constexpr std::size_t kEnvelopeBase = 64;
+
+std::size_t extra_hint(const geo::Polygon& p) { return 16 * p.size(); }
+std::size_t extra_hint(const std::optional<OriginArea>& o) {
+  return o ? 8 + extra_hint(o->area) : 1;
+}
+std::size_t extra_hint(const std::vector<ObjectResult>& v) {
+  return 26 * v.size();  // oid varint + 3 fixed doubles, worst case
+}
+
+template <typename M>
+std::size_t size_hint(const M&) {
+  return kEnvelopeBase;
+}
+std::size_t size_hint(const RegisterReq& m) {
+  return kEnvelopeBase + m.obj_info.size();
+}
+std::size_t size_hint(const HandoverReq& m) {
+  return kEnvelopeBase + extra_hint(m.origin);
+}
+std::size_t size_hint(const HandoverRes& m) {
+  return kEnvelopeBase + extra_hint(m.origin);
+}
+std::size_t size_hint(const PosQueryRes& m) {
+  return kEnvelopeBase + extra_hint(m.origin);
+}
+std::size_t size_hint(const RangeQueryReq& m) {
+  return kEnvelopeBase + extra_hint(m.area);
+}
+std::size_t size_hint(const RangeQueryFwd& m) {
+  return kEnvelopeBase + extra_hint(m.area);
+}
+std::size_t size_hint(const RangeQuerySubRes& m) {
+  return kEnvelopeBase + extra_hint(m.results) + extra_hint(m.origin);
+}
+std::size_t size_hint(const RangeQueryRes& m) {
+  return kEnvelopeBase + extra_hint(m.results);
+}
+std::size_t size_hint(const NNProbeSubRes& m) {
+  return kEnvelopeBase + extra_hint(m.candidates) + extra_hint(m.origin);
+}
+std::size_t size_hint(const NNQueryRes& m) {
+  return kEnvelopeBase + extra_hint(m.near_set);
+}
+std::size_t size_hint(const EventSubscribe& m) {
+  return kEnvelopeBase + extra_hint(m.area);
+}
+std::size_t size_hint(const EventInstall& m) {
+  return kEnvelopeBase + extra_hint(m.area);
+}
+
+template <typename M>
+void encode_envelope_impl(Buffer& out, NodeId src, const M& m) {
+  out.clear();
+  Writer w(out);
+  w.reserve(size_hint(m));
+  w.u8(kWireVersion);
+  w.u8(static_cast<std::uint8_t>(M::kType));
+  w.u32_fixed(src.value);
+  encode(w, m);
 }
 
 }  // namespace
@@ -653,65 +640,58 @@ MsgType message_type(const Message& msg) {
                     msg);
 }
 
+#define LOCS_WIRE_DEFINE_ENCODE_INTO(T)                             \
+  void encode_envelope_into(Buffer& out, NodeId src, const T& msg) { \
+    encode_envelope_impl(out, src, msg);                             \
+  }
+LOCS_WIRE_FOR_EACH_MESSAGE(LOCS_WIRE_DEFINE_ENCODE_INTO)
+#undef LOCS_WIRE_DEFINE_ENCODE_INTO
+
+void encode_envelope_into(Buffer& out, NodeId src, const Message& msg) {
+  std::visit([&](const auto& m) { encode_envelope_impl(out, src, m); }, msg);
+}
+
 Buffer encode_envelope(NodeId src, const Message& msg) {
   Buffer buf;
-  buf.reserve(64);
-  Writer w(buf);
-  w.u8(kWireVersion);
-  w.u8(static_cast<std::uint8_t>(message_type(msg)));
-  w.u32_fixed(src.value);
-  std::visit([&w](const auto& m) { encode(w, m); }, msg);
+  encode_envelope_into(buf, src, msg);
   return buf;
 }
 
-Result<Envelope> decode_envelope(const std::uint8_t* data, std::size_t len) {
+Status decode_envelope_into(Envelope& env, const std::uint8_t* data,
+                            std::size_t len) {
   Reader r(data, len);
   const std::uint8_t version = r.u8();
   if (!r.ok() || version != kWireVersion) {
     return Status(StatusCode::kCorruptData, "bad wire version");
   }
   const auto type = static_cast<MsgType>(r.u8());
-  const NodeId src{r.u32_fixed()};
-  Envelope env;
-  env.src = src;
+  env.src = NodeId{r.u32_fixed()};
   switch (type) {
-    case MsgType::kRegisterReq: env.msg = decode<RegisterReq>(r); break;
-    case MsgType::kRegisterRes: env.msg = decode<RegisterRes>(r); break;
-    case MsgType::kRegisterFailed: env.msg = decode<RegisterFailed>(r); break;
-    case MsgType::kCreatePath: env.msg = decode<CreatePath>(r); break;
-    case MsgType::kRemovePath: env.msg = decode<RemovePath>(r); break;
-    case MsgType::kUpdateReq: env.msg = decode<UpdateReq>(r); break;
-    case MsgType::kUpdateAck: env.msg = decode<UpdateAck>(r); break;
-    case MsgType::kHandoverReq: env.msg = decode<HandoverReq>(r); break;
-    case MsgType::kHandoverRes: env.msg = decode<HandoverRes>(r); break;
-    case MsgType::kAgentChanged: env.msg = decode<AgentChanged>(r); break;
-    case MsgType::kPosQueryReq: env.msg = decode<PosQueryReq>(r); break;
-    case MsgType::kPosQueryFwd: env.msg = decode<PosQueryFwd>(r); break;
-    case MsgType::kPosQueryRes: env.msg = decode<PosQueryRes>(r); break;
-    case MsgType::kRangeQueryReq: env.msg = decode<RangeQueryReq>(r); break;
-    case MsgType::kRangeQueryFwd: env.msg = decode<RangeQueryFwd>(r); break;
-    case MsgType::kRangeQuerySubRes: env.msg = decode<RangeQuerySubRes>(r); break;
-    case MsgType::kRangeQueryRes: env.msg = decode<RangeQueryRes>(r); break;
-    case MsgType::kNNQueryReq: env.msg = decode<NNQueryReq>(r); break;
-    case MsgType::kNNProbeFwd: env.msg = decode<NNProbeFwd>(r); break;
-    case MsgType::kNNProbeSubRes: env.msg = decode<NNProbeSubRes>(r); break;
-    case MsgType::kNNQueryRes: env.msg = decode<NNQueryRes>(r); break;
-    case MsgType::kChangeAccReq: env.msg = decode<ChangeAccReq>(r); break;
-    case MsgType::kChangeAccRes: env.msg = decode<ChangeAccRes>(r); break;
-    case MsgType::kNotifyAvailAcc: env.msg = decode<NotifyAvailAcc>(r); break;
-    case MsgType::kDeregisterReq: env.msg = decode<DeregisterReq>(r); break;
-    case MsgType::kRefreshReq: env.msg = decode<RefreshReq>(r); break;
-    case MsgType::kEventSubscribe: env.msg = decode<EventSubscribe>(r); break;
-    case MsgType::kEventInstall: env.msg = decode<EventInstall>(r); break;
-    case MsgType::kEventDelta: env.msg = decode<EventDelta>(r); break;
-    case MsgType::kEventNotify: env.msg = decode<EventNotify>(r); break;
-    case MsgType::kEventUnsubscribe: env.msg = decode<EventUnsubscribe>(r); break;
+// Reuse the envelope's current alternative when the type matches -- its
+// vectors/polygons keep their capacity across messages.
+#define LOCS_WIRE_DECODE_CASE(T)                  \
+  case MsgType::k##T:                             \
+    if (T* m = std::get_if<T>(&env.msg)) {        \
+      decode_into(r, *m);                         \
+    } else {                                      \
+      decode_into(r, env.msg.emplace<T>());       \
+    }                                             \
+    break;
+    LOCS_WIRE_FOR_EACH_MESSAGE(LOCS_WIRE_DECODE_CASE)
+#undef LOCS_WIRE_DECODE_CASE
     default:
       return Status(StatusCode::kCorruptData, "unknown message type");
   }
   if (!r.ok()) {
     return Status(StatusCode::kCorruptData, "truncated message");
   }
+  return Status::ok();
+}
+
+Result<Envelope> decode_envelope(const std::uint8_t* data, std::size_t len) {
+  Envelope env;
+  Status status = decode_envelope_into(env, data, len);
+  if (!status.is_ok()) return status;
   return env;
 }
 

@@ -354,6 +354,41 @@ struct EventUnsubscribe {
 
 // --- Envelope ----------------------------------------------------------------
 
+/// Every protocol message type, in MsgType order. Drives the Message variant
+/// helpers, the per-type encode overloads and the decode dispatch.
+#define LOCS_WIRE_FOR_EACH_MESSAGE(X)                                          \
+  X(RegisterReq)                                                               \
+  X(RegisterRes)                                                               \
+  X(RegisterFailed)                                                            \
+  X(CreatePath)                                                                \
+  X(RemovePath)                                                                \
+  X(UpdateReq)                                                                 \
+  X(UpdateAck)                                                                 \
+  X(HandoverReq)                                                               \
+  X(HandoverRes)                                                               \
+  X(AgentChanged)                                                              \
+  X(PosQueryReq)                                                               \
+  X(PosQueryFwd)                                                               \
+  X(PosQueryRes)                                                               \
+  X(RangeQueryReq)                                                             \
+  X(RangeQueryFwd)                                                             \
+  X(RangeQuerySubRes)                                                          \
+  X(RangeQueryRes)                                                             \
+  X(NNQueryReq)                                                                \
+  X(NNProbeFwd)                                                                \
+  X(NNProbeSubRes)                                                             \
+  X(NNQueryRes)                                                                \
+  X(ChangeAccReq)                                                              \
+  X(ChangeAccRes)                                                              \
+  X(NotifyAvailAcc)                                                            \
+  X(DeregisterReq)                                                             \
+  X(RefreshReq)                                                                \
+  X(EventSubscribe)                                                            \
+  X(EventInstall)                                                              \
+  X(EventDelta)                                                                \
+  X(EventNotify)                                                               \
+  X(EventUnsubscribe)
+
 using Message = std::variant<
     RegisterReq, RegisterRes, RegisterFailed, CreatePath, RemovePath, UpdateReq,
     UpdateAck, HandoverReq, HandoverRes, AgentChanged, PosQueryReq, PosQueryFwd,
@@ -369,9 +404,29 @@ struct Envelope {
 
 MsgType message_type(const Message& msg);
 
-/// Serializes [version][type][src][payload].
+// Hot-path encode: serializes [version][type][src][payload] into `out`
+// (cleared first), reserving a per-message size hint so a recycled buffer
+// never reallocates in steady state. The per-type overloads skip Message
+// variant construction entirely -- senders holding a concrete message type
+// (the common case in core/) pay no copy of embedded vectors/polygons.
+#define LOCS_WIRE_DECLARE_ENCODE_INTO(T) \
+  void encode_envelope_into(Buffer& out, NodeId src, const T& msg);
+LOCS_WIRE_FOR_EACH_MESSAGE(LOCS_WIRE_DECLARE_ENCODE_INTO)
+#undef LOCS_WIRE_DECLARE_ENCODE_INTO
+void encode_envelope_into(Buffer& out, NodeId src, const Message& msg);
+
+/// Convenience wrapper allocating a fresh buffer (cold paths, tests).
 Buffer encode_envelope(NodeId src, const Message& msg);
 
+/// Hot-path decode into a reusable scratch envelope. When `env.msg` already
+/// holds the incoming message type, the contained vectors/polygons/strings
+/// keep their capacity -- decoding a steady message stream allocates
+/// nothing. All variable-length fields are OWNED by the envelope (the §
+/// "own() step" happens inside), so the envelope may outlive the datagram.
+Status decode_envelope_into(Envelope& env, const std::uint8_t* data,
+                            std::size_t len);
+
+/// Convenience wrapper decoding into a fresh envelope (cold paths, tests).
 Result<Envelope> decode_envelope(const std::uint8_t* data, std::size_t len);
 inline Result<Envelope> decode_envelope(const Buffer& buf) {
   return decode_envelope(buf.data(), buf.size());

@@ -20,6 +20,7 @@ TEST(Codec, PrimitiveRoundTrip) {
   w.str("location service");
   w.boolean(true);
   w.u32_fixed(0x11223344);
+  w.flush();
 
   Reader r(buf);
   EXPECT_EQ(r.u8(), 0xab);
@@ -36,14 +37,68 @@ TEST(Codec, PrimitiveRoundTrip) {
 
 TEST(Codec, VarintBoundaries) {
   for (const std::uint64_t v :
-       {0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL, 0xffffffffULL,
+       {0ULL, 1ULL, 126ULL, 127ULL, 128ULL, 129ULL, 16383ULL, 16384ULL,
+        0xffffffffULL, 1ULL << 63, (1ULL << 63) - 1, (1ULL << 63) + 1,
         0xffffffffffffffffULL}) {
     Buffer buf;
     Writer w(buf);
     w.u64(v);
+    w.flush();
     Reader r(buf);
     EXPECT_EQ(r.u64(), v);
     EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+}
+
+TEST(Codec, VarintRejectsOverlongEncodings) {
+  // 11-byte encoding (continuation on the 10th byte): must sticky-fail, not
+  // loop or truncate.
+  {
+    const std::uint8_t overlong[11] = {0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+                                       0x80, 0x80, 0x80, 0x80, 0x00};
+    Reader r(overlong, sizeof overlong);
+    EXPECT_EQ(r.u64(), 0u);
+    EXPECT_FALSE(r.ok());
+  }
+  // 10th byte carrying bits beyond 2^64 (0x02): overflow must be rejected.
+  {
+    const std::uint8_t overflow[10] = {0xff, 0xff, 0xff, 0xff, 0xff,
+                                       0xff, 0xff, 0xff, 0xff, 0x02};
+    Reader r(overflow, sizeof overflow);
+    EXPECT_EQ(r.u64(), 0u);
+    EXPECT_FALSE(r.ok());
+  }
+  // 10-byte encoding of UINT64_MAX (10th byte 0x01) stays valid.
+  {
+    const std::uint8_t max[10] = {0xff, 0xff, 0xff, 0xff, 0xff,
+                                  0xff, 0xff, 0xff, 0xff, 0x01};
+    Reader r(max, sizeof max);
+    EXPECT_EQ(r.u64(), 0xffffffffffffffffULL);
+    EXPECT_TRUE(r.ok());
+  }
+  // 2^63 as the canonical 10-byte encoding.
+  {
+    const std::uint8_t p63[10] = {0x80, 0x80, 0x80, 0x80, 0x80,
+                                  0x80, 0x80, 0x80, 0x80, 0x01};
+    Reader r(p63, sizeof p63);
+    EXPECT_EQ(r.u64(), 1ULL << 63);
+    EXPECT_TRUE(r.ok());
+  }
+}
+
+TEST(Codec, VarintTruncatedMultibyteFails) {
+  // Continuation bit set but the buffer ends: every strict prefix of a
+  // multi-byte varint must sticky-fail.
+  Buffer buf;
+  {
+    Writer w(buf);
+    w.u64(0xffffffffffffffffULL);
+  }
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    Reader r(buf.data(), len);
+    EXPECT_EQ(r.u64(), 0u);
+    EXPECT_FALSE(r.ok()) << "prefix of length " << len << " decoded";
   }
 }
 
@@ -55,6 +110,7 @@ TEST(Codec, ZigZagBoundaries) {
     Buffer buf;
     Writer w(buf);
     w.i64(v);
+    w.flush();
     Reader r(buf);
     EXPECT_EQ(r.i64(), v);
   }
@@ -66,6 +122,7 @@ TEST(Codec, SpecialDoubles) {
     Buffer buf;
     Writer w(buf);
     w.f64(v);
+    w.flush();
     Reader r(buf);
     EXPECT_EQ(std::bit_cast<std::uint64_t>(r.f64()), std::bit_cast<std::uint64_t>(v));
   }
@@ -75,6 +132,7 @@ TEST(Codec, TruncatedReadsFailSticky) {
   Buffer buf;
   Writer w(buf);
   w.u64(300);
+  w.flush();
   Reader r(buf.data(), 0);
   (void)r.u64();
   EXPECT_FALSE(r.ok());
@@ -89,6 +147,7 @@ TEST(Codec, OversizedStringLengthRejected) {
   Buffer buf;
   Writer w(buf);
   w.u64(1 << 30);  // claims a 1 GiB string with no payload
+  w.flush();
   Reader r(buf);
   EXPECT_EQ(r.str(), "");
   EXPECT_FALSE(r.ok());

@@ -1,0 +1,267 @@
+// Hot-path invariants of the zero-allocation message pipeline:
+//  * view-based (zero-copy) Reader decoding and the own() contract,
+//  * scratch-envelope decode (decode_envelope_into) correctness across
+//    alternating message types,
+//  * BufferPool recycling without use-after-recycle,
+//  * SimNetwork determinism: pooled and unpooled runs produce bit-identical
+//    traces and counters (seed 42).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/deployment.hpp"
+#include "core/hierarchy_builder.hpp"
+#include "net/buffer_pool.hpp"
+#include "net/sim_network.hpp"
+#include "util/rng.hpp"
+#include "wire/messages.hpp"
+
+namespace locs {
+namespace {
+
+using namespace locs::wire;
+
+// --- zero-copy Reader views --------------------------------------------------
+
+TEST(HotpathCodec, StrReturnsViewIntoDatagram) {
+  Buffer buf;
+  {
+    Writer w(buf);
+    w.str("zero-copy");
+  }
+  Reader r(buf);
+  const std::string_view v = r.str();
+  EXPECT_EQ(v, "zero-copy");
+  // The view aliases the datagram -- no copy was made.
+  EXPECT_GE(reinterpret_cast<const std::uint8_t*>(v.data()), buf.data());
+  EXPECT_LT(reinterpret_cast<const std::uint8_t*>(v.data()), buf.data() + buf.size());
+  // own() detaches the data from the buffer's lifetime.
+  const std::string owned = own(v);
+  EXPECT_EQ(owned, "zero-copy");
+  EXPECT_NE(static_cast<const void*>(owned.data()), static_cast<const void*>(v.data()));
+}
+
+TEST(HotpathCodec, BytesReturnsBoundedView) {
+  Buffer buf;
+  {
+    Writer w(buf);
+    const std::uint8_t raw[] = {1, 2, 3, 4};
+    w.bytes(raw, sizeof raw);
+  }
+  Reader r(buf);
+  const auto view = r.bytes(4);
+  ASSERT_EQ(view.size(), 4u);
+  EXPECT_EQ(view[2], 3);
+  EXPECT_TRUE(r.ok());
+  // Over-read fails sticky and yields an empty view.
+  EXPECT_TRUE(r.bytes(1).empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(HotpathCodec, WriterFlushShrinksToWrittenBytes) {
+  Buffer buf;
+  Writer w(buf);
+  w.u8(7);
+  w.u64(1234567);
+  w.flush();
+  Reader r(buf);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u64(), 1234567u);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+// --- scratch-envelope decode -------------------------------------------------
+
+TEST(HotpathCodec, ScratchEnvelopeDecodesAlternatingTypes) {
+  RangeQuerySubRes sub;
+  sub.req_id = 42;
+  sub.covered_size = 10.0;
+  sub.results = {{ObjectId{1}, {{1, 2}, 3}}, {ObjectId{2}, {{4, 5}, 6}}};
+  sub.origin = OriginArea{NodeId{9}, geo::Polygon::from_rect({{0, 0}, {10, 10}})};
+  const Buffer sub_buf = encode_envelope(NodeId{5}, Message{sub});
+  const Buffer upd_buf = encode_envelope(
+      NodeId{6}, Message{UpdateReq{core::Sighting{ObjectId{3}, 1, {7, 8}, 9.0}}});
+
+  Envelope env;
+  // Same type twice (capacity reuse path), then a different type, then back.
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_TRUE(decode_envelope_into(env, sub_buf.data(), sub_buf.size()).is_ok());
+    EXPECT_EQ(env.src, NodeId{5});
+    const auto& got = std::get<RangeQuerySubRes>(env.msg);
+    EXPECT_EQ(got.results, sub.results);
+    ASSERT_TRUE(got.origin.has_value());
+    EXPECT_EQ(got.origin->leaf, NodeId{9});
+    EXPECT_EQ(got.origin->area.vertices().size(), 4u);
+
+    ASSERT_TRUE(decode_envelope_into(env, upd_buf.data(), upd_buf.size()).is_ok());
+    EXPECT_EQ(env.src, NodeId{6});
+    EXPECT_EQ(std::get<UpdateReq>(env.msg).s.oid, ObjectId{3});
+  }
+}
+
+TEST(HotpathCodec, ScratchEnvelopeClearsStaleOptionalFields) {
+  // A message WITH origin decoded over a scratch that previously held the
+  // same type WITHOUT origin (and vice versa) must not leak stale state.
+  RangeQuerySubRes with_origin;
+  with_origin.req_id = 1;
+  with_origin.origin = OriginArea{NodeId{3}, geo::Polygon::from_rect({{0, 0}, {1, 1}})};
+  RangeQuerySubRes without_origin;
+  without_origin.req_id = 2;
+
+  const Buffer a = encode_envelope(NodeId{1}, Message{with_origin});
+  const Buffer b = encode_envelope(NodeId{1}, Message{without_origin});
+  Envelope env;
+  ASSERT_TRUE(decode_envelope_into(env, a.data(), a.size()).is_ok());
+  EXPECT_TRUE(std::get<RangeQuerySubRes>(env.msg).origin.has_value());
+  ASSERT_TRUE(decode_envelope_into(env, b.data(), b.size()).is_ok());
+  EXPECT_FALSE(std::get<RangeQuerySubRes>(env.msg).origin.has_value());
+  EXPECT_EQ(std::get<RangeQuerySubRes>(env.msg).req_id, 2u);
+}
+
+// --- buffer pool ------------------------------------------------------------
+
+TEST(BufferPoolTest, RecyclesCapacity) {
+  net::BufferPool pool;
+  wire::Buffer a = pool.acquire();
+  a.resize(512);
+  const void* storage = a.data();
+  pool.release(std::move(a));
+  wire::Buffer b = pool.acquire();
+  EXPECT_EQ(b.size(), 0u) << "recycled buffers must come back empty";
+  EXPECT_GE(b.capacity(), 512u);
+  EXPECT_EQ(static_cast<const void*>(b.data()), storage);
+  EXPECT_EQ(pool.reused(), 1u);
+}
+
+TEST(BufferPoolTest, DisabledPoolDegradesToPlainAllocation) {
+  net::BufferPool pool;
+  pool.set_enabled(false);
+  wire::Buffer a = pool.acquire();
+  a.resize(64);
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.free_count(), 0u);
+  EXPECT_EQ(pool.acquire().capacity(), 0u);
+}
+
+TEST(BufferPoolTest, NoUseAfterRecycleThroughSimNetwork) {
+  // Two messages sent back to back: the second reuses the first's recycled
+  // buffer; delivered payloads must be the bytes of their own message.
+  net::SimNetwork net;
+  std::vector<std::vector<std::uint8_t>> delivered;
+  net.attach(NodeId{1}, [&](const std::uint8_t* data, std::size_t len) {
+    delivered.emplace_back(data, data + len);
+  });
+
+  auto send_payload = [&](std::uint8_t fill, std::size_t len) {
+    net::PooledBuffer buf = net.make_buffer();
+    buf->assign(len, fill);
+    net.send(NodeId{2}, NodeId{1}, std::move(buf));
+  };
+  send_payload(0xaa, 100);
+  net.run_until_idle();  // delivers and recycles the 0xaa buffer
+  send_payload(0xbb, 60);
+  send_payload(0xcc, 40);
+  net.run_until_idle();
+
+  ASSERT_EQ(delivered.size(), 3u);
+  EXPECT_EQ(delivered[0], std::vector<std::uint8_t>(100, 0xaa));
+  EXPECT_EQ(delivered[1], std::vector<std::uint8_t>(60, 0xbb));
+  EXPECT_EQ(delivered[2], std::vector<std::uint8_t>(40, 0xcc));
+  EXPECT_GT(net.pool().reused(), 0u) << "the pool was never exercised";
+}
+
+// --- determinism: pooled vs unpooled -----------------------------------------
+
+struct TraceRecord {
+  TimePoint at;
+  NodeId from, to;
+  wire::Buffer bytes;
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+/// Runs the same registration + update + query workload on a fresh world and
+/// returns the full delivery trace (seed 42 everywhere).
+std::vector<TraceRecord> run_workload(bool pooling) {
+  net::SimNetwork::Options opts;
+  opts.seed = 42;
+  net::SimNetwork net(opts);
+  net.pool().set_enabled(pooling);
+  std::vector<TraceRecord> trace;
+  net.set_tracer([&](TimePoint at, NodeId from, NodeId to, const wire::Buffer& b) {
+    trace.push_back({at, from, to, b});
+  });
+
+  core::Deployment deployment(
+      net, net.clock(),
+      core::HierarchyBuilder::grid(geo::Rect{{0, 0}, {1000, 1000}}, 2, 2, 1));
+
+  Rng rng(7);
+  std::vector<std::unique_ptr<core::TrackedObject>> objects;
+  for (std::uint64_t i = 1; i <= 40; ++i) {
+    const geo::Point p{rng.uniform(1, 999), rng.uniform(1, 999)};
+    auto obj = std::make_unique<core::TrackedObject>(
+        NodeId{static_cast<std::uint32_t>(1000 + i)}, ObjectId{i}, net, net.clock());
+    obj->start_register(deployment.entry_leaf_for(p), p, 1.0, {10.0, 100.0});
+    net.run_until_idle();
+    objects.push_back(std::move(obj));
+  }
+  // Updates (including cross-leaf moves that trigger handover).
+  for (int round = 0; round < 5; ++round) {
+    for (auto& obj : objects) {
+      obj->feed_position({rng.uniform(1, 999), rng.uniform(1, 999)});
+    }
+    net.run_until_idle();
+  }
+  core::QueryClient client(NodeId{5000}, net, net.clock());
+  client.set_entry(deployment.leaf_ids().front());
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    client.send_pos_query(ObjectId{i});
+    net.run_until_idle();
+  }
+  client.send_range_query(geo::Polygon::from_rect({{100, 100}, {900, 900}}), 50.0,
+                          0.5);
+  net.run_until_idle();
+
+  EXPECT_EQ(net.messages_dropped(), 0u);
+  EXPECT_GT(net.messages_sent(), 0u);
+  if (pooling) {
+    EXPECT_GT(net.pool().reused(), 0u) << "pooled run never recycled a buffer";
+  } else {
+    EXPECT_EQ(net.pool().reused(), 0u);
+  }
+  return trace;
+}
+
+TEST(SimNetworkDeterminism, PoolingIsTraceInvariant) {
+  const std::vector<TraceRecord> pooled = run_workload(/*pooling=*/true);
+  const std::vector<TraceRecord> unpooled = run_workload(/*pooling=*/false);
+  ASSERT_EQ(pooled.size(), unpooled.size());
+  for (std::size_t i = 0; i < pooled.size(); ++i) {
+    ASSERT_EQ(pooled[i], unpooled[i]) << "trace diverged at message " << i;
+  }
+}
+
+TEST(SimNetworkDeterminism, IdenticalSeedsIdenticalTraces) {
+  const std::vector<TraceRecord> a = run_workload(/*pooling=*/true);
+  const std::vector<TraceRecord> b = run_workload(/*pooling=*/true);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "trace diverged at message " << i;
+  }
+}
+
+TEST(SimNetworkDetach, DetachedNodeMessagesAreDropped) {
+  net::SimNetwork net;
+  int delivered = 0;
+  net.attach(NodeId{1}, [&](const std::uint8_t*, std::size_t) { ++delivered; });
+  net.send(NodeId{2}, NodeId{1}, wire::Buffer{1});
+  net.detach(NodeId{1});
+  net.send(NodeId{2}, NodeId{1}, wire::Buffer{2});
+  net.run_until_idle();
+  EXPECT_EQ(delivered, 0) << "messages queued before detach must also be dropped";
+}
+
+}  // namespace
+}  // namespace locs
