@@ -25,6 +25,7 @@ TrackedObject::~TrackedObject() { net_.detach(self_); }
 
 void TrackedObject::start_register(NodeId entry_server, geo::Point pos,
                                    double sensor_acc, AccuracyRange range) {
+  std::lock_guard<std::mutex> lock(mu_);
   sensor_acc_ = sensor_acc;
   last_fed_pos_ = pos;
   state_ = State::kRegistering;
@@ -38,6 +39,7 @@ void TrackedObject::start_register(NodeId entry_server, geo::Point pos,
 }
 
 bool TrackedObject::feed_position(geo::Point pos) {
+  std::lock_guard<std::mutex> lock(mu_);
   last_fed_pos_ = pos;
   if (state_ != State::kTracked) return false;
   const bool threshold_crossed =
@@ -59,18 +61,23 @@ void TrackedObject::send_update(geo::Point pos) {
 }
 
 void TrackedObject::request_change_acc(AccuracyRange range) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (state_ != State::kTracked) return;
   send_msg(agent_, wm::ChangeAccReq{oid_, range, ++req_counter_});
 }
 
 void TrackedObject::deregister() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (state_ != State::kTracked) return;
   send_msg(agent_, wm::DeregisterReq{oid_});
   state_ = State::kDeregistered;
 }
 
 void TrackedObject::handle(const std::uint8_t* data, std::size_t len) {
+  // rx_scratch_ needs no lock (one receive context per node), but the state
+  // the visitor mutates below is shared with the feeding thread.
   if (!wm::decode_envelope_into(rx_scratch_, data, len).is_ok()) return;
+  std::lock_guard<std::mutex> lock(mu_);
   std::visit(
       [&](const auto& m) {
         using T = std::decay_t<decltype(m)>;

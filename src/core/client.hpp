@@ -57,18 +57,20 @@ class TrackedObject {
 
   void deregister();
 
-  State state() const { return state_; }
-  bool tracked() const { return state_ == State::kTracked; }
-  NodeId agent() const { return agent_; }
-  double offered_acc() const { return offered_acc_; }
-  double register_failed_acc() const { return register_failed_acc_; }
+  // Accessors lock: over UDP the receive thread mutates this state while
+  // the feeding/test thread polls it (same discipline as QueryClient).
+  State state() const { return locked(state_); }
+  bool tracked() const { return state() == State::kTracked; }
+  NodeId agent() const { return locked(agent_); }
+  double offered_acc() const { return locked(offered_acc_); }
+  double register_failed_acc() const { return locked(register_failed_acc_); }
   NodeId node() const { return self_; }
   ObjectId oid() const { return oid_; }
   /// True while an update has been sent but not yet acknowledged.
-  bool update_pending() const { return update_pending_; }
-  std::uint64_t updates_sent() const { return updates_sent_; }
-  std::uint64_t handovers_observed() const { return handovers_observed_; }
-  std::uint64_t refreshes_answered() const { return refreshes_answered_; }
+  bool update_pending() const { return locked(update_pending_); }
+  std::uint64_t updates_sent() const { return locked(updates_sent_); }
+  std::uint64_t handovers_observed() const { return locked(handovers_observed_); }
+  std::uint64_t refreshes_answered() const { return locked(refreshes_answered_); }
 
  private:
   void handle(const std::uint8_t* data, std::size_t len);
@@ -81,12 +83,20 @@ class TrackedObject {
     net::send_message(net_, self_, to, msg);
   }
 
+  template <typename T>
+  T locked(const T& field) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return field;
+  }
+
   NodeId self_;
   ObjectId oid_;
   net::Transport& net_;
   Clock& clock_;
   Options opts_;
 
+  /// Guards every field below (receive thread vs. feeding thread).
+  mutable std::mutex mu_;
   State state_ = State::kIdle;
   NodeId agent_;
   double offered_acc_ = 0.0;

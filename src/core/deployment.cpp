@@ -9,24 +9,65 @@ Deployment::Deployment(net::Transport& net, Clock& clock, HierarchySpec spec,
                        Config cfg)
     : net_(net), spec_(std::move(spec)) {
   for (const HierarchySpec::Node& node : spec_.nodes) {
-    store::VisitorDb vdb;
-    if (cfg.visitor_db_factory) vdb = cfg.visitor_db_factory(node.id);
     LocationServer::Options opts = cfg.server;
     if (cfg.options_fn) opts = cfg.options_fn(node.id, node.cfg, opts);
+
     Entry entry;
-    entry.server = std::make_unique<LocationServer>(
-        node.id, node.cfg, net, clock, opts, std::move(vdb), cfg.index_factory);
-    if (cfg.lock_handlers) entry.mu = std::make_unique<std::mutex>();
-    LocationServer* server = entry.server.get();
-    std::mutex* mu = entry.mu.get();
-    net.attach(node.id, [server, mu](const std::uint8_t* data, std::size_t len) {
-      if (mu != nullptr) {
-        std::lock_guard<std::mutex> lock(*mu);
-        server->handle(data, len);
-      } else {
-        server->handle(data, len);
+    const std::uint32_t shards =
+        node.cfg.is_leaf() ? std::max(cfg.leaf_shards, node.leaf_shards) : 1;
+    // A node-keyed visitor_db_factory cannot split a persistent visitorDB
+    // across shards (each shard persists only its own objects); without a
+    // shard-aware factory such a leaf stays a single reactor -- correctness
+    // (recovery, §5) beats scaling. See Config::sharded_visitor_db_factory.
+    const bool can_shard = !cfg.visitor_db_factory || cfg.sharded_visitor_db_factory;
+    if (can_shard &&
+        (shards > 1 || (cfg.force_leaf_sharding && node.cfg.is_leaf()))) {
+      ShardedLocationServer::Options sopts;
+      sopts.shards = shards;
+      sopts.threaded = cfg.shard_threads;
+      sopts.server = opts;
+      ShardedLocationServer::ShardVisitorDbFactory vdb_factory;
+      if (cfg.sharded_visitor_db_factory) {
+        vdb_factory = [factory = cfg.sharded_visitor_db_factory,
+                       id = node.id](std::uint32_t shard) {
+          return factory(id, shard);
+        };
       }
-    });
+      entry.sharded = std::make_unique<ShardedLocationServer>(
+          node.id, node.cfg, net, clock, sopts, std::move(vdb_factory),
+          cfg.index_factory);
+      ShardedLocationServer* server = entry.sharded.get();
+      // Threaded shards serialize internally; inline shards piggyback on the
+      // same handler lock unsharded servers use over UdpNetwork.
+      if (cfg.lock_handlers && !cfg.shard_threads) {
+        entry.mu = std::make_unique<std::mutex>();
+      }
+      std::mutex* mu = entry.mu.get();
+      net.attach(node.id, [server, mu](const std::uint8_t* data, std::size_t len) {
+        if (mu != nullptr) {
+          std::lock_guard<std::mutex> lock(*mu);
+          server->handle(data, len);
+        } else {
+          server->handle(data, len);
+        }
+      });
+    } else {
+      store::VisitorDb vdb;
+      if (cfg.visitor_db_factory) vdb = cfg.visitor_db_factory(node.id);
+      entry.server = std::make_unique<LocationServer>(
+          node.id, node.cfg, net, clock, opts, std::move(vdb), cfg.index_factory);
+      if (cfg.lock_handlers) entry.mu = std::make_unique<std::mutex>();
+      LocationServer* server = entry.server.get();
+      std::mutex* mu = entry.mu.get();
+      net.attach(node.id, [server, mu](const std::uint8_t* data, std::size_t len) {
+        if (mu != nullptr) {
+          std::lock_guard<std::mutex> lock(*mu);
+          server->handle(data, len);
+        } else {
+          server->handle(data, len);
+        }
+      });
+    }
     servers_.emplace(node.id, std::move(entry));
   }
 }
@@ -35,8 +76,33 @@ Deployment::~Deployment() {
   for (const auto& [id, entry] : servers_) net_.detach(id);
 }
 
+bool Deployment::find_sighting(NodeId id, ObjectId oid,
+                               store::SightingDb::Record& out) const {
+  const Entry& entry = servers_.at(id);
+  if (entry.sharded != nullptr) return entry.sharded->find_sighting(oid, out);
+  // Unsharded over UDP: the receive thread mutates the db under entry.mu,
+  // so this cross-thread read must serialize against it too.
+  std::unique_lock<std::mutex> lock;
+  if (entry.mu != nullptr) lock = std::unique_lock<std::mutex>(*entry.mu);
+  const store::SightingDb* db = entry.server->sightings();
+  if (db == nullptr) return false;
+  const store::SightingDb::Record* rec = db->find(oid);
+  if (rec == nullptr) return false;
+  out = *rec;
+  return true;
+}
+
 void Deployment::tick_all(TimePoint now) {
   for (auto& [id, entry] : servers_) {
+    if (entry.sharded != nullptr) {
+      if (entry.mu != nullptr) {
+        std::lock_guard<std::mutex> lock(*entry.mu);
+        entry.sharded->tick(now);
+      } else {
+        entry.sharded->tick(now);  // threaded shards lock internally
+      }
+      continue;
+    }
     if (entry.mu != nullptr) {
       std::lock_guard<std::mutex> lock(*entry.mu);
       entry.server->tick(now);
@@ -49,27 +115,11 @@ void Deployment::tick_all(TimePoint now) {
 LocationServer::Stats Deployment::total_stats() const {
   LocationServer::Stats total;
   for (const auto& [id, entry] : servers_) {
-    const LocationServer::Stats& s = entry.server->stats();
-    total.msgs_handled += s.msgs_handled;
-    total.msgs_sent += s.msgs_sent;
-    total.decode_errors += s.decode_errors;
-    total.registrations += s.registrations;
-    total.registration_failures += s.registration_failures;
-    total.updates_applied += s.updates_applied;
-    total.updates_unknown += s.updates_unknown;
-    total.handovers_initiated += s.handovers_initiated;
-    total.handovers_accepted += s.handovers_accepted;
-    total.handovers_direct += s.handovers_direct;
-    total.pos_queries_served += s.pos_queries_served;
-    total.pos_query_cache_hits += s.pos_query_cache_hits;
-    total.agent_cache_hits += s.agent_cache_hits;
-    total.range_direct += s.range_direct;
-    total.range_sub_answered += s.range_sub_answered;
-    total.nn_rings += s.nn_rings;
-    total.sightings_expired += s.sightings_expired;
-    total.pending_timeouts += s.pending_timeouts;
-    total.refresh_requests += s.refresh_requests;
-    total.events_fired += s.events_fired;
+    if (entry.sharded != nullptr) {
+      total.add(entry.sharded->stats());
+    } else {
+      total.add(entry.server->stats());
+    }
   }
   return total;
 }

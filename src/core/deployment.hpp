@@ -2,6 +2,12 @@
 // Transport and wires the handlers. Works with SimNetwork (deterministic)
 // and UdpNetwork (real sockets; enable handler locking so the receive
 // thread and the bench driver can touch a server safely).
+//
+// Leaves can be sharded across N internal reactors (set Config::leaf_shards
+// or stamp per-node hints with HierarchyBuilder::with_leaf_shards); such
+// leaves are ShardedLocationServers behind the same NodeId -- the hierarchy
+// protocol above them is unchanged. Set Config::shard_threads over
+// UdpNetwork so each shard runs its own reactor thread.
 #pragma once
 
 #include <functional>
@@ -11,6 +17,7 @@
 
 #include "core/location_server.hpp"
 #include "core/service_area.hpp"
+#include "core/sharded_location_server.hpp"
 #include "net/transport.hpp"
 
 namespace locs::core {
@@ -27,10 +34,27 @@ class Deployment {
         options_fn;
     spatial::IndexFactory index_factory;  // default: point quadtree
     /// Per-server persistent visitorDB factory (recovery tests / durable
-    /// deployments); default: in-memory.
+    /// deployments); default: in-memory. A node-keyed factory cannot be
+    /// split across shard reactors, so a leaf with BOTH this set and a
+    /// shard count > 1 stays a single reactor unless
+    /// sharded_visitor_db_factory is also provided.
     std::function<store::VisitorDb(NodeId)> visitor_db_factory;
+    /// Shard-aware variant for sharded leaves: one (node, shard) visitorDB
+    /// per shard reactor (each shard persists only its own objects).
+    std::function<store::VisitorDb(NodeId, std::uint32_t)> sharded_visitor_db_factory;
     /// Serialize handle()/tick() per server (required over UdpNetwork).
     bool lock_handlers = false;
+    /// Shard every leaf's object space across this many internal reactors
+    /// (core/sharded_location_server.hpp). A per-node HierarchySpec hint
+    /// overrides this when larger than 1. 1 = plain LocationServer leaves.
+    std::uint32_t leaf_shards = 1;
+    /// Run one reactor thread per shard (UdpNetwork). Leave false over
+    /// SimNetwork: inline shard execution keeps delivery deterministic.
+    bool shard_threads = false;
+    /// Build ShardedLocationServer leaves even at shards == 1. Used by the
+    /// determinism tests: the single-shard wrapper must be pass-through
+    /// (trace bit-identical to plain LocationServer leaves).
+    bool force_leaf_sharding = false;
   };
 
   Deployment(net::Transport& net, Clock& clock, HierarchySpec spec);
@@ -40,7 +64,22 @@ class Deployment {
   /// destroyed (a UDP receive thread must not invoke a freed reactor).
   ~Deployment();
 
-  LocationServer& server(NodeId id) { return *servers_.at(id).server; }
+  /// The single reactor of an UNSHARDED node (shard 0 of a sharded leaf, so
+  /// existing single-reactor call sites keep working; prefer sharded() /
+  /// find_sighting() to inspect sharded leaves).
+  LocationServer& server(NodeId id) {
+    const Entry& entry = servers_.at(id);
+    return entry.sharded != nullptr ? entry.sharded->shard(0) : *entry.server;
+  }
+  /// The sharded reactor group of a leaf, or nullptr if the node runs a
+  /// plain LocationServer.
+  ShardedLocationServer* sharded(NodeId id) {
+    return servers_.at(id).sharded.get();
+  }
+  /// Copies the sighting record for `oid` at leaf `id`, looking through
+  /// every shard slice. Returns false if unknown there.
+  bool find_sighting(NodeId id, ObjectId oid, store::SightingDb::Record& out) const;
+
   const HierarchySpec& spec() const { return spec_; }
 
   NodeId root() const { return spec_.root; }
@@ -55,7 +94,8 @@ class Deployment {
 
  private:
   struct Entry {
-    std::unique_ptr<LocationServer> server;
+    std::unique_ptr<LocationServer> server;          // unsharded nodes
+    std::unique_ptr<ShardedLocationServer> sharded;  // sharded leaves
     std::unique_ptr<std::mutex> mu;  // only when lock_handlers
   };
 

@@ -9,10 +9,14 @@ constexpr std::uint32_t kFirstClientNode = 1u << 20;
 
 LocalLocationService::LocalLocationService(Config cfg)
     : cfg_(cfg), net_(cfg.network), next_node_id_(kFirstClientNode) {
+  // Field assignment, not positional aggregate init: Deployment::Config
+  // grows fields (sharding, factories) and positions would silently shift.
+  Deployment::Config dep_cfg;
+  dep_cfg.server = cfg_.server;
   deployment_ = std::make_unique<Deployment>(
       net_, net_.clock(),
       HierarchyBuilder::grid(cfg_.area, cfg_.fanout_x, cfg_.fanout_y, cfg_.levels),
-      Deployment::Config{cfg_.server, nullptr, nullptr, nullptr, false});
+      dep_cfg);
   query_client_ = std::make_unique<QueryClient>(alloc_node_id(), net_, net_.clock());
 }
 

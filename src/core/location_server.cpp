@@ -33,14 +33,52 @@ LocationServer::LocationServer(NodeId self, ConfigRecord cfg, net::Transport& ne
       net_(net),
       clock_(clock),
       opts_(opts),
-      visitor_db_(std::move(visitor_db)) {
+      visitor_db_(std::move(visitor_db)),
+      send_pool_(&net.pool()) {
   if (cfg_.is_leaf()) {
     if (!index_factory) index_factory = [] { return spatial::make_point_quadtree(); };
     sightings_.emplace(std::move(index_factory));
+    own_view_.add_slice(&*sightings_, /*mu=*/nullptr);
   }
   if (opts_.piggyback_origin && cfg_.is_leaf()) {
     origin_cache_ = wm::OriginArea{self_, cfg_.sa};
   }
+}
+
+void LocationServer::Stats::add(const Stats& other) {
+  msgs_handled += other.msgs_handled;
+  msgs_sent += other.msgs_sent;
+  decode_errors += other.decode_errors;
+  registrations += other.registrations;
+  registration_failures += other.registration_failures;
+  updates_applied += other.updates_applied;
+  updates_unknown += other.updates_unknown;
+  handovers_initiated += other.handovers_initiated;
+  handovers_accepted += other.handovers_accepted;
+  handovers_direct += other.handovers_direct;
+  pos_queries_served += other.pos_queries_served;
+  pos_query_cache_hits += other.pos_query_cache_hits;
+  agent_cache_hits += other.agent_cache_hits;
+  range_direct += other.range_direct;
+  range_sub_answered += other.range_sub_answered;
+  nn_rings += other.nn_rings;
+  sightings_expired += other.sightings_expired;
+  pending_timeouts += other.pending_timeouts;
+  refresh_requests += other.refresh_requests;
+  events_fired += other.events_fired;
+}
+
+void LocationServer::configure_shard(std::uint32_t shard_index,
+                                     net::BufferPool* send_pool,
+                                     const store::SightingsView* query_view,
+                                     SightingEventHook hook) {
+  shard_index_ = shard_index;
+  if (send_pool != nullptr) send_pool_ = send_pool;
+  shard_view_ = query_view;
+  sighting_event_hook_ = std::move(hook);
+  // Stripe req-ids by shard so sibling shards of one NodeId never hand the
+  // same id to an upstream server (shard 0 keeps the unsharded sequence).
+  req_counter_ = static_cast<std::uint64_t>(shard_index) << 32;
 }
 
 // --------------------------------------------------------------------------
@@ -504,7 +542,7 @@ void LocationServer::on_range_query_req(NodeId src, const wm::RangeQueryReq& m) 
 
   // Local contribution (Alg 6-5 lines 3-7).
   if (cfg_.is_leaf() && sightings_ && enlarged.intersects(cfg_.sa)) {
-    sightings_->objects_in_area(m.area, m.req_acc, m.req_overlap, pending.results);
+    query_view().objects_in_area(m.area, m.req_acc, m.req_overlap, pending.results);
     pending.covered += geo::intersection_area(enlarged, cfg_.sa);
   }
   if (cfg_.is_root()) {
@@ -573,7 +611,7 @@ void LocationServer::answer_range_locally(const geo::Polygon& area,
   wm::RangeQuerySubRes& sub = range_sub_scratch_;
   sub.req_id = req_id;
   sub.results.clear();
-  sightings_->objects_in_area(area, req_acc, req_overlap, sub.results);
+  query_view().objects_in_area(area, req_acc, req_overlap, sub.results);
   sub.covered_size = geo::intersection_area(enlarged, cfg_.sa) + extra_covered;
   sub.origin = origin_piggyback();
   ++stats_.range_sub_answered;
@@ -651,7 +689,7 @@ void LocationServer::on_nn_query_req(NodeId src, const wm::NNQueryReq& m) {
   const geo::Rect& own = cfg_.sa.bounding_box();
   double radius = std::max(own.width(), own.height());
   if (cfg_.is_leaf() && sightings_) {
-    const auto local = sightings_->k_nearest(m.p, 1, m.req_acc);
+    const auto local = query_view().k_nearest(m.p, 1, m.req_acc);
     if (!local.empty()) {
       radius = std::max(geo::distance(local[0].ld.pos, m.p) * 1.001, 1.0);
     }
@@ -672,7 +710,7 @@ std::uint64_t LocationServer::launch_nn_ring(PendingNN op) {
   // Local contribution.
   if (cfg_.is_leaf() && sightings_ && probe_poly.intersects(cfg_.sa)) {
     nn_local_scratch_.clear();
-    sightings_->objects_in_circle({op.p, op.radius}, op.req_acc, nn_local_scratch_);
+    query_view().objects_in_circle({op.p, op.radius}, op.req_acc, nn_local_scratch_);
     for (const ObjectResult& r : nn_local_scratch_) op.candidates[r.oid] = r.ld;
     op.covered += geo::intersection_area(probe_poly, cfg_.sa);
   }
@@ -714,7 +752,7 @@ void LocationServer::answer_nn_probe_locally(const wm::NNProbeFwd& probe,
   wm::NNProbeSubRes& sub = nn_sub_scratch_;
   sub.req_id = probe.req_id;
   sub.candidates.clear();
-  sightings_->objects_in_circle({probe.p, probe.radius}, probe.req_acc,
+  query_view().objects_in_circle({probe.p, probe.radius}, probe.req_acc,
                                 sub.candidates);
   sub.covered_size = geo::intersection_area(probe_poly, cfg_.sa) + extra_covered;
   sub.origin = origin_piggyback();
@@ -924,14 +962,15 @@ void LocationServer::on_event_install(NodeId src, const wm::EventInstall& m) {
 
 void LocationServer::install_event(const wm::EventInstall& inst) {
   LeafPred& pred = leaf_preds_[inst.sub_id];
+  leaf_pred_count_.store(leaf_preds_.size(), std::memory_order_relaxed);
   pred.inst = inst;
   pred.members.clear();
-  // Seed with objects already tracked here.
+  // Seed with objects already tracked here (all shards of a sharded leaf).
   if (!sightings_) return;
   std::vector<std::pair<ObjectId, geo::Point>> present;
   if (inst.kind == wm::PredicateKind::kAreaCount) {
     std::vector<ObjectResult> inside;
-    sightings_->objects_in_area(inst.area, 1e18, 1e-9, inside);
+    query_view().objects_in_area(inst.area, 1e18, 1e-9, inside);
     for (const ObjectResult& r : inside) {
       if (!inst.area.contains(r.ld.pos)) continue;  // membership by center
       pred.members.insert(r.oid);
@@ -939,8 +978,8 @@ void LocationServer::install_event(const wm::EventInstall& inst) {
     }
   } else {
     for (const ObjectId oid : {inst.obj_a, inst.obj_b}) {
-      const store::SightingDb::Record* rec = sightings_->find(oid);
-      if (rec != nullptr) present.emplace_back(oid, rec->sighting.pos);
+      store::SightingDb::Record rec;
+      if (query_view().lookup(oid, rec)) present.emplace_back(oid, rec.sighting.pos);
     }
   }
   for (const auto& [oid, pos] : present) {
@@ -954,6 +993,17 @@ void LocationServer::install_event(const wm::EventInstall& inst) {
 }
 
 void LocationServer::events_on_sighting(ObjectId oid, bool present, geo::Point pos) {
+  // Sharded fan-in: secondary shards keep no leaf predicates (event messages
+  // route to the coordinator shard), so presence changes are forwarded there
+  // instead of walking the empty local table.
+  if (sighting_event_hook_) {
+    sighting_event_hook_(oid, present, pos);
+    return;
+  }
+  apply_sighting_event(oid, present, pos);
+}
+
+void LocationServer::apply_sighting_event(ObjectId oid, bool present, geo::Point pos) {
   for (auto& [sub_id, pred] : leaf_preds_) {
     const wm::EventInstall& inst = pred.inst;
     if (inst.kind == wm::PredicateKind::kAreaCount) {
@@ -1031,6 +1081,7 @@ void LocationServer::coordinator_handle_delta(NodeId reporting_leaf,
 
 void LocationServer::on_event_unsubscribe(NodeId src, const wm::EventUnsubscribe& m) {
   leaf_preds_.erase(m.sub_id);
+  leaf_pred_count_.store(leaf_preds_.size(), std::memory_order_relaxed);
   const bool was_coordinator = coord_preds_.erase(m.sub_id) > 0;
   // Broadcast downwards so every leaf drops its local tracker; forward
   // upwards if we were not the coordinator (the coordinator is an ancestor).

@@ -22,8 +22,32 @@
 //  * changeAcc / notifyAvailAcc (§3.1),
 //  * the event mechanism sketched in §1/§8 (area-count and proximity
 //    predicates with leaf-side membership deltas).
+//
+// Sharding (core/sharded_location_server.hpp): a heavily loaded leaf can run
+// as N LocationServer instances -- one per shard -- behind a single NodeId.
+// The shard-routing invariant is:
+//
+//   * every OBJECT-KEYED message (register, update, handover and its
+//     response, per-object queries, changeAcc, deregister) is handled by the
+//     shard that owns hash(ObjectId) % N, which keeps the object's visitor
+//     record and sighting slice; a handover therefore stays INTRA-LEAF only
+//     in the sense that the object's owning shard never changes while its
+//     agent leaf does not change -- the hash is node-independent, so the new
+//     agent's owning shard is recomputed from the same ObjectId;
+//   * every AREA-KEYED message (range query, NN probe, event subscribe /
+//     install / delta) is handled by shard 0, the coordinator shard, whose
+//     query paths read a SightingsView spanning all slices -- so the leaf
+//     emits exactly one sub-result per probe, as an unsharded leaf would;
+//   * req-ids are striped per shard (shard index in bits 32..39 of the
+//     counter), so concurrent shards never emit colliding ids upstream.
+//
+// With N = 1 all three rules degenerate to the unsharded server and the
+// message trace is bit-identical. Shard-local caches (§6.5) are NOT merged:
+// with caches enabled, message counts may differ from an unsharded run.
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -36,6 +60,7 @@
 #include "net/transport.hpp"
 #include "spatial/spatial_index.hpp"
 #include "store/sighting_db.hpp"
+#include "store/sighting_view.hpp"
 #include "store/visitor_db.hpp"
 #include "util/clock.hpp"
 #include "wire/messages.hpp"
@@ -92,7 +117,13 @@ class LocationServer {
     std::uint64_t pending_timeouts = 0;
     std::uint64_t refresh_requests = 0;
     std::uint64_t events_fired = 0;
+
+    /// Accumulates `other` into this record (deployment / shard aggregation).
+    void add(const Stats& other);
   };
+
+  /// Fan-in hook for sighting presence changes; see configure_shard.
+  using SightingEventHook = std::function<void(ObjectId, bool present, geo::Point)>;
 
   /// Result of one client-visible operation, delivered to the node that
   /// issued the request (see client.hpp for the client side).
@@ -115,6 +146,32 @@ class LocationServer {
   /// Recovery hook (§5): after constructing the server from a replayed
   /// persistent visitorDB, asks every leaf visitor for a position refresh.
   void request_refresh_all();
+
+  /// Wires this server as one shard of a ShardedLocationServer (see the
+  /// header comment for the routing invariant). `send_pool` replaces the
+  /// transport's shared pool for outgoing messages; `query_view` (shard 0
+  /// only) replaces the own-slice view on the area-query paths; `hook`
+  /// (shards > 0) redirects sighting presence changes to the coordinator
+  /// shard's event machinery instead of the (empty) local one. Also stripes
+  /// the req-id counter by shard index. Call before any traffic.
+  void configure_shard(std::uint32_t shard_index, net::BufferPool* send_pool,
+                       const store::SightingsView* query_view,
+                       SightingEventHook hook);
+
+  /// Runs the leaf event predicates for an externally observed sighting
+  /// change (fan-in from sibling shards; no-op outside sharded setups).
+  void apply_sighting_event(ObjectId oid, bool present, geo::Point pos);
+
+  /// Lock-free count of installed leaf predicates; sibling shards use it to
+  /// skip the event fan-in entirely on the (hot) update path.
+  std::size_t leaf_event_count() const {
+    return leaf_pred_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Mutable slice access for shard wiring (SightingDb::set_slice_lock).
+  store::SightingDb* sightings_mutable() {
+    return sightings_ ? &*sightings_ : nullptr;
+  }
 
   NodeId id() const { return self_; }
   const ConfigRecord& config() const { return cfg_; }
@@ -176,7 +233,9 @@ class LocationServer {
   void send_msg(NodeId to, const M& msg) {
     if (!to.valid()) return;
     ++stats_.msgs_sent;
-    net::send_message(net_, self_, to, msg);
+    // send_pool_ is the transport's shared pool by default, a private
+    // per-shard pool under sharding (no cross-shard send contention).
+    net::send_message(net_, *send_pool_, self_, to, msg);
   }
   std::uint64_t next_req_id();
   /// §6.5 piggyback, cached at construction (config is immutable): avoids
@@ -226,6 +285,12 @@ class LocationServer {
   void route_event_install(const wire::EventInstall& inst, NodeId from);
   void coordinator_handle_delta(NodeId reporting_leaf, const wire::EventDelta& m);
 
+  /// The sightings view the area-query paths read: the merged cross-shard
+  /// view on a coordinator shard, the own-slice view everywhere else.
+  const store::SightingsView& query_view() const {
+    return shard_view_ != nullptr ? *shard_view_ : own_view_;
+  }
+
   NodeId self_;
   ConfigRecord cfg_;
   net::Transport& net_;
@@ -235,6 +300,14 @@ class LocationServer {
 
   store::VisitorDb visitor_db_;
   std::optional<store::SightingDb> sightings_;  // leaf servers only
+
+  // -- shard wiring (configure_shard; defaults are the unsharded server) --
+  net::BufferPool* send_pool_;               // defaults to the transport pool
+  store::SightingsView own_view_;            // single-slice view over sightings_
+  const store::SightingsView* shard_view_ = nullptr;  // coordinator: all slices
+  SightingEventHook sighting_event_hook_;    // shards > 0: fan-in to shard 0
+  std::uint32_t shard_index_ = 0;
+  std::atomic<std::size_t> leaf_pred_count_{0};
 
   LeafAreaCache leaf_area_cache_;
   ObjectAgentCache agent_cache_;

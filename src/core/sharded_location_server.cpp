@@ -1,0 +1,232 @@
+#include "core/sharded_location_server.hpp"
+
+#include <cassert>
+#include <chrono>
+
+namespace locs::core {
+
+namespace {
+// Consumer pacing: drain in small batches, spin-yield briefly when idle,
+// then sleep with a bounded timeout (the producer's wakeup is best-effort).
+constexpr int kDrainBatch = 64;
+constexpr int kIdleSpinRounds = 64;
+constexpr auto kSleepSlice = std::chrono::microseconds(200);
+// Producer backoff before dropping on a persistently full inbox.
+constexpr int kPushRetries = 1024;
+}  // namespace
+
+std::uint32_t ShardedLocationServer::shard_of(ObjectId oid,
+                                              std::uint32_t shard_count) {
+  // splitmix64 finalizer: spreads sequential object ids uniformly.
+  std::uint64_t x = oid.value + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<std::uint32_t>(x % shard_count);
+}
+
+ShardedLocationServer::ShardedLocationServer(NodeId self, ConfigRecord cfg,
+                                             net::Transport& net, Clock& clock,
+                                             Options opts,
+                                             ShardVisitorDbFactory visitor_db_factory,
+                                             spatial::IndexFactory index_factory)
+    : self_(self), net_(net), opts_(opts) {
+  assert(cfg.is_leaf() && "only leaf servers shard their object space");
+  if (opts_.shards == 0) opts_.shards = 1;
+  const std::uint32_t n = opts_.shards;
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto sh = std::make_unique<Shard>(opts_.inbox_capacity);
+    sh->index = i;
+    sh->pool = std::make_shared<net::BufferPool>();
+    // In-flight PooledBuffers outlive this object (SimNetwork queues them);
+    // the transport keeps the pool alive for them.
+    net_.adopt_pool(sh->pool);
+    store::VisitorDb vdb;
+    if (visitor_db_factory) vdb = visitor_db_factory(i);
+    sh->server = std::make_unique<LocationServer>(self, cfg, net, clock,
+                                                  opts_.server, std::move(vdb),
+                                                  index_factory);
+    shards_.push_back(std::move(sh));
+  }
+
+  // Slice wiring: each slice gets a lock serializing its owning shard's
+  // mutations against cross-shard reads -- the coordinator's query merges
+  // (N > 1) and external find_sighting() probes (any threaded setup,
+  // including a threaded single shard).
+  for (auto& sh : shards_) {
+    store::SightingDb* slice = sh->server->sightings_mutable();
+    assert(slice != nullptr);
+    std::mutex* mu = n > 1 || opts_.threaded ? &sh->slice_mu : nullptr;
+    slice->set_slice_lock(mu);
+    merged_view_.add_slice(slice, mu);
+  }
+
+  for (auto& sh : shards_) {
+    const bool coordinator = sh->index == 0;
+    LocationServer::SightingEventHook hook;
+    if (!coordinator) {
+      hook = [this](ObjectId oid, bool present, geo::Point pos) {
+        LocationServer& coord = *shards_[0]->server;
+        if (coord.leaf_event_count() == 0) return;  // hot path: no predicates
+        if (!opts_.threaded) {
+          coord.apply_sighting_event(oid, present, pos);
+          return;
+        }
+        {
+          std::lock_guard<std::mutex> lock(delta_mu_);
+          deltas_.push_back({oid, present, pos});
+        }
+        wake(*shards_[0]);
+      };
+    }
+    sh->server->configure_shard(sh->index, sh->pool.get(),
+                                coordinator ? &merged_view_ : nullptr,
+                                std::move(hook));
+  }
+
+  if (opts_.threaded) {
+    for (auto& sh : shards_) {
+      sh->thread = std::thread([this, shard = sh.get()] { shard_loop(*shard); });
+    }
+  }
+}
+
+ShardedLocationServer::~ShardedLocationServer() {
+  // Teardown protocol (see Transport::detach): unregister first so the
+  // transport never delivers into a dying reactor, then stop the shards.
+  net_.detach(self_);
+  if (opts_.threaded) {
+    stop_.store(true, std::memory_order_release);
+    for (auto& sh : shards_) {
+      std::lock_guard<std::mutex> lock(sh->wake_mu);
+      sh->wake_cv.notify_all();
+    }
+    for (auto& sh : shards_) {
+      if (sh->thread.joinable()) sh->thread.join();
+    }
+  }
+}
+
+std::uint32_t ShardedLocationServer::route(const std::uint8_t* data,
+                                           std::size_t len) const {
+  if (shards_.size() == 1) return 0;
+  const std::optional<ObjectId> key = wire::peek_object_key(data, len);
+  // Area-keyed and malformed datagrams run on the coordinator shard (the
+  // latter so exactly one shard counts the decode error).
+  if (!key) return 0;
+  return shard_of(*key, static_cast<std::uint32_t>(shards_.size()));
+}
+
+void ShardedLocationServer::handle(const std::uint8_t* data, std::size_t len) {
+  Shard& sh = *shards_[route(data, len)];
+  if (!opts_.threaded) {
+    sh.server->handle(data, len);
+    return;
+  }
+  for (int attempt = 0;; ++attempt) {
+    if (sh.inbox.try_push(data, len)) break;
+    if (attempt >= kPushRetries) {
+      // Persistently full inbox: drop, like a full UDP socket buffer would.
+      inbox_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    wake(sh);
+    std::this_thread::yield();
+  }
+  wake(sh);
+}
+
+void ShardedLocationServer::wake(Shard& sh) {
+  if (sh.sleeping.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(sh.wake_mu);
+    sh.wake_cv.notify_one();
+  }
+}
+
+void ShardedLocationServer::shard_loop(Shard& sh) {
+  int idle_rounds = 0;
+  while (true) {
+    bool did_work = false;
+    for (int i = 0; i < kDrainBatch; ++i) {
+      const bool popped = sh.inbox.try_pop([&](const std::uint8_t* d, std::size_t l) {
+        std::lock_guard<std::mutex> lock(sh.reactor_mu);
+        sh.server->handle(d, l);
+      });
+      if (!popped) break;
+      did_work = true;
+    }
+    if (sh.index == 0) did_work |= drain_sighting_deltas();
+    if (did_work) {
+      idle_rounds = 0;
+      continue;
+    }
+    // Idle with an empty inbox: exit once stop is requested (everything
+    // already delivered has been processed).
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (++idle_rounds < kIdleSpinRounds) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sh.wake_mu);
+    sh.sleeping.store(true, std::memory_order_release);
+    sh.wake_cv.wait_for(lock, kSleepSlice, [&] {
+      return stop_.load(std::memory_order_acquire) || !sh.inbox.empty();
+    });
+    sh.sleeping.store(false, std::memory_order_release);
+    idle_rounds = 0;
+  }
+}
+
+bool ShardedLocationServer::drain_sighting_deltas() {
+  {
+    std::lock_guard<std::mutex> lock(delta_mu_);
+    if (deltas_.empty()) return false;
+    delta_scratch_.swap(deltas_);
+  }
+  {
+    std::lock_guard<std::mutex> lock(shards_[0]->reactor_mu);
+    for (const SightingDelta& d : delta_scratch_) {
+      shards_[0]->server->apply_sighting_event(d.oid, d.present, d.pos);
+    }
+  }
+  delta_scratch_.clear();
+  return true;
+}
+
+void ShardedLocationServer::tick(TimePoint now) {
+  for (auto& sh : shards_) {
+    if (opts_.threaded) {
+      std::lock_guard<std::mutex> lock(sh->reactor_mu);
+      sh->server->tick(now);
+    } else {
+      sh->server->tick(now);
+    }
+  }
+}
+
+void ShardedLocationServer::request_refresh_all() {
+  for (auto& sh : shards_) {
+    if (opts_.threaded) {
+      std::lock_guard<std::mutex> lock(sh->reactor_mu);
+      sh->server->request_refresh_all();
+    } else {
+      sh->server->request_refresh_all();
+    }
+  }
+}
+
+LocationServer::Stats ShardedLocationServer::stats() const {
+  LocationServer::Stats total;
+  for (const auto& sh : shards_) {
+    if (opts_.threaded) {
+      std::lock_guard<std::mutex> lock(sh->reactor_mu);
+      total.add(sh->server->stats());
+    } else {
+      total.add(sh->server->stats());
+    }
+  }
+  return total;
+}
+
+}  // namespace locs::core

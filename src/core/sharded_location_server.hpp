@@ -1,0 +1,172 @@
+// ShardedLocationServer -- one leaf NodeId, N single-threaded shard reactors.
+//
+// The paper's leaf servers absorb the overwhelming share of update and query
+// traffic (§7.2), and a LocationServer is a single-threaded reactor, so one
+// hot leaf is capped at one core. This class shards a leaf's OBJECT SPACE
+// across N LocationServer instances behind the same NodeId and service area:
+//
+//   * routing -- every incoming datagram is peeked (wire::peek_object_key)
+//     without a full decode; object-keyed messages go to the shard owning
+//     hash(ObjectId) % N, area-keyed messages (range / NN / events) go to
+//     shard 0, the coordinator shard (see the routing invariant in
+//     core/location_server.hpp);
+//   * state -- each shard owns a partition of the visitor records, a
+//     SightingDb slice with its OWN spatial index, and a PRIVATE send
+//     BufferPool (net/buffer_pool.hpp) so concurrent shards never contend on
+//     the transport's shared free list;
+//   * query fan-out -- the coordinator shard's range/NN/event paths read a
+//     store::SightingsView spanning every slice (one slice lock at a time)
+//     and merge sub-results in the existing query scratch state, so the leaf
+//     emits exactly one sub-result per probe, like an unsharded leaf;
+//   * events -- leaf predicates live on the coordinator shard; sibling
+//     shards fan their sighting presence changes in through a hook (skipped
+//     lock-free while no predicate is installed).
+//
+// Execution modes:
+//   * inline (threaded = false): handle() runs the owning shard on the
+//     calling thread. Used over the deterministic SimNetwork -- delivery
+//     order is exactly the unsharded order, and with shards = 1 the whole
+//     message trace is BIT-IDENTICAL to a plain LocationServer.
+//   * threaded (threaded = true): handle() -- invoked from the node's single
+//     transport receive context -- copies the datagram into the owning
+//     shard's SPSC inbox (net/spsc_inbox.hpp); one reactor thread per shard
+//     drains it. Used over UdpNetwork so a hot leaf scales across cores.
+//
+// The hierarchy protocol above the leaf is unchanged: parents, siblings and
+// clients see one NodeId sending exactly the messages an unsharded leaf
+// would send (with default options; shard-local §6.5 caches may diverge).
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/location_server.hpp"
+#include "net/spsc_inbox.hpp"
+#include "store/sighting_view.hpp"
+
+namespace locs::core {
+
+class ShardedLocationServer {
+ public:
+  struct Options {
+    /// Number of shard reactors (1 behaves exactly like a LocationServer).
+    std::uint32_t shards = 1;
+    /// Spawn one reactor thread per shard and deliver through SPSC inboxes.
+    /// Leave false over SimNetwork (inline execution keeps delivery
+    /// deterministic); set true over UdpNetwork.
+    bool threaded = false;
+    /// Per-shard inbox capacity (threaded mode); overflow drops datagrams
+    /// after a brief retry (UDP semantics -- senders own retries).
+    std::size_t inbox_capacity = 4096;
+    /// Options forwarded to every shard's LocationServer.
+    LocationServer::Options server;
+  };
+
+  /// Per-shard persistent visitorDB factory (default: in-memory).
+  using ShardVisitorDbFactory = std::function<store::VisitorDb(std::uint32_t)>;
+
+  ShardedLocationServer(NodeId self, ConfigRecord cfg, net::Transport& net,
+                        Clock& clock, Options opts,
+                        ShardVisitorDbFactory visitor_db_factory = {},
+                        spatial::IndexFactory index_factory = nullptr);
+
+  /// Detaches from the transport, then joins the shard reactors (each drains
+  /// its inbox before exiting).
+  ~ShardedLocationServer();
+
+  ShardedLocationServer(const ShardedLocationServer&) = delete;
+  ShardedLocationServer& operator=(const ShardedLocationServer&) = delete;
+
+  /// Transport entry point. Must be invoked from a single context per node
+  /// (SimNetwork delivery loop / the node's UdpNetwork receive thread): the
+  /// inboxes are single-producer.
+  void handle(const std::uint8_t* data, std::size_t len);
+
+  /// Sweeps soft-state expiry and pending-operation timeouts on every shard
+  /// (serialized against the shard reactors in threaded mode).
+  void tick(TimePoint now);
+
+  /// Recovery hook: see LocationServer::request_refresh_all.
+  void request_refresh_all();
+
+  /// The shard owning an object id; the same for every node, so a handover
+  /// re-routes the object to the owning shard of the new agent.
+  static std::uint32_t shard_of(ObjectId oid, std::uint32_t shard_count);
+
+  NodeId id() const { return self_; }
+  std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+
+  /// Aggregated statistics across shards.
+  LocationServer::Stats stats() const;
+
+  /// Direct access to one shard reactor (tests / introspection). Do not
+  /// mutate through this while shard threads run.
+  LocationServer& shard(std::uint32_t index) { return *shards_[index]->server; }
+  const LocationServer& shard(std::uint32_t index) const {
+    return *shards_[index]->server;
+  }
+
+  /// Copies the sighting record for `oid` out of its owning slice (safe
+  /// against concurrent shard reactors). Returns false if unknown.
+  bool find_sighting(ObjectId oid, store::SightingDb::Record& out) const {
+    return merged_view_.lookup(oid, out);
+  }
+
+  /// Datagrams dropped because a shard inbox stayed full (threaded mode).
+  std::uint64_t inbox_dropped() const {
+    return inbox_dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t inbox_capacity) : inbox(inbox_capacity) {}
+
+    std::uint32_t index = 0;
+    std::shared_ptr<net::BufferPool> pool;  // private send pool (adopted by
+                                            // the transport for lifetime)
+    std::unique_ptr<LocationServer> server;
+    mutable std::mutex slice_mu;    // SightingDb slice vs. cross-shard reads
+    mutable std::mutex reactor_mu;  // serializes handle()/tick() (threaded)
+    net::SpscInbox inbox;
+    std::thread thread;
+    // Sleep/wake protocol: the consumer advertises `sleeping` before waiting
+    // so producers only pay the wakeup syscall when someone actually sleeps.
+    std::mutex wake_mu;
+    std::condition_variable wake_cv;
+    std::atomic<bool> sleeping{false};
+  };
+
+  struct SightingDelta {
+    ObjectId oid;
+    bool present;
+    geo::Point pos;
+  };
+
+  std::uint32_t route(const std::uint8_t* data, std::size_t len) const;
+  void shard_loop(Shard& sh);
+  void wake(Shard& sh);
+  /// Applies queued sibling-shard sighting deltas on the coordinator shard.
+  bool drain_sighting_deltas();
+
+  NodeId self_;
+  net::Transport& net_;
+  Options opts_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  store::SightingsView merged_view_;  // coordinator's cross-slice query view
+
+  // Sibling-shard -> coordinator event fan-in (threaded mode; cold unless an
+  // event predicate is installed).
+  std::mutex delta_mu_;
+  std::vector<SightingDelta> deltas_;
+  std::vector<SightingDelta> delta_scratch_;  // coordinator-thread drain swap
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> inbox_dropped_{0};
+};
+
+}  // namespace locs::core

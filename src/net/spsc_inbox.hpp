@@ -1,0 +1,87 @@
+// Single-producer / single-consumer datagram inbox for sharded reactors.
+//
+// A sharded leaf server (core/sharded_location_server.hpp) receives every
+// datagram on ONE transport context -- the SimNetwork delivery loop or the
+// node's single UdpNetwork receive thread -- and routes it to the shard that
+// owns the message's ObjectId. Under real threads the router (the single
+// producer) copies the datagram into the owning shard's inbox and the shard
+// reactor (the single consumer) drains it; under the deterministic
+// SimNetwork the router bypasses the inbox and invokes the shard inline, so
+// delivery order -- and with it the whole seed-42 trace -- is exactly the
+// unsharded order.
+//
+// The ring reuses its slot buffers (capacity intact), so steady-state
+// enqueue is one memcpy and no allocation -- the same discipline as
+// net::BufferPool on the send side. try_pop hands the consumer a pointer
+// into the slot and only publishes the slot back to the producer AFTER the
+// callback returns, so the payload is stable for the duration of the
+// handler, mirroring the Transport handler contract.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "wire/codec.hpp"
+
+namespace locs::net {
+
+class SpscInbox {
+ public:
+  /// Capacity is rounded up to a power of two.
+  explicit SpscInbox(std::size_t capacity = 4096) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscInbox(const SpscInbox&) = delete;
+  SpscInbox& operator=(const SpscInbox&) = delete;
+
+  /// Producer side: copies the datagram into the ring. Returns false when
+  /// the ring is full (the caller decides whether to retry or drop -- UDP
+  /// semantics make dropping legal).
+  bool try_push(const std::uint8_t* data, std::size_t len) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) > mask_) return false;
+    wire::Buffer& slot = slots_[tail & mask_];
+    slot.assign(data, data + len);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: invokes `fn(data, len)` on the oldest datagram, then
+  /// releases the slot. Returns false when the ring is empty. The pointer
+  /// passed to `fn` is valid only for the duration of the call.
+  template <typename Fn>
+  bool try_pop(Fn&& fn) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    const wire::Buffer& slot = slots_[head & mask_];
+    fn(slot.data(), slot.size());
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  std::size_t size() const {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<wire::Buffer> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer cursor
+};
+
+}  // namespace locs::net

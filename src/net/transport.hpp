@@ -21,6 +21,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "net/buffer_pool.hpp"
 #include "util/ids.hpp"
@@ -61,19 +63,39 @@ class Transport {
 
   BufferPool& pool() { return pool_; }
 
+  /// Pins an external pool (e.g. a shard's private send pool) to the
+  /// transport's lifetime. In-flight PooledBuffers carry a raw pointer to
+  /// their pool; the transport outlives every queued datagram (SimNetwork
+  /// events, UDP sends), so adopting the pool here lets the reactor that
+  /// created it be destroyed while its buffers are still queued. Call during
+  /// setup only (not thread-safe against concurrent sends).
+  void adopt_pool(std::shared_ptr<BufferPool> pool) {
+    adopted_pools_.push_back(std::move(pool));
+  }
+
  protected:
   BufferPool pool_;
+  std::vector<std::shared_ptr<BufferPool>> adopted_pools_;
 };
 
 /// The canonical hot-path send used by every reactor: encodes `msg` into a
-/// pooled buffer (zero allocations in steady state) and sends it. Concrete
-/// message types hit the per-type encode_envelope_into overloads, skipping
-/// Message variant construction.
+/// buffer recycled from `pool` (zero allocations in steady state) and sends
+/// it. Concrete message types hit the per-type encode_envelope_into
+/// overloads, skipping Message variant construction. Shard reactors pass
+/// their private pool (no cross-shard contention on the free list); the
+/// transport returns the buffer to that same pool after delivery.
 template <typename M>
-void send_message(Transport& net, NodeId from, NodeId to, const M& msg) {
-  PooledBuffer buf = net.make_buffer();
+void send_message(Transport& net, BufferPool& pool, NodeId from, NodeId to,
+                  const M& msg) {
+  PooledBuffer buf(&pool, pool.acquire());
   wire::encode_envelope_into(*buf, from, msg);
   net.send(from, to, std::move(buf));
+}
+
+/// Convenience overload drawing from the transport's shared pool.
+template <typename M>
+void send_message(Transport& net, NodeId from, NodeId to, const M& msg) {
+  send_message(net, net.pool(), from, to, msg);
 }
 
 }  // namespace locs::net

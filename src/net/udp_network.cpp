@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cassert>
+#include <chrono>
 #include <cstring>
 
 namespace locs::net {
@@ -81,6 +82,42 @@ struct UdpNetwork::Node {
 };
 
 UdpNetwork::UdpNetwork(std::uint16_t base_port) : base_port_(base_port) {}
+
+std::uint16_t UdpNetwork::pick_free_base_port(std::uint16_t span) {
+  static std::atomic<std::uint32_t> counter{0};
+  // splitmix64 over (pid, wall clock, in-process counter): distinct processes
+  // and repeated calls land in distinct regions of the port space.
+  std::uint64_t x = static_cast<std::uint64_t>(::getpid()) +
+                    static_cast<std::uint64_t>(
+                        std::chrono::steady_clock::now().time_since_epoch().count()) +
+                    (static_cast<std::uint64_t>(counter.fetch_add(1)) << 32);
+  const auto next = [&x] {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  const auto bindable = [](std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fd < 0) return false;
+    sockaddr_in addr = addr_for(port);
+    const bool ok =
+        ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
+    ::close(fd);
+    return ok;
+  };
+  const std::uint32_t room = 64000u - 17000u - span;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto base = static_cast<std::uint16_t>(17000u + next() % room);
+    if (bindable(static_cast<std::uint16_t>(base + 1)) &&
+        bindable(static_cast<std::uint16_t>(base + span / 2)) &&
+        bindable(static_cast<std::uint16_t>(base + span))) {
+      return base;
+    }
+  }
+  return 25000;  // last resort: the historical fixed base
+}
 
 UdpNetwork::~UdpNetwork() { stop(); }
 

@@ -47,6 +47,14 @@ class UdpNetwork : public Transport {
   /// Joins all receive threads and closes sockets. Called by the destructor.
   void stop();
 
+  /// Best-effort free base port for a deployment whose node/client ids span
+  /// [1, span]: randomizes the base from the pid + an in-process counter (so
+  /// parallel test runners pick disjoint ranges) and probe-binds a few
+  /// representative ports before settling. Collisions remain possible --
+  /// another process can grab a port between probe and bind -- but ctest -j
+  /// runs no longer contend for one hardcoded pair.
+  static std::uint16_t pick_free_base_port(std::uint16_t span);
+
   std::uint64_t datagrams_sent() const { return datagrams_sent_.load(); }
   std::uint64_t send_errors() const { return send_errors_.load(); }
 

@@ -1,0 +1,35 @@
+// Merge helpers for per-shard spatial indexes.
+//
+// A sharded leaf server (core/sharded_location_server.hpp) keeps one spatial
+// index per shard; range and circle queries simply concatenate per-shard
+// candidate lists, but k-nearest must re-establish the global distance order
+// across partial results. These helpers keep that logic in one place and
+// make the order deterministic (ties broken by object id) so sharded and
+// unsharded servers return the same winners.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "geo/point.hpp"
+
+namespace locs::spatial {
+
+/// Merges `part` (one shard's k-nearest candidates) into `acc`, keeping the
+/// `k` globally nearest entries ordered by (distance to `p`, id). `T` needs
+/// a position accessor `pos_fn(t) -> geo::Point` and an id accessor
+/// `id_fn(t)` with a strict weak order (both shard-invariant).
+template <typename T, typename PosFn, typename IdFn>
+void merge_k_nearest(std::vector<T>& acc, std::vector<T>&& part, geo::Point p,
+                     std::size_t k, PosFn pos_fn, IdFn id_fn) {
+  acc.insert(acc.end(), std::make_move_iterator(part.begin()),
+             std::make_move_iterator(part.end()));
+  std::sort(acc.begin(), acc.end(), [&](const T& a, const T& b) {
+    const double da = geo::distance(pos_fn(a), p);
+    const double db = geo::distance(pos_fn(b), p);
+    return da != db ? da < db : id_fn(a) < id_fn(b);
+  });
+  if (acc.size() > k) acc.resize(k);
+}
+
+}  // namespace locs::spatial

@@ -12,6 +12,7 @@
 // rebuilds them from incoming position updates after a restart.
 #pragma once
 
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -23,6 +24,24 @@
 #include "util/ids.hpp"
 
 namespace locs::store {
+
+/// Scoped lock over an OPTIONAL mutex: no-op when null. Shared by the
+/// SightingDb slice mutators and the SightingsView cross-slice readers --
+/// unsharded single-threaded servers pass null and pay one branch.
+class MaybeGuard {
+ public:
+  explicit MaybeGuard(std::mutex* mu) : mu_(mu) {
+    if (mu_ != nullptr) mu_->lock();
+  }
+  ~MaybeGuard() {
+    if (mu_ != nullptr) mu_->unlock();
+  }
+  MaybeGuard(const MaybeGuard&) = delete;
+  MaybeGuard& operator=(const MaybeGuard&) = delete;
+
+ private:
+  std::mutex* mu_;
+};
 
 class SightingDb {
  public:
@@ -74,6 +93,14 @@ class SightingDb {
 
   const spatial::SpatialIndex& index() const { return *index_; }
 
+  /// Sharding hook (core/sharded_location_server): when this db is one slice
+  /// of a sharded leaf, mutations from the owning shard reactor must be
+  /// serialized against cross-shard query merges (store/sighting_view). The
+  /// mutators lock `mu` internally; SightingsView locks the same mutex around
+  /// its reads. Unsharded servers leave this null (zero-cost branch).
+  void set_slice_lock(std::mutex* mu) { slice_mu_ = mu; }
+  std::mutex* slice_lock() const { return slice_mu_; }
+
  private:
   struct HeapEntry {
     TimePoint expiry;
@@ -91,6 +118,7 @@ class SightingDb {
   std::unordered_map<ObjectId, Record> records_;
   std::vector<HeapEntry> expiry_heap_;  // min-heap via std::push_heap
   std::uint64_t next_generation_ = 1;
+  std::mutex* slice_mu_ = nullptr;  // see set_slice_lock
 };
 
 }  // namespace locs::store

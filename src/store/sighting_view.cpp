@@ -1,0 +1,69 @@
+#include "store/sighting_view.hpp"
+
+#include "spatial/merge.hpp"
+
+namespace locs::store {
+
+std::size_t SightingsView::size() const {
+  std::size_t total = 0;
+  for (const Slice& s : slices_) {
+    MaybeGuard guard(s.mu);
+    total += s.db->size();
+  }
+  return total;
+}
+
+bool SightingsView::lookup(ObjectId oid, SightingDb::Record& out) const {
+  for (const Slice& s : slices_) {
+    MaybeGuard guard(s.mu);
+    const SightingDb::Record* rec = s.db->find(oid);
+    if (rec != nullptr) {
+      out = *rec;
+      return true;
+    }
+  }
+  return false;
+}
+
+void SightingsView::objects_in_area(const geo::Polygon& area, double req_acc,
+                                    double req_overlap,
+                                    std::vector<core::ObjectResult>& out) const {
+  for (const Slice& s : slices_) {
+    MaybeGuard guard(s.mu);
+    s.db->objects_in_area(area, req_acc, req_overlap, out);
+  }
+}
+
+void SightingsView::objects_in_circle(const geo::Circle& circle, double req_acc,
+                                      std::vector<core::ObjectResult>& out) const {
+  for (const Slice& s : slices_) {
+    MaybeGuard guard(s.mu);
+    s.db->objects_in_circle(circle, req_acc, out);
+  }
+}
+
+std::vector<core::ObjectResult> SightingsView::k_nearest(geo::Point p,
+                                                         std::size_t k,
+                                                         double req_acc) const {
+  // Single slice: forward directly, preserving the slice's exact result
+  // order (unsharded servers must stay trace-identical).
+  if (slices_.size() == 1) {
+    MaybeGuard guard(slices_[0].mu);
+    return slices_[0].db->k_nearest(p, k, req_acc);
+  }
+  std::vector<core::ObjectResult> merged;
+  for (const Slice& s : slices_) {
+    std::vector<core::ObjectResult> part;
+    {
+      MaybeGuard guard(s.mu);
+      part = s.db->k_nearest(p, k, req_acc);
+    }
+    spatial::merge_k_nearest(
+        merged, std::move(part), p, k,
+        [](const core::ObjectResult& r) { return r.ld.pos; },
+        [](const core::ObjectResult& r) { return r.oid; });
+  }
+  return merged;
+}
+
+}  // namespace locs::store

@@ -1,0 +1,73 @@
+// Partition-aware read view over one or more SightingDb slices.
+//
+// A sharded leaf server (core/sharded_location_server.hpp) splits its
+// sighting database into per-shard slices, each with its own spatial index.
+// Per-object operations (updates, position queries) always run on the shard
+// that owns the object and read its slice directly; area operations (range
+// queries, NN probes, event installation) need the union of all slices.
+// SightingsView is that union: the coordinator shard's query paths run
+// against it and merge per-slice sub-results, so the single RangeQuerySubRes
+// / NNProbeSubRes a leaf emits is identical to the unsharded server's.
+//
+// Concurrency contract: at most ONE thread reads through a view at a time
+// (the coordinator shard's reactor). Reads on a slice are serialized against
+// that slice's OWNING shard's mutations via the slice lock registered with
+// SightingDb::set_slice_lock -- the view locks each slice only while
+// querying it, never two slices at once, so slice locks stay leaf-level and
+// cannot deadlock. An unsharded server uses a single-slice view with no
+// lock; that path forwards straight to the slice, preserving result order
+// (and with it the seed-42 trace) bit for bit.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "store/sighting_db.hpp"
+
+namespace locs::store {
+
+class SightingsView {
+ public:
+  SightingsView() = default;
+
+  /// Registers a slice. `mu` (may be null) serializes reads against the
+  /// owning shard's mutations; pass the mutex given to set_slice_lock.
+  void add_slice(const SightingDb* slice, std::mutex* mu) {
+    slices_.push_back({slice, mu});
+  }
+
+  void clear() { slices_.clear(); }
+  std::size_t slice_count() const { return slices_.size(); }
+
+  /// Total records across slices.
+  std::size_t size() const;
+
+  /// Copies the record for `oid` out of whichever slice owns it (under that
+  /// slice's lock). Returns false if the object is unknown. A copy -- not a
+  /// pointer -- because the record lives in another shard's slice and may be
+  /// mutated the moment the slice lock is released.
+  bool lookup(ObjectId oid, SightingDb::Record& out) const;
+
+  /// SightingDb::objects_in_area over the union of slices.
+  void objects_in_area(const geo::Polygon& area, double req_acc, double req_overlap,
+                       std::vector<core::ObjectResult>& out) const;
+
+  /// SightingDb::objects_in_circle over the union of slices.
+  void objects_in_circle(const geo::Circle& circle, double req_acc,
+                         std::vector<core::ObjectResult>& out) const;
+
+  /// The k globally nearest objects with acc <= req_acc, merged across
+  /// slices (spatial/merge.hpp; ties broken by object id).
+  std::vector<core::ObjectResult> k_nearest(geo::Point p, std::size_t k,
+                                            double req_acc) const;
+
+ private:
+  struct Slice {
+    const SightingDb* db;
+    std::mutex* mu;  // null for single-threaded (unsharded / inline) views
+  };
+
+  std::vector<Slice> slices_;
+};
+
+}  // namespace locs::store

@@ -688,6 +688,38 @@ Status decode_envelope_into(Envelope& env, const std::uint8_t* data,
   return Status::ok();
 }
 
+std::optional<ObjectId> peek_object_key(const std::uint8_t* data, std::size_t len) {
+  // Envelope layout: [version u8][type u8][src u32_fixed][payload].
+  constexpr std::size_t kPayloadOffset = 6;
+  if (len <= kPayloadOffset || data[0] != kWireVersion) return std::nullopt;
+  switch (static_cast<MsgType>(data[1])) {
+    // Payload leads with a Sighting, whose first field is the ObjectId.
+    case MsgType::kRegisterReq:
+    case MsgType::kUpdateReq:
+    case MsgType::kHandoverReq:
+    // Payload leads with the ObjectId itself.
+    case MsgType::kCreatePath:
+    case MsgType::kRemovePath:
+    case MsgType::kUpdateAck:
+    case MsgType::kHandoverRes:
+    case MsgType::kAgentChanged:
+    case MsgType::kPosQueryReq:
+    case MsgType::kPosQueryFwd:
+    case MsgType::kPosQueryRes:
+    case MsgType::kChangeAccReq:
+    case MsgType::kNotifyAvailAcc:
+    case MsgType::kDeregisterReq:
+    case MsgType::kRefreshReq:
+      break;
+    default:
+      return std::nullopt;  // area-keyed / coordinator-bound / unknown
+  }
+  Reader r(data + kPayloadOffset, len - kPayloadOffset);
+  const std::uint64_t oid = r.u64();
+  if (!r.ok()) return std::nullopt;
+  return ObjectId{oid};
+}
+
 Result<Envelope> decode_envelope(const std::uint8_t* data, std::size_t len) {
   Envelope env;
   Status status = decode_envelope_into(env, data, len);

@@ -432,4 +432,12 @@ inline Result<Envelope> decode_envelope(const Buffer& buf) {
   return decode_envelope(buf.data(), buf.size());
 }
 
+/// Cheap routing peek for sharded dispatch (core/sharded_location_server):
+/// for object-keyed messages -- every message whose payload leads with an
+/// ObjectId (updates, handover, per-object queries and their responses) --
+/// returns that id WITHOUT a full envelope decode. Returns nullopt for
+/// area-keyed / coordinator messages (range, NN, events) and for malformed
+/// datagrams (the full decode then reports the error).
+std::optional<ObjectId> peek_object_key(const std::uint8_t* data, std::size_t len);
+
 }  // namespace locs::wire

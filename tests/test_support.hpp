@@ -40,6 +40,14 @@ struct SimWorld {
                                                     std::move(spec), cfg);
   }
 
+  /// Full deployment-config variant (sharded leaves, cache toggles, ...).
+  SimWorld(core::HierarchySpec spec, core::Deployment::Config cfg,
+           net::SimNetwork::Options net_opts = {})
+      : net(net_opts) {
+    deployment = std::make_unique<core::Deployment>(net, net.clock(),
+                                                    std::move(spec), cfg);
+  }
+
   NodeId client_node() { return NodeId{next_client_id++}; }
 
   void run() { net.run_until_idle(); }

@@ -19,8 +19,10 @@ constexpr Duration kTimeout = seconds(5);
 
 class UdpDeploymentTest : public ::testing::Test {
  protected:
+  // Node ids reach 5, client ids 5000+: pick an ephemeral base covering that
+  // span so parallel ctest runs don't collide on one hardcoded port pair.
   UdpDeploymentTest()
-      : net_(25000),
+      : net_(net::UdpNetwork::pick_free_base_port(/*span=*/5100)),
         spec_(core::HierarchyBuilder::table2(geo::Rect{{0, 0}, {1500, 1500}})) {
     core::Deployment::Config cfg;
     cfg.lock_handlers = true;  // handlers run on socket threads
@@ -41,7 +43,7 @@ class UdpDeploymentTest : public ::testing::Test {
   SystemClock clock_;
   core::HierarchySpec spec_;
   std::unique_ptr<core::Deployment> deployment_;
-  std::uint32_t next_client_ = 5000;  // ports 25000+5000
+  std::uint32_t next_client_ = 5000;  // ports base+5000
 };
 
 TEST_F(UdpDeploymentTest, RegisterUpdateHandoverAndQueries) {
@@ -52,13 +54,11 @@ TEST_F(UdpDeploymentTest, RegisterUpdateHandoverAndQueries) {
   const NodeId first_agent = obj.agent();
   EXPECT_EQ(first_agent, deployment_->entry_leaf_for({100, 100}));
 
-  // Local update.
+  // Local update; completion is the UpdateAck clearing the pending flag
+  // (observing through the protocol, not by poking the reactor's database
+  // from another thread).
   obj.feed_position({150, 150});
-  ASSERT_TRUE(wait_for([&] {
-    const auto* db = deployment_->server(first_agent).sightings();
-    const auto* rec = db->find(ObjectId{1});
-    return rec != nullptr && rec->sighting.pos == geo::Point{150, 150};
-  }));
+  ASSERT_TRUE(wait_for([&] { return !obj.update_pending(); }));
 
   // Handover into the opposite quadrant.
   obj.feed_position({1200, 1200});
