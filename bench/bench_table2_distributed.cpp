@@ -30,6 +30,7 @@
 #include "core/client.hpp"
 #include "core/deployment.hpp"
 #include "core/hierarchy_builder.hpp"
+#include "core/update_coalescer.hpp"
 #include "net/udp_network.hpp"
 #include "util/rng.hpp"
 
@@ -42,6 +43,7 @@ constexpr std::size_t kObjects = 10000;
 constexpr double kAreaSize = 1500.0;
 constexpr Duration kOpTimeout = seconds(5);
 constexpr int kLoadThreads = 12;
+constexpr int kBatchFactor = 8;  // sightings per BatchedUpdateReq row
 
 /// Synchronous update client: impersonates tracked objects (the envelope
 /// source receives the UpdateAck).
@@ -92,6 +94,19 @@ struct World {
   // for the single-client latency rows.
   std::vector<std::unique_ptr<UpdateClient>> updaters;
   std::vector<std::unique_ptr<core::QueryClient>> queriers;
+  // Batched-update row: one coalescer per thread (adopt_pool is setup-only,
+  // so they must be built here, not inside the benchmark threads) plus its
+  // ack counter for the closed loop.
+  struct BatchAckCounter {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::uint64_t acks = 0;
+  };
+  // Declared BEFORE the coalescers: the counters must outlive them, since a
+  // coalescer's on_ack callback touches its counter until the coalescer's
+  // destructor detaches from the (still-running) transport.
+  std::vector<std::unique_ptr<BatchAckCounter>> batch_acks;
+  std::vector<std::unique_ptr<core::UpdateCoalescer>> coalescers;
 
   World() {
     core::Deployment::Config cfg;
@@ -173,6 +188,20 @@ struct World {
           NodeId{100 + static_cast<std::uint32_t>(t)}, net));
       queriers.push_back(std::make_unique<core::QueryClient>(
           NodeId{150 + static_cast<std::uint32_t>(t)}, net, clock));
+      core::UpdateCoalescer::Options copts;
+      copts.max_batch = kBatchFactor;  // size-flush exactly once per round
+      auto counter = std::make_unique<BatchAckCounter>();
+      auto co = std::make_unique<core::UpdateCoalescer>(
+          NodeId{180 + static_cast<std::uint32_t>(t)}, net, clock, copts);
+      co->set_on_ack([c = counter.get()](ObjectId, double) {
+        {
+          std::lock_guard<std::mutex> lock(c->mu);
+          ++c->acks;
+        }
+        c->cv.notify_all();
+      });
+      coalescers.push_back(std::move(co));
+      batch_acks.push_back(std::move(counter));
     }
   }
 
@@ -216,6 +245,57 @@ void BM_Table2_PositionUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_Table2_PositionUpdate)->Unit(benchmark::kMicrosecond)->UseRealTime();
 BENCHMARK(BM_Table2_PositionUpdate)
+    ->Unit(benchmark::kMicrosecond)
+    ->Threads(kLoadThreads)
+    ->UseRealTime();
+
+// --- batched position updates (wire::BatchedUpdateReq) -----------------------
+//
+// The coalesced variant of the update row: each iteration packs kBatchFactor
+// sightings for one leaf into a single datagram through an UpdateCoalescer
+// and waits for the packed acknowledgement. items_per_second counts
+// SIGHTINGS, so the improvement over BM_Table2_PositionUpdate's throughput
+// is the amortization the batching factor buys end to end.
+
+void BM_Table2_BatchedUpdate(benchmark::State& state) {
+  World& w = world();
+  const auto ti = static_cast<std::size_t>(state.thread_index());
+  core::UpdateCoalescer& co = *w.coalescers[ti];
+  World::BatchAckCounter& ctr = *w.batch_acks[ti];
+  Rng rng(400 + static_cast<std::uint64_t>(ti));
+  const std::size_t leaf_idx = ti % 4;
+  const auto& pool = w.by_leaf[leaf_idx];
+  const geo::Rect leaf = w.leaf_rect(leaf_idx);
+  std::int64_t failures = 0;
+  std::uint64_t expected;
+  {
+    std::lock_guard<std::mutex> lock(ctr.mu);
+    expected = ctr.acks;
+  }
+  for (auto _ : state) {
+    for (int i = 0; i < kBatchFactor; ++i) {
+      const auto& [oid, base] = pool[rng.next_below(pool.size())];
+      co.enqueue(w.leaves[leaf_idx],
+                 core::Sighting{
+                     oid, 0,
+                     {rng.uniform(leaf.min.x + 1, leaf.max.x - 1),
+                      rng.uniform(leaf.min.y + 1, leaf.max.y - 1)},
+                     5.0});
+    }
+    expected += kBatchFactor;
+    std::unique_lock<std::mutex> lock(ctr.mu);
+    if (!ctr.cv.wait_for(lock, std::chrono::microseconds(kOpTimeout),
+                         [&] { return ctr.acks >= expected; })) {
+      ++failures;
+      expected = ctr.acks;  // resync after a lost datagram
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchFactor);
+  state.counters["failures"] = static_cast<double>(failures);
+}
+
+BENCHMARK(BM_Table2_BatchedUpdate)->Unit(benchmark::kMicrosecond)->UseRealTime();
+BENCHMARK(BM_Table2_BatchedUpdate)
     ->Unit(benchmark::kMicrosecond)
     ->Threads(kLoadThreads)
     ->UseRealTime();

@@ -52,12 +52,50 @@ bool TrackedObject::feed_position(geo::Point pos) {
 }
 
 void TrackedObject::send_update(geo::Point pos) {
-  wm::UpdateReq req{Sighting{oid_, clock_.now(), pos, sensor_acc_}};
+  const Sighting s{oid_, clock_.now(), pos, sensor_acc_};
   last_sent_pos_ = pos;
   last_send_time_ = clock_.now();
   update_pending_ = true;
   ++updates_sent_;
-  send_msg(agent_, req);
+  if (update_sink_) {
+    update_sink_(agent_, s);  // coalescing stage owns the actual send
+  } else {
+    send_msg(agent_, wm::UpdateReq{s});
+  }
+}
+
+void TrackedObject::set_update_sink(UpdateSink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  update_sink_ = std::move(sink);
+}
+
+void TrackedObject::apply_update_ack(double offered_acc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  apply_update_ack_locked(offered_acc);
+}
+
+void TrackedObject::apply_update_ack_locked(double offered_acc) {
+  update_pending_ = false;
+  offered_acc_ = offered_acc;
+}
+
+void TrackedObject::apply_agent_changed(NodeId new_agent, double offered_acc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  apply_agent_changed_locked(new_agent, offered_acc);
+}
+
+void TrackedObject::apply_agent_changed_locked(NodeId new_agent,
+                                               double offered_acc) {
+  update_pending_ = false;
+  if (new_agent.valid()) {
+    agent_ = new_agent;
+    offered_acc_ = offered_acc;
+    ++handovers_observed_;
+  } else {
+    // Moved out of the root service area: automatically deregistered.
+    state_ = State::kDeregistered;
+    agent_ = kNoNode;
+  }
 }
 
 void TrackedObject::request_change_acc(AccuracyRange range) {
@@ -89,22 +127,10 @@ void TrackedObject::handle(const std::uint8_t* data, std::size_t len) {
           register_failed_acc_ = m.best_acc;
           state_ = State::kFailed;
         } else if constexpr (std::is_same_v<T, wm::UpdateAck>) {
-          if (m.oid == oid_) {
-            update_pending_ = false;
-            offered_acc_ = m.offered_acc;
-          }
+          if (m.oid == oid_) apply_update_ack_locked(m.offered_acc);
         } else if constexpr (std::is_same_v<T, wm::AgentChanged>) {
           if (m.oid != oid_) return;
-          update_pending_ = false;
-          if (m.new_agent.valid()) {
-            agent_ = m.new_agent;
-            offered_acc_ = m.offered_acc;
-            ++handovers_observed_;
-          } else {
-            // Moved out of the root service area: automatically deregistered.
-            state_ = State::kDeregistered;
-            agent_ = kNoNode;
-          }
+          apply_agent_changed_locked(m.new_agent, m.offered_acc);
         } else if constexpr (std::is_same_v<T, wm::NotifyAvailAcc>) {
           if (m.oid == oid_) offered_acc_ = m.offered_acc;
         } else if constexpr (std::is_same_v<T, wm::ChangeAccRes>) {

@@ -57,6 +57,20 @@ class TrackedObject {
 
   void deregister();
 
+  // -- update coalescing hooks (core/update_coalescer.hpp) --
+  /// Routes outgoing updates through `sink` (the coalescer's enqueue)
+  /// instead of sending an UpdateReq directly; the leaf then replies to the
+  /// coalescer, which fans acks / agent changes back in through the two
+  /// apply_* methods below. Set during setup, before traffic.
+  using UpdateSink = std::function<void(NodeId agent, const Sighting& s)>;
+  void set_update_sink(UpdateSink sink);
+
+  /// Applies one acknowledged update (same state transition as UpdateAck).
+  void apply_update_ack(double offered_acc);
+  /// Applies an agent change (same state transition as AgentChanged; an
+  /// invalid `new_agent` means the object left the LS and is deregistered).
+  void apply_agent_changed(NodeId new_agent, double offered_acc);
+
   // Accessors lock: over UDP the receive thread mutates this state while
   // the feeding/test thread polls it (same discipline as QueryClient).
   State state() const { return locked(state_); }
@@ -75,6 +89,8 @@ class TrackedObject {
  private:
   void handle(const std::uint8_t* data, std::size_t len);
   void send_update(geo::Point pos);
+  void apply_update_ack_locked(double offered_acc);
+  void apply_agent_changed_locked(NodeId new_agent, double offered_acc);
 
   /// Encodes into a pooled transport buffer and sends (zero allocations in
   /// steady state; see net/buffer_pool.hpp).
@@ -94,6 +110,7 @@ class TrackedObject {
   net::Transport& net_;
   Clock& clock_;
   Options opts_;
+  UpdateSink update_sink_;  // set before traffic; never mutated afterwards
 
   /// Guards every field below (receive thread vs. feeding thread).
   mutable std::mutex mu_;

@@ -18,6 +18,21 @@ LocalLocationService::LocalLocationService(Config cfg)
       HierarchyBuilder::grid(cfg_.area, cfg_.fanout_x, cfg_.fanout_y, cfg_.levels),
       dep_cfg);
   query_client_ = std::make_unique<QueryClient>(alloc_node_id(), net_, net_.clock());
+  if (cfg_.coalesce_updates) {
+    coalescer_ = std::make_unique<UpdateCoalescer>(alloc_node_id(), net_,
+                                                   net_.clock(), cfg_.coalescing);
+    // The leaf replies to the coalescer's node; fan acks and agent changes
+    // back out to the owning TrackedObjects.
+    coalescer_->set_on_ack([this](ObjectId oid, double acc) {
+      const auto it = objects_.find(oid);
+      if (it != objects_.end()) it->second->apply_update_ack(acc);
+    });
+    coalescer_->set_on_agent_changed(
+        [this](ObjectId oid, NodeId new_agent, double acc) {
+          const auto it = objects_.find(oid);
+          if (it != objects_.end()) it->second->apply_agent_changed(new_agent, acc);
+        });
+  }
 }
 
 void LocalLocationService::run() { net_.run_until_idle(); }
@@ -33,6 +48,11 @@ Result<double> LocalLocationService::register_object(ObjectId oid, geo::Point po
   if (it == objects_.end()) {
     auto obj = std::make_unique<TrackedObject>(alloc_node_id(), oid, net_,
                                                net_.clock());
+    if (coalescer_) {
+      obj->set_update_sink([this](NodeId agent, const Sighting& s) {
+        coalescer_->enqueue(agent, s);
+      });
+    }
     it = objects_.emplace(oid, std::move(obj)).first;
   }
   TrackedObject& obj = *it->second;
@@ -155,9 +175,16 @@ void LocalLocationService::advance_time(Duration d) {
   const Duration slice = d / kSlices;
   for (int i = 0; i < kSlices; ++i) {
     net_.clock().advance(slice);
+    if (coalescer_) coalescer_->tick(net_.now());
     deployment_->tick_all(net_.now());
     run();
   }
+}
+
+void LocalLocationService::flush_updates() {
+  if (!coalescer_) return;
+  coalescer_->flush_all();
+  run();
 }
 
 bool LocalLocationService::is_tracked(ObjectId oid) const {

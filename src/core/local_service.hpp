@@ -15,6 +15,7 @@
 #include "core/client.hpp"
 #include "core/deployment.hpp"
 #include "core/hierarchy_builder.hpp"
+#include "core/update_coalescer.hpp"
 #include "net/sim_network.hpp"
 
 namespace locs::core {
@@ -30,6 +31,13 @@ class LocalLocationService {
     int levels = 2;  // 0 = single (centralized) server
     LocationServer::Options server;
     net::SimNetwork::Options network;
+    /// Route position updates through an UpdateCoalescer: updates are packed
+    /// into BatchedUpdateReq datagrams per agent leaf and flushed by the
+    /// `coalescing` policy (size / byte budget / deadline). Queries observe
+    /// buffered updates only after a flush -- call flush_updates() or
+    /// advance_time() past the deadline for read-your-writes.
+    bool coalesce_updates = false;
+    UpdateCoalescer::Options coalescing;
   };
 
   LocalLocationService() : LocalLocationService(Config()) {}
@@ -69,8 +77,16 @@ class LocalLocationService {
   void unsubscribe(std::uint64_t sub_id);
   std::vector<wire::EventNotify> poll_events();
 
-  /// Advances virtual time (drives soft-state expiry and pending sweeps).
+  /// Advances virtual time (drives soft-state expiry, pending sweeps, and
+  /// coalescer deadline flushes).
   void advance_time(Duration d);
+
+  /// Forces out every buffered (coalesced) update and delivers it. No-op
+  /// when coalescing is disabled.
+  void flush_updates();
+
+  /// The coalescing stage, if enabled (stats / tests).
+  const UpdateCoalescer* coalescer() const { return coalescer_.get(); }
 
   TimePoint now() const { return clock().now(); }
   std::size_t tracked_count() const { return objects_.size(); }
@@ -92,6 +108,7 @@ class LocalLocationService {
   std::unique_ptr<Deployment> deployment_;
   std::uint32_t next_node_id_;
   std::unique_ptr<QueryClient> query_client_;
+  std::unique_ptr<UpdateCoalescer> coalescer_;  // only when coalesce_updates
   std::unordered_map<ObjectId, std::unique_ptr<TrackedObject>> objects_;
 };
 

@@ -53,6 +53,7 @@ void LocationServer::Stats::add(const Stats& other) {
   registration_failures += other.registration_failures;
   updates_applied += other.updates_applied;
   updates_unknown += other.updates_unknown;
+  update_batches += other.update_batches;
   handovers_initiated += other.handovers_initiated;
   handovers_accepted += other.handovers_accepted;
   handovers_direct += other.handovers_direct;
@@ -105,6 +106,8 @@ void LocationServer::handle(const std::uint8_t* data, std::size_t len) {
           on_remove_path(src, m);
         } else if constexpr (std::is_same_v<T, wm::UpdateReq>) {
           on_update_req(src, m);
+        } else if constexpr (std::is_same_v<T, wm::BatchedUpdateReq>) {
+          on_batched_update_req(src, m);
         } else if constexpr (std::is_same_v<T, wm::HandoverReq>) {
           on_handover_req(src, std::move(m));
         } else if constexpr (std::is_same_v<T, wm::HandoverRes>) {
@@ -251,6 +254,42 @@ void LocationServer::on_update_req(NodeId src, const wm::UpdateReq& m) {
   ++stats_.updates_applied;
   send_msg(src, wm::UpdateAck{m.s.oid, rec->leaf->offered_acc});
   flush_awaiting_refresh(m.s.oid);
+}
+
+void LocationServer::on_batched_update_req(NodeId src, const wm::BatchedUpdateReq& m) {
+  if (!cfg_.is_leaf()) return;  // updates always go to the agent (a leaf)
+  ++stats_.update_batches;
+  // Single lazy pass over the packed sightings (wire framing note): each one
+  // runs the exact per-sighting checks of on_update_req; accepted sightings
+  // are staged and applied with ONE SightingDb lock/index pass, and their
+  // acks travel back as one packed BatchedUpdateAck to the coalescing sender.
+  batch_apply_scratch_.clear();
+  wm::BatchedUpdateAck& ack = batch_ack_scratch_;
+  ack.clear();
+  wm::BatchedUpdateReq::Cursor cur = m.sightings();
+  Sighting s;
+  while (cur.next(s)) {
+    const store::VisitorRecord* rec = visitor_db_.find(s.oid);
+    if (rec == nullptr || !rec->leaf) {
+      ++stats_.updates_unknown;  // stale agent; the object relearns via timeout
+      continue;
+    }
+    if (!cfg_.covers(s.pos)) {
+      initiate_handover(src, s);
+      continue;
+    }
+    batch_apply_scratch_.push_back({s, rec->leaf->offered_acc});
+    ack.append(s.oid, rec->leaf->offered_acc);
+    ++stats_.updates_applied;
+  }
+  if (!batch_apply_scratch_.empty()) {
+    sightings_->apply_batch(batch_apply_scratch_, sighting_expiry());
+    for (const store::SightingDb::BulkUpdate& item : batch_apply_scratch_) {
+      events_on_sighting(item.s.oid, true, item.s.pos);
+      if (!awaiting_refresh_.empty()) flush_awaiting_refresh(item.s.oid);
+    }
+  }
+  if (!ack.empty()) send_msg(src, ack);
 }
 
 void LocationServer::initiate_handover(NodeId object_node, const Sighting& s) {
@@ -1099,14 +1138,17 @@ void LocationServer::on_event_unsubscribe(NodeId src, const wm::EventUnsubscribe
 void LocationServer::tick(TimePoint t) {
   // Bound the persistent log (and with it, recovery time).
   visitor_db_.maybe_compact(opts_.visitor_compact_threshold);
-  // Soft-state expiry (§5): deregister objects whose sightings lapsed.
+  // Soft-state expiry (§5): deregister objects whose sightings lapsed. The
+  // visitor records are dropped in one bulk pass (remove_batch groups the
+  // persistent-log appends); the per-object messages keep their order.
   if (sightings_) {
-    for (const ObjectId oid : sightings_->expire_until(t)) {
+    const std::vector<ObjectId> expired = sightings_->expire_until(t);
+    for (const ObjectId oid : expired) {
       ++stats_.sightings_expired;
       events_on_sighting(oid, false, {});
-      visitor_db_.remove(oid);
       if (!cfg_.is_root()) send_msg(cfg_.parent, wm::RemovePath{oid});
     }
+    visitor_db_.remove_batch(expired);
   }
   // Pending-operation timeouts.
   for (auto it = pending_pos_.begin(); it != pending_pos_.end();) {

@@ -104,6 +104,7 @@ class LocationServer {
     std::uint64_t registration_failures = 0;
     std::uint64_t updates_applied = 0;
     std::uint64_t updates_unknown = 0;
+    std::uint64_t update_batches = 0;  // BatchedUpdateReq datagrams handled
     std::uint64_t handovers_initiated = 0;
     std::uint64_t handovers_accepted = 0;  // this server became the new agent
     std::uint64_t handovers_direct = 0;    // via leaf-area cache shortcut
@@ -206,6 +207,7 @@ class LocationServer {
   void on_create_path(NodeId src, const wire::CreatePath& m);
   void on_remove_path(NodeId src, const wire::RemovePath& m);
   void on_update_req(NodeId src, const wire::UpdateReq& m);
+  void on_batched_update_req(NodeId src, const wire::BatchedUpdateReq& m);
   void on_handover_req(NodeId src, wire::HandoverReq m);
   void on_handover_res(NodeId src, const wire::HandoverRes& m);
   void on_pos_query_req(NodeId src, const wire::PosQueryReq& m);
@@ -326,6 +328,10 @@ class LocationServer {
   wire::NNProbeSubRes nn_sub_scratch_;
   wire::NNQueryRes nn_res_scratch_;
   std::vector<ObjectResult> nn_local_scratch_;
+  // Batched-update scratch: accepted sightings staged for the single-lock
+  // SightingDb::apply_batch, and the packed ack under construction.
+  std::vector<store::SightingDb::BulkUpdate> batch_apply_scratch_;
+  wire::BatchedUpdateAck batch_ack_scratch_;
   // Retired NN candidate maps (bucket arrays intact) for the next ring.
   std::vector<std::unordered_map<ObjectId, LocationDescriptor>> nn_map_pool_;
 

@@ -119,7 +119,18 @@ std::uint32_t ShardedLocationServer::route(const std::uint8_t* data,
 }
 
 void ShardedLocationServer::handle(const std::uint8_t* data, std::size_t len) {
-  Shard& sh = *shards_[route(data, len)];
+  // Batched updates carry sightings for MANY objects: split them per owning
+  // shard instead of routing the whole datagram to one reactor.
+  if (shards_.size() > 1 && len > 1 &&
+      static_cast<wire::MsgType>(data[1]) == wire::MsgType::kBatchedUpdateReq) {
+    if (split_batched_update(data, len)) return;
+    // Malformed batch: shard 0 runs the full decode and counts the error.
+  }
+  deliver(*shards_[route(data, len)], data, len);
+}
+
+void ShardedLocationServer::deliver(Shard& sh, const std::uint8_t* data,
+                                    std::size_t len) {
   if (!opts_.threaded) {
     sh.server->handle(data, len);
     return;
@@ -135,6 +146,62 @@ void ShardedLocationServer::handle(const std::uint8_t* data, std::size_t len) {
     std::this_thread::yield();
   }
   wake(sh);
+}
+
+bool ShardedLocationServer::split_batched_update(const std::uint8_t* data,
+                                                 std::size_t len) {
+  const std::uint32_t n = static_cast<std::uint32_t>(shards_.size());
+  // Pass 1: peek every sighting's owner; a batch that lands entirely on one
+  // shard (or is empty) forwards unchanged -- no copy, no re-framing.
+  {
+    wire::BatchedUpdateView peek(data, len);
+    if (!peek.valid()) return false;
+    bool mixed = false;
+    std::uint32_t first = 0;
+    bool have_first = false;
+    while (const auto item = peek.next()) {
+      const std::uint32_t owner = shard_of(item->oid, n);
+      if (!have_first) {
+        first = owner;
+        have_first = true;
+      } else if (owner != first) {
+        mixed = true;
+        break;
+      }
+    }
+    if (!mixed) {
+      deliver(*shards_[have_first ? first : 0], data, len);
+      return true;
+    }
+  }
+  // Pass 2: re-frame. The item byte ranges are copied verbatim into
+  // per-shard packed regions (scratch buffers, capacity reused), then each
+  // sub-batch is re-enveloped under the ORIGINAL header bytes so the source
+  // node -- and with it the ack destination -- is preserved.
+  split_packed_.resize(n);
+  split_counts_.assign(n, 0);
+  for (auto& buf : split_packed_) buf.clear();
+  wire::BatchedUpdateView view(data, len);
+  while (const auto item = view.next()) {
+    const std::uint32_t owner = shard_of(item->oid, n);
+    split_packed_[owner].insert(split_packed_[owner].end(), item->data,
+                                item->data + item->len);
+    ++split_counts_[owner];
+  }
+  constexpr std::size_t kHeaderLen = 6;  // [version][type][src u32_fixed]
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (split_counts_[s] == 0) continue;
+    split_datagram_.clear();
+    wire::Writer w(split_datagram_);
+    w.reserve(kHeaderLen + 20 + split_packed_[s].size());
+    w.bytes(data, kHeaderLen);
+    w.u64(split_counts_[s]);
+    w.u64(split_packed_[s].size());
+    w.bytes(split_packed_[s].data(), split_packed_[s].size());
+    w.flush();
+    deliver(*shards_[s], split_datagram_.data(), split_datagram_.size());
+  }
+  return true;
 }
 
 void ShardedLocationServer::wake(Shard& sh) {

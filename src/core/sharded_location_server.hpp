@@ -148,6 +148,15 @@ class ShardedLocationServer {
   };
 
   std::uint32_t route(const std::uint8_t* data, std::size_t len) const;
+  /// Delivers one datagram to a shard (inline call or SPSC inbox push).
+  void deliver(Shard& sh, const std::uint8_t* data, std::size_t len);
+  /// Splits a BatchedUpdateReq per owning shard (wire::BatchedUpdateView
+  /// delimits each packed sighting without a full envelope decode). A batch whose
+  /// sightings all hash to one shard is forwarded unchanged; a straddling
+  /// batch is re-framed into per-shard sub-batches (ascending shard order,
+  /// keeping inline SimNetwork execution deterministic). Returns false if
+  /// the datagram is not a well-formed batch (caller falls back to shard 0).
+  bool split_batched_update(const std::uint8_t* data, std::size_t len);
   void shard_loop(Shard& sh);
   void wake(Shard& sh);
   /// Applies queued sibling-shard sighting deltas on the coordinator shard.
@@ -164,6 +173,13 @@ class ShardedLocationServer {
   std::mutex delta_mu_;
   std::vector<SightingDelta> deltas_;
   std::vector<SightingDelta> delta_scratch_;  // coordinator-thread drain swap
+
+  // Batch-split scratch (handle() runs in the node's single receive context,
+  // so these are never touched concurrently): per-shard packed regions /
+  // counts, and the sub-batch datagram under construction.
+  std::vector<wire::Buffer> split_packed_;
+  std::vector<std::uint64_t> split_counts_;
+  wire::Buffer split_datagram_;
 
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> inbox_dropped_{0};

@@ -1,0 +1,112 @@
+#include "core/update_coalescer.hpp"
+
+#include <algorithm>
+
+namespace locs::core {
+
+namespace wm = locs::wire;
+
+UpdateCoalescer::UpdateCoalescer(NodeId self, net::Transport& net, Clock& clock,
+                                 Options opts)
+    : self_(self),
+      net_(net),
+      clock_(clock),
+      opts_(opts),
+      pool_(std::make_shared<net::BufferPool>(
+          /*max_free=*/64,
+          /*max_pooled_capacity=*/std::max<std::size_t>(
+              net::BufferPool::kDefaultMaxPooledCapacity,
+              2 * opts.max_bytes))) {
+  if (opts_.max_batch == 0) opts_.max_batch = 1;
+  net_.adopt_pool(pool_);
+  net_.attach(self_, [this](const std::uint8_t* data, std::size_t len) {
+    handle(data, len);
+  });
+}
+
+UpdateCoalescer::~UpdateCoalescer() {
+  flush_all();
+  net_.detach(self_);
+}
+
+void UpdateCoalescer::enqueue(NodeId agent, const Sighting& s) {
+  if (!agent.valid()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Pending& p = pending_[agent];
+  if (p.batch.empty()) p.oldest = clock_.now();
+  p.batch.append(s);
+  ++stats_.sightings_enqueued;
+  if (p.batch.count >= opts_.max_batch) {
+    ++stats_.flushes_size;
+    flush_locked(agent, p);
+  } else if (p.batch.payload_bytes() >= opts_.max_bytes) {
+    ++stats_.flushes_bytes;
+    flush_locked(agent, p);
+  }
+}
+
+void UpdateCoalescer::flush_locked(NodeId agent, Pending& p) {
+  if (p.batch.empty()) return;
+  ++stats_.batches_sent;
+  net::send_message(net_, *pool_, self_, agent, p.batch);
+  p.batch.clear();  // count = 0; packed keeps its capacity
+}
+
+void UpdateCoalescer::tick(TimePoint now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [agent, p] : pending_) {
+    if (p.batch.empty() || now - p.oldest < opts_.max_delay) continue;
+    ++stats_.flushes_deadline;
+    flush_locked(agent, p);
+  }
+}
+
+void UpdateCoalescer::flush_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [agent, p] : pending_) {
+    if (p.batch.empty()) continue;
+    ++stats_.flushes_forced;
+    flush_locked(agent, p);
+  }
+}
+
+UpdateCoalescer::Stats UpdateCoalescer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t UpdateCoalescer::pending_sightings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [agent, p] : pending_) n += p.batch.count;
+  return n;
+}
+
+void UpdateCoalescer::handle(const std::uint8_t* data, std::size_t len) {
+  // Only the node's single receive context calls handle(), so the scratch
+  // envelope needs no lock; callbacks run WITHOUT mu_ (see header).
+  if (!wm::decode_envelope_into(rx_scratch_, data, len).is_ok()) return;
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, wm::BatchedUpdateAck>) {
+          wm::BatchedUpdateAck::Cursor cur = m.acks();
+          ObjectId oid;
+          double acc = 0.0;
+          std::uint64_t n = 0;
+          while (cur.next(oid, acc)) {
+            ++n;
+            if (on_ack_) on_ack_(oid, acc);
+          }
+          std::lock_guard<std::mutex> lock(mu_);
+          stats_.acks_received += n;
+        } else if constexpr (std::is_same_v<T, wm::AgentChanged>) {
+          if (on_agent_changed_) {
+            on_agent_changed_(m.oid, m.new_agent, m.offered_acc);
+          }
+        }
+      },
+      rx_scratch_.msg);
+}
+
+}  // namespace locs::core

@@ -29,6 +29,22 @@ namespace locs::net {
 
 class BufferPool {
  public:
+  // Default bounds on pool memory under bursts; beyond these, releases
+  // degrade to frees. 64 KiB comfortably covers every steady-state message
+  // (UDP fragments are 32 KiB) while letting oversized result buffers die.
+  static constexpr std::size_t kDefaultMaxFree = 4096;
+  static constexpr std::size_t kDefaultMaxPooledCapacity = 64 * 1024;
+
+  BufferPool() = default;
+
+  /// Batch-aware sizing: a sender that coalesces many messages into one
+  /// datagram (core/update_coalescer.hpp) retires buffers at its batch
+  /// byte-budget, so it passes a capacity cap covering that budget (and
+  /// typically a much smaller free-list bound -- a handful of in-flight
+  /// batches, not thousands of singletons).
+  BufferPool(std::size_t max_free, std::size_t max_pooled_capacity)
+      : max_free_(max_free), max_pooled_capacity_(max_pooled_capacity) {}
+
   /// Returns an empty buffer, reusing a retired one when available.
   wire::Buffer acquire() {
     SpinGuard guard(lock_);
@@ -42,13 +58,13 @@ class BufferPool {
   }
 
   /// Retires a buffer into the free list. Dropped (plain free) when the
-  /// pool is disabled, already holds kMaxFree buffers, or the buffer grew
-  /// beyond kMaxPooledCapacity -- a burst of huge range results must not
+  /// pool is disabled, already holds max_free buffers, or the buffer grew
+  /// beyond max_pooled_capacity -- a burst of huge range results must not
   /// pin gigabytes of capacity behind the pool forever.
   void release(wire::Buffer&& b) {
     SpinGuard guard(lock_);
-    if (!enabled_ || free_.size() >= kMaxFree ||
-        b.capacity() > kMaxPooledCapacity) {
+    if (!enabled_ || free_.size() >= max_free_ ||
+        b.capacity() > max_pooled_capacity_) {
       return;
     }
     free_.push_back(std::move(b));
@@ -75,12 +91,6 @@ class BufferPool {
   }
 
  private:
-  // Bounds pool memory under bursts; beyond these, releases degrade to
-  // frees. 64 KiB comfortably covers every steady-state message (UDP
-  // fragments are 32 KiB) while letting oversized result buffers die.
-  static constexpr std::size_t kMaxFree = 4096;
-  static constexpr std::size_t kMaxPooledCapacity = 64 * 1024;
-
   // The critical sections are a handful of instructions, and on the
   // single-threaded SimNetwork hot path acquire/release run once per
   // message: an uncontended atomic-flag spinlock costs a few ns where a
@@ -95,6 +105,8 @@ class BufferPool {
   };
 
   mutable std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
+  std::size_t max_free_ = kDefaultMaxFree;
+  std::size_t max_pooled_capacity_ = kDefaultMaxPooledCapacity;
   std::vector<wire::Buffer> free_;
   bool enabled_ = true;
   std::uint64_t acquired_ = 0;

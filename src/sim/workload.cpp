@@ -16,6 +16,14 @@ geo::Point WorkloadGenerator::anchor(geo::Point client_pos) {
   return {rng_.uniform(a.min.x, a.max.x), rng_.uniform(a.min.y, a.max.y)};
 }
 
+std::uint32_t WorkloadGenerator::next_update_burst() {
+  const BurstModel& b = params_.update_burst;
+  if (b.burst_max <= 1 || !rng_.bernoulli(b.burst_prob)) return 1;
+  const std::uint32_t lo = std::max<std::uint32_t>(b.burst_min, 1);
+  const std::uint32_t hi = std::max(b.burst_max, lo);
+  return lo + static_cast<std::uint32_t>(rng_.next_below(hi - lo + 1));
+}
+
 QueryOp WorkloadGenerator::next(geo::Point client_pos,
                                 const std::vector<ObjectId>& population) {
   QueryOp op;

@@ -17,6 +17,18 @@ struct QueryMix {
   double p_nn = 0.1;
 };
 
+/// Update arrival model: real sensor feeds are bursty (a gateway uploads a
+/// whole window of sightings at once, a fleet reports on a shared timer), so
+/// many updates land on one leaf within one latency window -- exactly the
+/// pattern batched coalescing (core/update_coalescer.hpp) amortizes. With
+/// probability `burst_prob` an arrival slot opens a burst of
+/// [burst_min, burst_max] updates; otherwise a single update arrives.
+struct BurstModel {
+  double burst_prob = 0.3;
+  std::uint32_t burst_min = 4;
+  std::uint32_t burst_max = 16;
+};
+
 struct WorkloadParams {
   geo::Rect area;
   QueryMix mix;
@@ -28,6 +40,8 @@ struct WorkloadParams {
   double local_radius = 200.0;
   /// Edge length of range-query areas.
   double range_extent = 50.0;
+  /// Arrival pattern for position updates (see BurstModel).
+  BurstModel update_burst;
 };
 
 struct QueryOp {
@@ -50,6 +64,10 @@ class WorkloadGenerator {
   /// The anchor point for a query issued at `client_pos` under the
   /// configured locality.
   geo::Point anchor(geo::Point client_pos);
+
+  /// Number of updates arriving in the next arrival slot (>= 1), drawn from
+  /// the configured BurstModel.
+  std::uint32_t next_update_burst();
 
   Rng& rng() { return rng_; }
 

@@ -68,14 +68,25 @@ Result<PersistentLog> PersistentLog::open(const std::string& path, bool fsync_ea
 }
 
 Status PersistentLog::append(const wire::Buffer& record) {
+  return append_batch(std::span<const wire::Buffer>(&record, 1));
+}
+
+Status PersistentLog::append_batch(std::span<const wire::Buffer> records) {
   if (fd_ < 0) return Status(StatusCode::kFailedPrecondition, "log not open");
-  std::vector<std::uint8_t> frame(kFrameHeader + record.size());
-  put_u32(frame.data(), static_cast<std::uint32_t>(record.size()));
-  put_u32(frame.data() + 4, crc32(record.data(), record.size()));
-  std::memcpy(frame.data() + kFrameHeader, record.data(), record.size());
+  if (records.empty()) return Status::ok();
+  std::size_t total = 0;
+  for (const wire::Buffer& r : records) total += kFrameHeader + r.size();
+  std::vector<std::uint8_t> frames(total);
+  std::uint8_t* p = frames.data();
+  for (const wire::Buffer& r : records) {
+    put_u32(p, static_cast<std::uint32_t>(r.size()));
+    put_u32(p + 4, crc32(r.data(), r.size()));
+    std::memcpy(p + kFrameHeader, r.data(), r.size());
+    p += kFrameHeader + r.size();
+  }
   std::size_t written = 0;
-  while (written < frame.size()) {
-    const ssize_t n = ::write(fd_, frame.data() + written, frame.size() - written);
+  while (written < frames.size()) {
+    const ssize_t n = ::write(fd_, frames.data() + written, frames.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
       return io_error("append");
@@ -83,7 +94,7 @@ Status PersistentLog::append(const wire::Buffer& record) {
     written += static_cast<std::size_t>(n);
   }
   if (fsync_each_ && ::fsync(fd_) != 0) return io_error("fsync");
-  ++appended_;
+  appended_ += records.size();
   return Status::ok();
 }
 

@@ -40,6 +40,26 @@ bool SightingDb::update(const core::Sighting& s, TimePoint expiry) {
   return true;
 }
 
+void SightingDb::apply_batch(const std::vector<BulkUpdate>& items,
+                             TimePoint expiry) {
+  MaybeGuard guard(slice_mu_);
+  for (const BulkUpdate& item : items) {
+    const auto [it, inserted] = records_.try_emplace(item.s.oid);
+    Record& rec = it->second;
+    rec.sighting = item.s;
+    rec.offered_acc = item.offered_acc;
+    rec.expiry = expiry;
+    rec.generation = next_generation_++;
+    if (inserted) {
+      index_->insert(item.s.oid, item.s.pos);
+    } else {
+      index_->update(item.s.oid, item.s.pos);
+    }
+    expiry_heap_.push_back({expiry, item.s.oid, rec.generation});
+    std::push_heap(expiry_heap_.begin(), expiry_heap_.end(), std::greater<>{});
+  }
+}
+
 bool SightingDb::remove(ObjectId oid) {
   MaybeGuard guard(slice_mu_);
   const auto it = records_.find(oid);

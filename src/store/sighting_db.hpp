@@ -63,6 +63,18 @@ class SightingDb {
   /// accordingly whenever the visitor contacts the location server").
   bool update(const core::Sighting& s, TimePoint expiry);
 
+  /// One upsert item of apply_batch (wire::BatchedUpdateReq application).
+  struct BulkUpdate {
+    core::Sighting s;
+    double offered_acc = 0.0;
+  };
+
+  /// Upserts a whole batch of sightings under ONE slice-lock acquisition and
+  /// one pass over records + spatial index -- the per-datagram lock and
+  /// dispatch overhead is paid once per batch instead of once per sighting.
+  /// Semantically identical to insert()/update()+set_offered_acc() per item.
+  void apply_batch(const std::vector<BulkUpdate>& items, TimePoint expiry);
+
   bool remove(ObjectId oid);
 
   const Record* find(ObjectId oid) const;

@@ -13,6 +13,16 @@ enum class LogOp : std::uint8_t {
   kRemove = 4,
 };
 
+/// The one builder of remove records, shared by the single and batch paths.
+wire::Buffer make_remove_record(ObjectId oid) {
+  wire::Buffer buf;
+  wire::Writer w(buf);
+  w.u8(static_cast<std::uint8_t>(LogOp::kRemove));
+  w.u64(oid.value);
+  w.flush();
+  return buf;
+}
+
 }  // namespace
 
 Result<VisitorDb> VisitorDb::open(const std::string& path, bool fsync_each) {
@@ -96,6 +106,18 @@ bool VisitorDb::remove(ObjectId oid) {
   return true;
 }
 
+std::size_t VisitorDb::remove_batch(std::span<const ObjectId> oids) {
+  std::size_t removed = 0;
+  std::vector<wire::Buffer> log_records;
+  for (const ObjectId oid : oids) {
+    if (records_.erase(oid) == 0) continue;
+    ++removed;
+    if (log_) log_records.push_back(make_remove_record(oid));
+  }
+  if (log_ && !log_records.empty()) log_->append_batch(log_records);
+  return removed;
+}
+
 const VisitorRecord* VisitorDb::find(ObjectId oid) const {
   const auto it = records_.find(oid);
   return it == records_.end() ? nullptr : &it->second;
@@ -164,12 +186,7 @@ void VisitorDb::log_set_acc(ObjectId oid, double acc) {
 
 void VisitorDb::log_remove(ObjectId oid) {
   if (!log_) return;
-  wire::Buffer buf;
-  wire::Writer w(buf);
-  w.u8(static_cast<std::uint8_t>(LogOp::kRemove));
-  w.u64(oid.value);
-  w.flush();
-  log_->append(buf);
+  log_->append(make_remove_record(oid));
 }
 
 }  // namespace locs::store

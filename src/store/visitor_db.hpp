@@ -12,6 +12,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <unordered_map>
 
 #include "core/types.hpp"
@@ -51,6 +52,13 @@ class VisitorDb {
   void set_offered_acc(ObjectId oid, double offered_acc);
 
   bool remove(ObjectId oid);
+
+  /// Bulk-apply counterpart of remove() for batch paths (soft-state expiry
+  /// sweeps, batched deregistration): erases every present oid in one pass
+  /// and appends all their log records as one frame write -- one syscall
+  /// (and one fsync under fsync_each) per batch instead of per object, via
+  /// PersistentLog::append_batch. Returns the number of records removed.
+  std::size_t remove_batch(std::span<const ObjectId> oids);
 
   const VisitorRecord* find(ObjectId oid) const;
   bool contains(ObjectId oid) const { return records_.count(oid) > 0; }

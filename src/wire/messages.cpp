@@ -176,6 +176,20 @@ void encode(Writer& w, const UpdateAck& m) {
   w.f64(m.offered_acc);
 }
 
+// Batched messages: the packed region was built by append() and is emitted
+// verbatim behind a length prefix (see the framing invariants in the header).
+void encode(Writer& w, const BatchedUpdateReq& m) {
+  w.u64(m.count);
+  w.u64(m.packed.size());
+  w.bytes(m.packed.data(), m.packed.size());
+}
+
+void encode(Writer& w, const BatchedUpdateAck& m) {
+  w.u64(m.count);
+  w.u64(m.packed.size());
+  w.bytes(m.packed.data(), m.packed.size());
+}
+
 void encode(Writer& w, const HandoverReq& m) {
   put(w, m.s);
   put(w, m.reg_info);
@@ -369,6 +383,29 @@ void decode_into(Reader& r, UpdateReq& m) { m.s = get_sighting(r); }
 void decode_into(Reader& r, UpdateAck& m) {
   m.oid = get_oid(r);
   m.offered_acc = r.f64();
+}
+
+/// Shared by both batched messages: owns the packed region (assign reuses
+/// the scratch buffer's capacity); the Cursors unpack it lazily later.
+void get_packed_into(Reader& r, std::uint64_t& count, Buffer& packed) {
+  count = r.u64();
+  const std::uint64_t n = r.u64();
+  const std::span<const std::uint8_t> bytes =
+      r.bytes(static_cast<std::size_t>(n));
+  if (!r.ok()) {
+    count = 0;
+    packed.clear();
+    return;
+  }
+  packed.assign(bytes.begin(), bytes.end());
+}
+
+void decode_into(Reader& r, BatchedUpdateReq& m) {
+  get_packed_into(r, m.count, m.packed);
+}
+
+void decode_into(Reader& r, BatchedUpdateAck& m) {
+  get_packed_into(r, m.count, m.packed);
 }
 
 void decode_into(Reader& r, HandoverReq& m) {
@@ -584,6 +621,12 @@ std::size_t size_hint(const EventSubscribe& m) {
 std::size_t size_hint(const EventInstall& m) {
   return kEnvelopeBase + extra_hint(m.area);
 }
+std::size_t size_hint(const BatchedUpdateReq& m) {
+  return kEnvelopeBase + m.packed.size();
+}
+std::size_t size_hint(const BatchedUpdateAck& m) {
+  return kEnvelopeBase + m.packed.size();
+}
 
 template <typename M>
 void encode_envelope_impl(Buffer& out, NodeId src, const M& m) {
@@ -631,8 +674,65 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kEventDelta: return "EventDelta";
     case MsgType::kEventNotify: return "EventNotify";
     case MsgType::kEventUnsubscribe: return "EventUnsubscribe";
+    case MsgType::kBatchedUpdateReq: return "BatchedUpdateReq";
+    case MsgType::kBatchedUpdateAck: return "BatchedUpdateAck";
   }
   return "Unknown";
+}
+
+// --- batched-update packing / lazy unpacking ---------------------------------
+
+void BatchedUpdateReq::append(const Sighting& s) {
+  Writer w(packed);
+  put(w, s);
+  ++count;
+}
+
+bool BatchedUpdateReq::Cursor::next(Sighting& out) {
+  if (r_.remaining() == 0) return false;
+  out = get_sighting(r_);
+  return r_.ok();
+}
+
+void BatchedUpdateAck::append(ObjectId oid, double offered_acc) {
+  Writer w(packed);
+  put(w, oid);
+  w.f64(offered_acc);
+  ++count;
+}
+
+bool BatchedUpdateAck::Cursor::next(ObjectId& oid, double& offered_acc) {
+  if (r_.remaining() == 0) return false;
+  oid = get_oid(r_);
+  offered_acc = r_.f64();
+  return r_.ok();
+}
+
+BatchedUpdateView::BatchedUpdateView(const std::uint8_t* data, std::size_t len)
+    : r_(data, len) {
+  // Envelope prefix: [version u8][type u8][src u32_fixed].
+  if (r_.u8() != kWireVersion) return;
+  if (static_cast<MsgType>(r_.u8()) != MsgType::kBatchedUpdateReq) return;
+  (void)r_.u32_fixed();
+  count_ = r_.u64();
+  packed_len_ = static_cast<std::size_t>(r_.u64());
+  if (!r_.ok() || packed_len_ > r_.remaining()) return;
+  packed_base_ = data + (len - r_.remaining());
+  // Re-anchor the reader on exactly the packed region, so iteration cannot
+  // run into trailing bytes.
+  r_ = Reader(packed_base_, packed_len_);
+  valid_ = true;
+}
+
+std::optional<BatchedUpdateView::Item> BatchedUpdateView::next() {
+  if (!valid_ || r_.remaining() == 0) return std::nullopt;
+  const std::size_t start = packed_len_ - r_.remaining();
+  // Delimit the item with the one true Sighting decoder: the byte range
+  // tracks any future layout change automatically.
+  const Sighting s = get_sighting(r_);
+  if (!r_.ok()) return std::nullopt;  // malformed tail: stop iterating
+  const std::size_t end = packed_len_ - r_.remaining();
+  return Item{s.oid, packed_base_ + start, end - start};
 }
 
 MsgType message_type(const Message& msg) {

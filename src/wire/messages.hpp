@@ -14,6 +14,30 @@
 // cache: "in each request and response message forwarded within the server
 // hierarchy the originator of the message includes a specification of its
 // (leaf) service area".
+//
+// Batched update framing (BatchedUpdateReq / BatchedUpdateAck): under heavy
+// load many UpdateReqs land on the same leaf within one latency window, so a
+// coalescing sender (core/update_coalescer.hpp) packs whole sighting lists
+// into ONE datagram and the leaf acknowledges them with one packed ack.
+// Invariants:
+//  * framing -- payload is [count u64][packed_len u64][packed bytes]; the
+//    packed region is the concatenation of the sightings (acks: oid +
+//    offered_acc pairs) in the exact per-field encoding of the unbatched
+//    messages, so batching changes the envelope count, never the field
+//    format. `count` is advisory; consumers iterate the packed bytes and
+//    stop at the first malformed entry (a truncated DATAGRAM still sticky-
+//    fails the envelope decode via the packed_len prefix).
+//  * decode is lazy -- handlers walk the packed region with a Reader-backed
+//    Cursor, one sighting at a time; no intermediate vector of sightings is
+//    ever materialized, and BatchedUpdateView routes a batch per owning
+//    shard by peeking each sighting's leading ObjectId varint without a
+//    full envelope decode (the batch analogue of peek_object_key).
+//  * a single-sighting batch is intentionally DISTINCT from a plain
+//    UpdateReq (different MsgType byte) -- receivers never have to guess,
+//    and the unbatched hot path keeps its exact wire format.
+//  * flush policy lives in the SENDER (size / byte-budget / deadline, see
+//    UpdateCoalescer::Options); the wire format carries no timing state, so
+//    a batch is valid no matter which policy emitted it.
 #pragma once
 
 #include <cstdint>
@@ -68,6 +92,8 @@ enum class MsgType : std::uint8_t {
   kEventDelta,
   kEventNotify,
   kEventUnsubscribe,
+  kBatchedUpdateReq,
+  kBatchedUpdateAck,
 };
 
 const char* msg_type_name(MsgType t);
@@ -128,6 +154,65 @@ struct UpdateAck {
   static constexpr MsgType kType = MsgType::kUpdateAck;
   ObjectId oid;
   double offered_acc = 0.0;
+};
+
+/// Coalesced position updates: many sightings bound for one leaf in a single
+/// datagram (see the batched-update framing invariants in the header
+/// comment). The sightings live varint-packed in `packed`; append() packs on
+/// the sender, Cursor lazily unpacks on the receiver -- no intermediate
+/// vector of sightings exists on either side.
+struct BatchedUpdateReq {
+  static constexpr MsgType kType = MsgType::kBatchedUpdateReq;
+  std::uint64_t count = 0;  // sightings in `packed` (advisory; see header)
+  Buffer packed;            // concatenated per-field encodings of Sighting
+
+  void clear() {
+    count = 0;
+    packed.clear();
+  }
+  bool empty() const { return count == 0; }
+  std::size_t payload_bytes() const { return packed.size(); }
+
+  /// Packs one sighting (same field encoding as UpdateReq carries).
+  void append(const Sighting& s);
+
+  /// Lazy Reader-backed unpacker: decodes one sighting per next() call,
+  /// stopping at the end of the packed region or the first malformed entry.
+  class Cursor {
+   public:
+    explicit Cursor(const Buffer& packed) : r_(packed) {}
+    bool next(Sighting& out);
+
+   private:
+    Reader r_;
+  };
+  Cursor sightings() const { return Cursor(packed); }
+};
+
+/// Packed acknowledgement for a BatchedUpdateReq: one (oid, offered_acc)
+/// entry per APPLIED sighting, same framing discipline as the request.
+struct BatchedUpdateAck {
+  static constexpr MsgType kType = MsgType::kBatchedUpdateAck;
+  std::uint64_t count = 0;
+  Buffer packed;  // concatenated [oid varint][offered_acc f64] entries
+
+  void clear() {
+    count = 0;
+    packed.clear();
+  }
+  bool empty() const { return count == 0; }
+
+  void append(ObjectId oid, double offered_acc);
+
+  class Cursor {
+   public:
+    explicit Cursor(const Buffer& packed) : r_(packed) {}
+    bool next(ObjectId& oid, double& offered_acc);
+
+   private:
+    Reader r_;
+  };
+  Cursor acks() const { return Cursor(packed); }
 };
 
 struct HandoverReq {
@@ -387,7 +472,9 @@ struct EventUnsubscribe {
   X(EventInstall)                                                              \
   X(EventDelta)                                                                \
   X(EventNotify)                                                               \
-  X(EventUnsubscribe)
+  X(EventUnsubscribe)                                                          \
+  X(BatchedUpdateReq)                                                          \
+  X(BatchedUpdateAck)
 
 using Message = std::variant<
     RegisterReq, RegisterRes, RegisterFailed, CreatePath, RemovePath, UpdateReq,
@@ -395,7 +482,7 @@ using Message = std::variant<
     PosQueryRes, RangeQueryReq, RangeQueryFwd, RangeQuerySubRes, RangeQueryRes,
     NNQueryReq, NNProbeFwd, NNProbeSubRes, NNQueryRes, ChangeAccReq, ChangeAccRes,
     NotifyAvailAcc, DeregisterReq, RefreshReq, EventSubscribe, EventInstall,
-    EventDelta, EventNotify, EventUnsubscribe>;
+    EventDelta, EventNotify, EventUnsubscribe, BatchedUpdateReq, BatchedUpdateAck>;
 
 struct Envelope {
   NodeId src;
@@ -439,5 +526,34 @@ inline Result<Envelope> decode_envelope(const Buffer& buf) {
 /// area-keyed / coordinator messages (range, NN, events) and for malformed
 /// datagrams (the full decode then reports the error).
 std::optional<ObjectId> peek_object_key(const std::uint8_t* data, std::size_t len);
+
+/// Batch analogue of peek_object_key: walks an ENCODED BatchedUpdateReq
+/// datagram and yields each sighting's ObjectId plus the raw byte range of
+/// its packed encoding, without a full envelope decode. A sharded leaf uses
+/// this to split one incoming batch into per-shard sub-batches by memcpy of
+/// the item ranges (core/sharded_location_server). Iteration stops at the
+/// end of the packed region or the first malformed entry; a datagram that is
+/// not a well-formed batch envelope yields valid() == false.
+class BatchedUpdateView {
+ public:
+  BatchedUpdateView(const std::uint8_t* data, std::size_t len);
+
+  bool valid() const { return valid_; }
+  std::uint64_t count() const { return count_; }  // advisory (see framing note)
+
+  struct Item {
+    ObjectId oid;
+    const std::uint8_t* data;  // raw packed encoding of this sighting
+    std::size_t len;
+  };
+  std::optional<Item> next();
+
+ private:
+  Reader r_;
+  const std::uint8_t* packed_base_ = nullptr;
+  std::size_t packed_len_ = 0;
+  std::uint64_t count_ = 0;
+  bool valid_ = false;
+};
 
 }  // namespace locs::wire

@@ -76,6 +76,20 @@ std::string rand_str(Rng& rng) {
   return s;
 }
 
+BatchedUpdateReq rand_batch(Rng& rng) {
+  BatchedUpdateReq b;
+  const std::size_t n = rng.next_below(6);  // including empty batches
+  for (std::size_t i = 0; i < n; ++i) b.append(rand_sighting(rng));
+  return b;
+}
+
+BatchedUpdateAck rand_batch_ack(Rng& rng) {
+  BatchedUpdateAck b;
+  const std::size_t n = rng.next_below(6);
+  for (std::size_t i = 0; i < n; ++i) b.append(rand_oid(rng), rng.uniform(0, 500));
+  return b;
+}
+
 /// One randomized instance of every protocol message type.
 std::vector<Message> random_messages(Rng& rng) {
   std::vector<Message> msgs;
@@ -138,6 +152,8 @@ std::vector<Message> random_messages(Rng& rng) {
   msgs.push_back(EventNotify{rng.next_u64(), rng.next_below(2) == 0,
                              static_cast<std::uint32_t>(rng.next_below(1000))});
   msgs.push_back(EventUnsubscribe{rng.next_u64()});
+  msgs.push_back(rand_batch(rng));
+  msgs.push_back(rand_batch_ack(rng));
   return msgs;
 }
 
@@ -266,11 +282,128 @@ TEST(CodecProperty, RandomGarbageNeverCrashesTheDecoder) {
     if (!junk.empty() && rng.next_below(2) == 0) {
       junk[0] = 1;  // valid version byte: reach the per-type decoders
       if (junk.size() > 1) {
-        junk[1] = static_cast<std::uint8_t>(1 + rng.next_below(31));
+        junk[1] = static_cast<std::uint8_t>(1 + rng.next_below(33));
       }
     }
     (void)decode_envelope_into(scratch, junk.data(), junk.size());
     (void)peek_object_key(junk.data(), junk.size());
+  }
+}
+
+// --- batched updates (framing invariants of wire/messages.hpp) ---------------
+
+TEST(CodecProperty, BatchCursorRoundTripsEverySighting) {
+  Rng rng(88);
+  for (int iter = 0; iter < 64; ++iter) {
+    std::vector<core::Sighting> in(rng.next_below(12));
+    BatchedUpdateReq batch;
+    for (auto& s : in) {
+      s = rand_sighting(rng);
+      batch.append(s);
+    }
+    EXPECT_EQ(batch.count, in.size());
+    const Buffer wire = encode_envelope(NodeId{4}, batch);
+    const auto decoded = decode_envelope(wire);
+    ASSERT_TRUE(decoded.ok());
+    const auto& out = std::get<BatchedUpdateReq>(decoded.value().msg);
+    EXPECT_EQ(out.count, in.size());
+    BatchedUpdateReq::Cursor cur = out.sightings();
+    core::Sighting s;
+    std::size_t i = 0;
+    while (cur.next(s)) {
+      ASSERT_LT(i, in.size());
+      EXPECT_EQ(s.oid, in[i].oid);
+      EXPECT_EQ(s.t, in[i].t);
+      EXPECT_EQ(s.pos, in[i].pos);
+      EXPECT_EQ(s.acc_sens, in[i].acc_sens);
+      ++i;
+    }
+    EXPECT_EQ(i, in.size());
+  }
+}
+
+TEST(CodecProperty, BatchViewAgreesWithCursorAndReencodesItems) {
+  Rng rng(89);
+  for (int iter = 0; iter < 64; ++iter) {
+    BatchedUpdateReq batch = rand_batch(rng);
+    const Buffer wire = encode_envelope(NodeId{6}, batch);
+    BatchedUpdateView view(wire.data(), wire.size());
+    ASSERT_TRUE(view.valid());
+    EXPECT_EQ(view.count(), batch.count);
+    BatchedUpdateReq::Cursor cur = batch.sightings();
+    core::Sighting s;
+    Buffer reassembled;
+    std::size_t items = 0;
+    while (const auto item = view.next()) {
+      ASSERT_TRUE(cur.next(s));
+      EXPECT_EQ(item->oid, s.oid);  // the routing peek sees the same key
+      reassembled.insert(reassembled.end(), item->data, item->data + item->len);
+      ++items;
+    }
+    EXPECT_FALSE(cur.next(s));
+    EXPECT_EQ(items, batch.count);
+    // The concatenated item ranges ARE the packed region (shard splitting
+    // re-frames batches by memcpy of these ranges).
+    EXPECT_EQ(reassembled, batch.packed);
+  }
+  // Non-batch datagrams are rejected.
+  const Buffer other = encode_envelope(NodeId{6}, UpdateReq{{}});
+  EXPECT_FALSE(BatchedUpdateView(other.data(), other.size()).valid());
+  EXPECT_FALSE(BatchedUpdateView(nullptr, 0).valid());
+}
+
+TEST(CodecProperty, TruncatedBatchTailStopsIterationWithoutCrashing) {
+  Rng rng(90);
+  BatchedUpdateReq batch;
+  for (int i = 0; i < 4; ++i) batch.append(rand_sighting(rng));
+  // Cut the packed region mid-sighting: the ENVELOPE must sticky-fail (the
+  // packed_len prefix no longer fits the datagram) ...
+  const Buffer wire = encode_envelope(NodeId{3}, batch);
+  for (std::size_t cut = 1; cut < 30; ++cut) {
+    EXPECT_FALSE(decode_envelope(wire.data(), wire.size() - cut).ok());
+  }
+  // ... and a batch whose OWNED packed region is malformed (bit rot, buggy
+  // sender) stops lazy iteration at the damage instead of overrunning.
+  BatchedUpdateReq damaged = batch;
+  damaged.packed.resize(damaged.packed.size() - 7);
+  BatchedUpdateReq::Cursor cur = damaged.sightings();
+  core::Sighting s;
+  std::size_t complete = 0;
+  while (cur.next(s)) ++complete;
+  EXPECT_EQ(complete, 3u);
+  // Same for the routing view over a re-encoded damaged batch.
+  const Buffer damaged_wire = encode_envelope(NodeId{3}, damaged);
+  BatchedUpdateView view(damaged_wire.data(), damaged_wire.size());
+  ASSERT_TRUE(view.valid());
+  std::size_t viewed = 0;
+  while (view.next()) ++viewed;
+  EXPECT_EQ(viewed, 3u);
+}
+
+TEST(CodecProperty, BatchBitFlipsNeverCrashCursorOrView) {
+  Rng rng(91);
+  for (int iter = 0; iter < 200; ++iter) {
+    BatchedUpdateReq batch;
+    const std::size_t n = 1 + rng.next_below(6);
+    for (std::size_t i = 0; i < n; ++i) batch.append(rand_sighting(rng));
+    Buffer wire = encode_envelope(NodeId{8}, batch);
+    const std::size_t byte = rng.next_below(wire.size());
+    wire[byte] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    // The view never crashes, whatever the flip hit.
+    BatchedUpdateView view(wire.data(), wire.size());
+    while (view.next()) {
+    }
+    // If the envelope still decodes, lazy iteration must stay in bounds.
+    const auto decoded = decode_envelope(wire);
+    if (decoded.ok()) {
+      if (const auto* m = std::get_if<BatchedUpdateReq>(&decoded.value().msg)) {
+        BatchedUpdateReq::Cursor cur = m->sightings();
+        core::Sighting s;
+        while (cur.next(s)) {
+        }
+        encode_envelope(NodeId{8}, *m);  // and re-encode cleanly
+      }
+    }
   }
 }
 

@@ -34,7 +34,7 @@ TEST(Events, AreaCountUnfiresWhenObjectsLeave) {
   SimWorld world(core::HierarchyBuilder::fig6(kArea));
   auto qc = world.make_query_client(NodeId{4});
   const geo::Polygon area = geo::Polygon::from_rect(geo::Rect{{0, 0}, {300, 300}});
-  const std::uint64_t sub = qc->subscribe_area_count(area, 2);
+  qc->subscribe_area_count(area, 2);
   world.run();
   auto o1 = world.register_object(ObjectId{1}, {100, 100}, 1.0, {10.0, 50.0});
   auto o2 = world.register_object(ObjectId{2}, {150, 150}, 1.0, {10.0, 50.0});

@@ -155,6 +155,36 @@ TEST(Workload, LocalityKeepsAnchorsNearby) {
   EXPECT_GT(max_d, 300.0);
 }
 
+TEST(Workload, UpdateBurstsStayInBoundsAndMix) {
+  WorkloadParams params;
+  params.area = kArea;
+  params.update_burst = {/*burst_prob=*/0.5, /*burst_min=*/4, /*burst_max=*/16};
+  WorkloadGenerator gen(params, 21);
+  std::size_t singles = 0, bursts = 0, total = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint32_t n = gen.next_update_burst();
+    total += n;
+    if (n == 1) {
+      ++singles;
+    } else {
+      EXPECT_GE(n, 4u);
+      EXPECT_LE(n, 16u);
+      ++bursts;
+    }
+  }
+  // Both arrival modes occur, and bursts push the mean well above 1 (the
+  // batching lever bench_batched_update exercises).
+  EXPECT_GT(singles, 0u);
+  EXPECT_GT(bursts, 0u);
+  EXPECT_GT(static_cast<double>(total) / 2000.0, 2.0);
+
+  // Degenerate model: never bursts.
+  WorkloadParams flat = params;
+  flat.update_burst = {0.0, 4, 16};
+  WorkloadGenerator gen2(flat, 22);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(gen2.next_update_burst(), 1u);
+}
+
 TEST(Workload, RangeAreasHaveConfiguredExtent) {
   WorkloadParams params;
   params.area = kArea;

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "store/persistent_log.hpp"
 #include "store/sighting_db.hpp"
@@ -260,6 +261,56 @@ TEST_F(VisitorDbTest, PersistsAcrossReopen) {
   EXPECT_EQ(db.value().find(ObjectId{2})->leaf->offered_acc, 30.0);
   EXPECT_EQ(db.value().find(ObjectId{2})->leaf->reg_info.reg_inst, NodeId{9});
   EXPECT_EQ(db.value().find(ObjectId{3}), nullptr);
+}
+
+TEST_F(PersistentLogTest, AppendBatchMatchesIndividualAppends) {
+  {
+    auto log = PersistentLog::open(path("batched"));
+    ASSERT_TRUE(log.ok());
+    std::vector<wire::Buffer> records;
+    for (std::uint8_t i = 0; i < 10; ++i) records.push_back({i, 0xcc});
+    ASSERT_TRUE(log.value().append_batch(records).is_ok());
+    EXPECT_EQ(log.value().appended(), 10u);
+    ASSERT_TRUE(log.value().append_batch({}).is_ok());  // empty batch: no-op
+    EXPECT_EQ(log.value().appended(), 10u);
+  }
+  {
+    auto log = PersistentLog::open(path("individual"));
+    ASSERT_TRUE(log.ok());
+    for (std::uint8_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(log.value().append({i, 0xcc}).is_ok());
+    }
+  }
+  // One frame write per batch, but byte-identical on disk.
+  std::ifstream a(path("batched"), std::ios::binary);
+  std::ifstream b(path("individual"), std::ios::binary);
+  const std::string bytes_a((std::istreambuf_iterator<char>(a)), {});
+  const std::string bytes_b((std::istreambuf_iterator<char>(b)), {});
+  EXPECT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b);
+}
+
+TEST_F(VisitorDbTest, RemoveBatchPersistsAndSkipsUnknown) {
+  {
+    auto db = VisitorDb::open(path("vdb"), /*fsync_each=*/true);
+    ASSERT_TRUE(db.ok());
+    for (std::uint64_t i = 1; i <= 8; ++i) {
+      db.value().insert_leaf(ObjectId{i}, 25.0, {NodeId{9}, {10.0, 100.0}});
+    }
+    const std::vector<ObjectId> to_remove = {ObjectId{2}, ObjectId{4},
+                                             ObjectId{99}, ObjectId{6}};
+    EXPECT_EQ(db.value().remove_batch(to_remove), 3u);  // 99 was never there
+    EXPECT_EQ(db.value().size(), 5u);
+    // One batched append of 3 remove records on top of the 8 inserts.
+    EXPECT_EQ(db.value().log_appended(), 11u);
+  }
+  auto db = VisitorDb::open(path("vdb"));
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value().size(), 5u);
+  EXPECT_EQ(db.value().find(ObjectId{2}), nullptr);
+  EXPECT_EQ(db.value().find(ObjectId{4}), nullptr);
+  EXPECT_EQ(db.value().find(ObjectId{6}), nullptr);
+  ASSERT_NE(db.value().find(ObjectId{5}), nullptr);
 }
 
 TEST_F(VisitorDbTest, CompactionPreservesState) {

@@ -157,7 +157,7 @@ TEST(SystemChurn, MessageLossDegradesGracefully) {
   }
   // The system still answers (found or not-found, but no deadlock).
   auto qc = world.make_query_client(world.deployment->leaf_ids().front());
-  const std::uint64_t id = qc->send_pos_query(ObjectId{1});
+  qc->send_pos_query(ObjectId{1});
   world.run();
   world.advance(seconds(10));
   SUCCEED();  // reaching here without assertion failures/hangs is the test
