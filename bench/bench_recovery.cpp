@@ -1,0 +1,260 @@
+// Crash-recovery bench -- time-to-reconverge and recovery datagram counts
+// for the fault-tolerance subsystem (sim/fault.hpp + the batched
+// RecoveryHello / BatchedRefreshReq sweep).
+//
+// Scenario (deterministic SimNetwork, same style as bench_batched_update):
+// a Table-2 deployment with persistent visitorDBs tracks kObjects objects
+// registered through ONE sensor gateway (the gateway node hosts an
+// UpdateCoalescer; the leaves' refresh sweeps and update acks all land
+// there). After a few update rounds, one leaf crashes, losing its volatile
+// SightingDb; on restart it announces RecoveryHello and the batched sweep
+// rebuilds the sightings:
+//
+//   leaf  --RecoveryHello-->  root
+//   root  --BatchedRefreshReq (packed oids)-->  leaf    [parent sweep]
+//   leaf  --BatchedRefreshReq (packed oids)-->  gateway [client sweep]
+//   gateway --BatchedUpdateReq-->  leaf  (apply_batch)  [refresh updates]
+//
+// The headline metric is refresh_datagram_ratio: visitors needing a refresh
+// divided by the client-sweep datagrams actually sent -- the per-object
+// RefreshReq sweep this replaces used one datagram per visitor. Datagram
+// counts, rounds and reconvergence are DETERMINISTIC (identical across runs
+// and machines; the bench replays the scenario twice and checks); wall-clock
+// throughput is reported for trend lines. scripts/check_bench.py gates the
+// JSON against bench/baselines/recovery.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "core/hierarchy_builder.hpp"
+#include "core/update_coalescer.hpp"
+#include "net/sim_network.hpp"
+#include "util/crc32.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace locs;
+namespace fs = std::filesystem;
+
+constexpr double kAreaSize = 1500.0;
+constexpr std::size_t kObjects = 1500;
+constexpr int kUpdateRounds = 6;
+const NodeId kGateway{93};
+const NodeId kCrashLeaf{2};
+
+struct RunMetrics {
+  std::size_t crashed_leaf_visitors = 0;
+  std::uint64_t parent_sweep_datagrams = 0;  // root -> leaf BatchedRefreshReq
+  std::uint64_t client_sweep_datagrams = 0;  // leaf -> gateway BatchedRefreshReq
+  std::uint64_t recovery_datagrams_total = 0;
+  int recovery_rounds = 0;
+  double reconverge_virtual_ms = 0.0;
+  bool reconverged = false;
+  double refresh_updates_per_sec = 0.0;
+  std::uint32_t trace_crc = 0;
+};
+
+RunMetrics run_once(const std::string& tag) {
+  const fs::path dir =
+      fs::temp_directory_path() / ("locs_bench_recovery_" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  net::SimNetwork net;
+  core::Deployment::Config cfg;
+  cfg.visitor_db_factory = [&](NodeId id) {
+    auto db = store::VisitorDb::open(
+        (dir / ("visitor_" + std::to_string(id.value) + ".log")).string());
+    return db.ok() ? std::move(db).value() : store::VisitorDb{};
+  };
+  core::Deployment deployment(
+      net, net.clock(),
+      core::HierarchyBuilder::table2(geo::Rect{{0, 0}, {kAreaSize, kAreaSize}}),
+      cfg);
+
+  RunMetrics m;
+  net.set_tracer([&](TimePoint at, NodeId from, NodeId to, const wire::Buffer& b) {
+    m.trace_crc = crc32(&at, sizeof at, m.trace_crc);
+    m.trace_crc = crc32(&from.value, sizeof from.value, m.trace_crc);
+    m.trace_crc = crc32(&to.value, sizeof to.value, m.trace_crc);
+    m.trace_crc = crc32(b.data(), b.size(), m.trace_crc);
+  });
+
+  // The gateway: an UpdateCoalescer whose refresh fan-in re-feeds each
+  // object's last known position (what a real sensor gateway would do).
+  std::unordered_map<ObjectId, std::pair<NodeId, geo::Point>> last;  // oid -> (leaf, pos)
+  core::UpdateCoalescer coalescer(kGateway, net, net.clock(), {});
+  coalescer.set_on_refresh([&](ObjectId oid) {
+    const auto it = last.find(oid);
+    if (it == last.end()) return;
+    coalescer.enqueue(it->second.first,
+                      core::Sighting{oid, 0, it->second.second, 5.0});
+  });
+
+  // Registration through the gateway (reg_inst = the coalescer's node, so
+  // recovery sweeps land there), then a few coalesced update rounds.
+  Rng rng(7);
+  std::vector<geo::Rect> rects;
+  std::vector<NodeId> leaves = deployment.leaf_ids();
+  std::sort(leaves.begin(), leaves.end());
+  for (const NodeId leaf : leaves) {
+    rects.push_back(deployment.server(leaf).config().sa.bounding_box());
+  }
+  for (std::uint64_t i = 1; i <= kObjects; ++i) {
+    const geo::Point p{rng.uniform(1, kAreaSize - 1), rng.uniform(1, kAreaSize - 1)};
+    const NodeId leaf = deployment.entry_leaf_for(p);
+    wire::RegisterReq req;
+    req.s = core::Sighting{ObjectId{i}, 0, p, 5.0};
+    req.acc_range = {10.0, 100.0};
+    req.reg_inst = kGateway;
+    req.req_id = i;
+    net.send(kGateway, leaf, wire::encode_envelope(kGateway, req));
+    last[ObjectId{i}] = {leaf, p};
+  }
+  net.run_until_idle();
+
+  for (int round = 0; round < kUpdateRounds; ++round) {
+    for (std::uint64_t i = 1; i <= kObjects; ++i) {
+      auto& [leaf, pos] = last[ObjectId{i}];
+      const std::size_t li = static_cast<std::size_t>(
+          std::find(leaves.begin(), leaves.end(), leaf) - leaves.begin());
+      pos = {rng.uniform(rects[li].min.x + 1, rects[li].max.x - 1),
+             rng.uniform(rects[li].min.y + 1, rects[li].max.y - 1)};
+      coalescer.enqueue(leaf, core::Sighting{ObjectId{i}, 0, pos, 5.0});
+    }
+    coalescer.flush_all();
+    net.run_until_idle();
+  }
+
+  for (const auto& [oid, where] : last) {
+    if (where.first == kCrashLeaf) ++m.crashed_leaf_visitors;
+  }
+
+  // Crash: volatile sightings lost, persistent visitor log survives.
+  deployment.crash(kCrashLeaf);
+  net.set_node_down(kCrashLeaf, true);
+  net.run_until_idle();
+
+  // Restart + batched recovery. Count recovery datagrams by wire type.
+  std::uint64_t recovery_msgs = 0;
+  net.set_tracer([&](TimePoint at, NodeId from, NodeId to, const wire::Buffer& b) {
+    m.trace_crc = crc32(&at, sizeof at, m.trace_crc);
+    m.trace_crc = crc32(&from.value, sizeof from.value, m.trace_crc);
+    m.trace_crc = crc32(&to.value, sizeof to.value, m.trace_crc);
+    m.trace_crc = crc32(b.data(), b.size(), m.trace_crc);
+    ++recovery_msgs;
+    if (b.size() > 1 &&
+        static_cast<wire::MsgType>(b[1]) == wire::MsgType::kBatchedRefreshReq) {
+      if (to == kCrashLeaf) ++m.parent_sweep_datagrams;
+      if (to == kGateway) ++m.client_sweep_datagrams;
+    }
+  });
+
+  const TimePoint restart_at = net.now();
+  const auto wall_start = std::chrono::steady_clock::now();
+  net.set_node_down(kCrashLeaf, false);
+  deployment.restart(kCrashLeaf, /*announce=*/true);
+
+  const auto converged = [&] {
+    store::SightingDb::Record rec;
+    for (const auto& [oid, where] : last) {
+      if (where.first != kCrashLeaf) continue;
+      if (!deployment.find_sighting(kCrashLeaf, oid, rec)) return false;
+      if (rec.sighting.pos != where.second) return false;
+    }
+    return true;
+  };
+  // Each round drains the network and flushes the coalescer's tail batch
+  // (the deadline flush would do the same a few virtual ms later).
+  for (int round = 1; round <= 8; ++round) {
+    net.run_until_idle();
+    coalescer.flush_all();
+    net.run_until_idle();
+    m.recovery_rounds = round;
+    if (converged()) {
+      m.reconverged = true;
+      break;
+    }
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+  m.reconverge_virtual_ms =
+      static_cast<double>(net.now() - restart_at) / 1000.0;
+  m.recovery_datagrams_total = recovery_msgs;
+  m.refresh_updates_per_sec =
+      wall > 0.0 ? static_cast<double>(m.crashed_leaf_visitors) / wall : 0.0;
+
+  net.set_tracer(nullptr);
+  fs::remove_all(dir);
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("bench_recovery: %zu objects, crash+restart of leaf %u "
+              "(SimNetwork, deterministic)\n",
+              kObjects, kCrashLeaf.value);
+  const RunMetrics a = run_once("a");
+  const RunMetrics b = run_once("b");
+  const bool deterministic = a.trace_crc == b.trace_crc &&
+                             a.recovery_datagrams_total == b.recovery_datagrams_total;
+
+  // The per-object RefreshReq sweep this replaces: one datagram per visitor.
+  const double ratio =
+      a.client_sweep_datagrams > 0
+          ? static_cast<double>(a.crashed_leaf_visitors) /
+                static_cast<double>(a.client_sweep_datagrams)
+          : 0.0;
+  std::printf("  crashed-leaf visitors: %zu\n", a.crashed_leaf_visitors);
+  std::printf("  recovery sweep: %llu parent + %llu client BatchedRefreshReq "
+              "datagrams (vs %zu per-object RefreshReqs, %.1fx fewer)\n",
+              static_cast<unsigned long long>(a.parent_sweep_datagrams),
+              static_cast<unsigned long long>(a.client_sweep_datagrams),
+              a.crashed_leaf_visitors, ratio);
+  std::printf("  reconverged: %s in %d round(s), %.2f virtual ms, "
+              "%llu recovery datagrams, %.0f refreshed sightings/s\n",
+              a.reconverged ? "yes" : "NO", a.recovery_rounds,
+              a.reconverge_virtual_ms,
+              static_cast<unsigned long long>(a.recovery_datagrams_total),
+              a.refresh_updates_per_sec);
+  std::printf("  deterministic across runs: %s (crc %08x)\n",
+              deterministic ? "yes" : "NO", a.trace_crc);
+
+  FILE* f = std::fopen("BENCH_recovery.json", "w");
+  if (f == nullptr) return 1;
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"crash_recovery\",\n"
+               "  \"transport\": \"sim_deterministic\",\n"
+               "  \"objects\": %zu,\n"
+               "  \"crashed_leaf_visitors\": %zu,\n"
+               "  \"parent_sweep_datagrams\": %llu,\n"
+               "  \"client_sweep_datagrams\": %llu,\n"
+               "  \"refresh_datagram_ratio\": %.3f,\n"
+               "  \"recovery_datagrams_total\": %llu,\n"
+               "  \"recovery_rounds\": %d,\n"
+               "  \"reconverge_virtual_ms\": %.3f,\n"
+               "  \"reconverged\": %s,\n"
+               "  \"deterministic\": %s,\n"
+               "  \"refresh_updates_per_sec\": %.1f\n"
+               "}\n",
+               kObjects, a.crashed_leaf_visitors,
+               static_cast<unsigned long long>(a.parent_sweep_datagrams),
+               static_cast<unsigned long long>(a.client_sweep_datagrams), ratio,
+               static_cast<unsigned long long>(a.recovery_datagrams_total),
+               a.recovery_rounds, a.reconverge_virtual_ms,
+               a.reconverged ? "true" : "false", deterministic ? "true" : "false",
+               a.refresh_updates_per_sec);
+  std::fclose(f);
+  // Acceptance bar: recovery must reconverge deterministically with a
+  // heavily batched sweep (>= 8x fewer refresh datagrams than per-object).
+  return (a.reconverged && deterministic && ratio >= 8.0) ? 0 : 1;
+}

@@ -27,6 +27,7 @@ void TrackedObject::start_register(NodeId entry_server, geo::Point pos,
                                    double sensor_acc, AccuracyRange range) {
   std::lock_guard<std::mutex> lock(mu_);
   sensor_acc_ = sensor_acc;
+  acc_range_ = range;
   last_fed_pos_ = pos;
   state_ = State::kRegistering;
   wm::RegisterReq req;
@@ -91,11 +92,28 @@ void TrackedObject::apply_agent_changed_locked(NodeId new_agent,
     agent_ = new_agent;
     offered_acc_ = offered_acc;
     ++handovers_observed_;
-  } else {
-    // Moved out of the root service area: automatically deregistered.
-    state_ = State::kDeregistered;
-    agent_ = kNoNode;
+    return;
   }
+  if (opts_.reregister_on_agent_loss && state_ == State::kTracked &&
+      agent_.valid()) {
+    // A restarted leaf that lost its visitorDB nacked our update: rebuild
+    // the registration from scratch through the (recovered) old agent --
+    // the object has not moved out of its area, so it doubles as the entry
+    // server (see Options::reregister_on_agent_loss).
+    ++reregistrations_;
+    state_ = State::kRegistering;
+    wm::RegisterReq req;
+    req.s = Sighting{oid_, clock_.now(), last_fed_pos_, sensor_acc_};
+    req.acc_range = acc_range_;
+    req.reg_inst = self_;
+    req.req_id = ++req_counter_;
+    last_sent_pos_ = last_fed_pos_;
+    send_msg(agent_, req);
+    return;
+  }
+  // Moved out of the root service area: automatically deregistered.
+  state_ = State::kDeregistered;
+  agent_ = kNoNode;
 }
 
 void TrackedObject::request_change_acc(AccuracyRange range) {
@@ -140,6 +158,18 @@ void TrackedObject::handle(const std::uint8_t* data, std::size_t len) {
           if (m.oid == oid_ && state_ == State::kTracked) {
             ++refreshes_answered_;
             send_update(last_fed_pos_);
+          }
+        } else if constexpr (std::is_same_v<T, wm::BatchedRefreshReq>) {
+          // Batched recovery sweep: answer if our oid is listed (clients
+          // owning one object get single-entry batches; gateways fan out).
+          if (state_ != State::kTracked) return;
+          wm::BatchedRefreshReq::Cursor cur = m.oids();
+          ObjectId oid;
+          while (cur.next(oid)) {
+            if (oid != oid_) continue;
+            ++refreshes_answered_;
+            send_update(last_fed_pos_);
+            break;
           }
         }
       },

@@ -35,6 +35,14 @@ class TrackedObject {
   struct Options {
     /// Resend an unacknowledged update after this long (on next sensor feed).
     Duration update_retry = seconds(2);
+    /// Recovery behavior for AgentChanged{kNoNode}: instead of treating the
+    /// agent loss as deregistration, immediately RE-REGISTER through the
+    /// announcing server (a restarted leaf that lost its visitorDB nacks
+    /// unknown updates this way; see LocationServer::Options::
+    /// nack_unknown_updates). The object still covers the old position, so
+    /// the old agent doubles as the entry server. Off by default: leaving
+    /// the root service area must keep meaning deregistration.
+    bool reregister_on_agent_loss = false;
   };
 
   TrackedObject(NodeId self, ObjectId oid, net::Transport& net, Clock& clock,
@@ -85,6 +93,7 @@ class TrackedObject {
   std::uint64_t updates_sent() const { return locked(updates_sent_); }
   std::uint64_t handovers_observed() const { return locked(handovers_observed_); }
   std::uint64_t refreshes_answered() const { return locked(refreshes_answered_); }
+  std::uint64_t reregistrations() const { return locked(reregistrations_); }
 
  private:
   void handle(const std::uint8_t* data, std::size_t len);
@@ -118,6 +127,7 @@ class TrackedObject {
   NodeId agent_;
   double offered_acc_ = 0.0;
   double sensor_acc_ = 0.0;
+  AccuracyRange acc_range_;  // remembered for recovery re-registration
   double register_failed_acc_ = 0.0;
   wire::Envelope rx_scratch_;  // receive-side decode scratch (handle())
   geo::Point last_sent_pos_;
@@ -127,6 +137,7 @@ class TrackedObject {
   std::uint64_t updates_sent_ = 0;
   std::uint64_t handovers_observed_ = 0;
   std::uint64_t refreshes_answered_ = 0;
+  std::uint64_t reregistrations_ = 0;
   std::uint64_t req_counter_ = 0;
 };
 

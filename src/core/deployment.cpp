@@ -7,73 +7,116 @@ Deployment::Deployment(net::Transport& net, Clock& clock, HierarchySpec spec)
 
 Deployment::Deployment(net::Transport& net, Clock& clock, HierarchySpec spec,
                        Config cfg)
-    : net_(net), spec_(std::move(spec)) {
+    : net_(net), spec_(std::move(spec)), clock_(clock), cfg_(std::move(cfg)) {
   for (const HierarchySpec::Node& node : spec_.nodes) {
-    LocationServer::Options opts = cfg.server;
-    if (cfg.options_fn) opts = cfg.options_fn(node.id, node.cfg, opts);
-
     Entry entry;
-    const std::uint32_t shards =
-        node.cfg.is_leaf() ? std::max(cfg.leaf_shards, node.leaf_shards) : 1;
-    // A node-keyed visitor_db_factory cannot split a persistent visitorDB
-    // across shards (each shard persists only its own objects); without a
-    // shard-aware factory such a leaf stays a single reactor -- correctness
-    // (recovery, §5) beats scaling. See Config::sharded_visitor_db_factory.
-    const bool can_shard = !cfg.visitor_db_factory || cfg.sharded_visitor_db_factory;
-    if (can_shard &&
-        (shards > 1 || (cfg.force_leaf_sharding && node.cfg.is_leaf()))) {
-      ShardedLocationServer::Options sopts;
-      sopts.shards = shards;
-      sopts.threaded = cfg.shard_threads;
-      sopts.server = opts;
-      ShardedLocationServer::ShardVisitorDbFactory vdb_factory;
-      if (cfg.sharded_visitor_db_factory) {
-        vdb_factory = [factory = cfg.sharded_visitor_db_factory,
-                       id = node.id](std::uint32_t shard) {
-          return factory(id, shard);
-        };
-      }
-      entry.sharded = std::make_unique<ShardedLocationServer>(
-          node.id, node.cfg, net, clock, sopts, std::move(vdb_factory),
-          cfg.index_factory);
-      ShardedLocationServer* server = entry.sharded.get();
-      // Threaded shards serialize internally; inline shards piggyback on the
-      // same handler lock unsharded servers use over UdpNetwork.
-      if (cfg.lock_handlers && !cfg.shard_threads) {
-        entry.mu = std::make_unique<std::mutex>();
-      }
-      std::mutex* mu = entry.mu.get();
-      net.attach(node.id, [server, mu](const std::uint8_t* data, std::size_t len) {
-        if (mu != nullptr) {
-          std::lock_guard<std::mutex> lock(*mu);
-          server->handle(data, len);
-        } else {
-          server->handle(data, len);
-        }
-      });
-    } else {
-      store::VisitorDb vdb;
-      if (cfg.visitor_db_factory) vdb = cfg.visitor_db_factory(node.id);
-      entry.server = std::make_unique<LocationServer>(
-          node.id, node.cfg, net, clock, opts, std::move(vdb), cfg.index_factory);
-      if (cfg.lock_handlers) entry.mu = std::make_unique<std::mutex>();
-      LocationServer* server = entry.server.get();
-      std::mutex* mu = entry.mu.get();
-      net.attach(node.id, [server, mu](const std::uint8_t* data, std::size_t len) {
-        if (mu != nullptr) {
-          std::lock_guard<std::mutex> lock(*mu);
-          server->handle(data, len);
-        } else {
-          server->handle(data, len);
-        }
-      });
-    }
+    make_entry(node, entry);
     servers_.emplace(node.id, std::move(entry));
+  }
+}
+
+void Deployment::make_entry(const HierarchySpec::Node& node, Entry& entry) {
+  LocationServer::Options opts = cfg_.server;
+  if (cfg_.options_fn) opts = cfg_.options_fn(node.id, node.cfg, opts);
+
+  const std::uint32_t shards =
+      node.cfg.is_leaf() ? std::max(cfg_.leaf_shards, node.leaf_shards) : 1;
+  // A node-keyed visitor_db_factory cannot split a persistent visitorDB
+  // across shards (each shard persists only its own objects); without a
+  // shard-aware factory such a leaf stays a single reactor -- correctness
+  // (recovery, §5) beats scaling. See Config::sharded_visitor_db_factory.
+  const bool can_shard = !cfg_.visitor_db_factory || cfg_.sharded_visitor_db_factory;
+  if (can_shard &&
+      (shards > 1 || (cfg_.force_leaf_sharding && node.cfg.is_leaf()))) {
+    ShardedLocationServer::Options sopts;
+    sopts.shards = shards;
+    sopts.threaded = cfg_.shard_threads;
+    sopts.server = opts;
+    ShardedLocationServer::ShardVisitorDbFactory vdb_factory;
+    if (cfg_.sharded_visitor_db_factory) {
+      vdb_factory = [factory = cfg_.sharded_visitor_db_factory,
+                     id = node.id](std::uint32_t shard) {
+        return factory(id, shard);
+      };
+    }
+    entry.sharded = std::make_unique<ShardedLocationServer>(
+        node.id, node.cfg, net_, clock_, sopts, std::move(vdb_factory),
+        cfg_.index_factory);
+    ShardedLocationServer* server = entry.sharded.get();
+    // Threaded shards serialize internally; inline shards piggyback on the
+    // same handler lock unsharded servers use over UdpNetwork.
+    if (cfg_.lock_handlers && !cfg_.shard_threads && entry.mu == nullptr) {
+      entry.mu = std::make_unique<std::mutex>();
+    }
+    std::mutex* mu = cfg_.shard_threads ? nullptr : entry.mu.get();
+    net_.attach(node.id, [server, mu](const std::uint8_t* data, std::size_t len) {
+      if (mu != nullptr) {
+        std::lock_guard<std::mutex> lock(*mu);
+        server->handle(data, len);
+      } else {
+        server->handle(data, len);
+      }
+    });
+  } else {
+    store::VisitorDb vdb;
+    if (cfg_.visitor_db_factory) vdb = cfg_.visitor_db_factory(node.id);
+    entry.server = std::make_unique<LocationServer>(
+        node.id, node.cfg, net_, clock_, opts, std::move(vdb), cfg_.index_factory);
+    if (cfg_.lock_handlers && entry.mu == nullptr) {
+      entry.mu = std::make_unique<std::mutex>();
+    }
+    LocationServer* server = entry.server.get();
+    std::mutex* mu = entry.mu.get();
+    net_.attach(node.id, [server, mu](const std::uint8_t* data, std::size_t len) {
+      if (mu != nullptr) {
+        std::lock_guard<std::mutex> lock(*mu);
+        server->handle(data, len);
+      } else {
+        server->handle(data, len);
+      }
+    });
   }
 }
 
 Deployment::~Deployment() {
   for (const auto& [id, entry] : servers_) net_.detach(id);
+}
+
+void Deployment::crash(NodeId id) {
+  Entry& entry = servers_.at(id);
+  if (!entry.up()) return;
+  // Teardown protocol: detach first so the transport never delivers into a
+  // dying reactor (UdpNetwork blocks on an in-flight callback), then drop
+  // all volatile state. The persistent visitorDB log -- if any -- stays on
+  // disk for the restart to replay.
+  net_.detach(id);
+  if (entry.mu != nullptr) {
+    // Over UDP a driver thread may sit inside find_sighting; serialize.
+    std::lock_guard<std::mutex> lock(*entry.mu);
+    entry.server.reset();
+    entry.sharded.reset();
+  } else {
+    entry.server.reset();
+    entry.sharded.reset();
+  }
+}
+
+void Deployment::restart(NodeId id, bool announce) {
+  Entry& entry = servers_.at(id);
+  if (entry.up()) return;
+  const HierarchySpec::Node* node = spec_.find(id);
+  if (node == nullptr) return;
+  make_entry(*node, entry);
+  if (!announce || !node->cfg.is_leaf()) return;
+  if (entry.sharded != nullptr) {
+    entry.sharded->announce_recovery();
+  } else {
+    entry.server->announce_recovery();
+  }
+}
+
+bool Deployment::is_down(NodeId id) const {
+  return !servers_.at(id).up();
 }
 
 bool Deployment::find_sighting(NodeId id, ObjectId oid,
@@ -84,6 +127,7 @@ bool Deployment::find_sighting(NodeId id, ObjectId oid,
   // so this cross-thread read must serialize against it too.
   std::unique_lock<std::mutex> lock;
   if (entry.mu != nullptr) lock = std::unique_lock<std::mutex>(*entry.mu);
+  if (entry.server == nullptr) return false;  // crashed
   const store::SightingDb* db = entry.server->sightings();
   if (db == nullptr) return false;
   const store::SightingDb::Record* rec = db->find(oid);
@@ -103,6 +147,7 @@ void Deployment::tick_all(TimePoint now) {
       }
       continue;
     }
+    if (entry.server == nullptr) continue;  // crashed node: nothing to sweep
     if (entry.mu != nullptr) {
       std::lock_guard<std::mutex> lock(*entry.mu);
       entry.server->tick(now);
@@ -117,7 +162,7 @@ LocationServer::Stats Deployment::total_stats() const {
   for (const auto& [id, entry] : servers_) {
     if (entry.sharded != nullptr) {
       total.add(entry.sharded->stats());
-    } else {
+    } else if (entry.server != nullptr) {
       total.add(entry.server->stats());
     }
   }

@@ -64,9 +64,29 @@ class Deployment {
   /// destroyed (a UDP receive thread must not invoke a freed reactor).
   ~Deployment();
 
+  // -- fault injection (crash-restart as a first-class scenario) --
+
+  /// Crashes one node: detaches it from the transport and destroys its
+  /// reactor(s). All volatile state (SightingDb, pending operations,
+  /// caches) is LOST; a persistent visitorDB (visitor_db_factory) survives
+  /// on disk, exactly like the paper's §5 crash model. In-flight datagrams
+  /// addressed to the node are dropped at delivery. No-op if already down.
+  void crash(NodeId id);
+
+  /// Restarts a crashed node: rebuilds the reactor(s) from the same config
+  /// (replaying the persistent visitorDB, if any) and re-attaches it. With
+  /// `announce` a restarted leaf runs the recovery protocol -- RecoveryHello
+  /// to the parent, whose BatchedRefreshReq sweep drives the batched
+  /// soft-state rebuild. No-op if the node is up.
+  void restart(NodeId id, bool announce = true);
+
+  /// True while `id` is crashed (between crash() and restart()).
+  bool is_down(NodeId id) const;
+
   /// The single reactor of an UNSHARDED node (shard 0 of a sharded leaf, so
   /// existing single-reactor call sites keep working; prefer sharded() /
-  /// find_sighting() to inspect sharded leaves).
+  /// find_sighting() to inspect sharded leaves). Must not be called for a
+  /// crashed node (see is_down()).
   LocationServer& server(NodeId id) {
     const Entry& entry = servers_.at(id);
     return entry.sharded != nullptr ? entry.sharded->shard(0) : *entry.server;
@@ -97,10 +117,17 @@ class Deployment {
     std::unique_ptr<LocationServer> server;          // unsharded nodes
     std::unique_ptr<ShardedLocationServer> sharded;  // sharded leaves
     std::unique_ptr<std::mutex> mu;  // only when lock_handlers
+    bool up() const { return server != nullptr || sharded != nullptr; }
   };
+
+  /// Builds (or rebuilds, on restart) the reactor(s) of one node and
+  /// attaches them to the transport.
+  void make_entry(const HierarchySpec::Node& node, Entry& entry);
 
   net::Transport& net_;
   HierarchySpec spec_;
+  Clock& clock_;
+  Config cfg_;
   std::unordered_map<NodeId, Entry> servers_;
 };
 

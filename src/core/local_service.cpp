@@ -47,7 +47,7 @@ Result<double> LocalLocationService::register_object(ObjectId oid, geo::Point po
   auto it = objects_.find(oid);
   if (it == objects_.end()) {
     auto obj = std::make_unique<TrackedObject>(alloc_node_id(), oid, net_,
-                                               net_.clock());
+                                               net_.clock(), cfg_.object);
     if (coalescer_) {
       obj->set_update_sink([this](NodeId agent, const Sighting& s) {
         coalescer_->enqueue(agent, s);

@@ -38,6 +38,9 @@ class LocalLocationService {
     /// advance_time() past the deadline for read-your-writes.
     bool coalesce_updates = false;
     UpdateCoalescer::Options coalescing;
+    /// Options for every TrackedObject the facade creates (e.g. the
+    /// reregister_on_agent_loss recovery behavior).
+    TrackedObject::Options object;
   };
 
   LocalLocationService() : LocalLocationService(Config()) {}

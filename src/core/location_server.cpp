@@ -67,6 +67,11 @@ void LocationServer::Stats::add(const Stats& other) {
   pending_timeouts += other.pending_timeouts;
   refresh_requests += other.refresh_requests;
   events_fired += other.events_fired;
+  heartbeats_sent += other.heartbeats_sent;
+  children_suspected += other.children_suspected;
+  suspect_short_circuits += other.suspect_short_circuits;
+  recovery_hellos += other.recovery_hellos;
+  refresh_batches_sent += other.refresh_batches_sent;
 }
 
 void LocationServer::configure_shard(std::uint32_t shard_index,
@@ -80,6 +85,17 @@ void LocationServer::configure_shard(std::uint32_t shard_index,
   // Stripe req-ids by shard so sibling shards of one NodeId never hand the
   // same id to an upstream server (shard 0 keeps the unsharded sequence).
   req_counter_ = static_cast<std::uint64_t>(shard_index) << 32;
+}
+
+void LocationServer::share_caches(LeafAreaCache* leaf, ObjectAgentCache* agent,
+                                  PositionCache* position, std::mutex* mu) {
+  // All-or-nothing: a partial cache set would split hit state between
+  // private and shared instances (and a dangling mutex would guard neither).
+  if (leaf == nullptr || agent == nullptr || position == nullptr) return;
+  leaf_cache_ = leaf;
+  agent_cache_ = agent;
+  position_cache_ = position;
+  cache_mu_ = mu;
 }
 
 // --------------------------------------------------------------------------
@@ -142,6 +158,14 @@ void LocationServer::handle(const std::uint8_t* data, std::size_t len) {
           on_event_delta(src, m);
         } else if constexpr (std::is_same_v<T, wm::EventUnsubscribe>) {
           on_event_unsubscribe(src, m);
+        } else if constexpr (std::is_same_v<T, wm::Heartbeat>) {
+          on_heartbeat(src, m);
+        } else if constexpr (std::is_same_v<T, wm::HeartbeatAck>) {
+          on_heartbeat_ack(src, m);
+        } else if constexpr (std::is_same_v<T, wm::RecoveryHello>) {
+          on_recovery_hello(src, m);
+        } else if constexpr (std::is_same_v<T, wm::BatchedRefreshReq>) {
+          on_batched_refresh_req(src, m);
         }
         // Other message types (responses to clients, RefreshReq, ...) are
         // not addressed to servers; ignore them defensively.
@@ -159,7 +183,8 @@ std::uint64_t LocationServer::next_req_id() {
 void LocationServer::learn_origin(const std::optional<wm::OriginArea>& origin) {
   if (!origin || !opts_.enable_leaf_area_cache) return;
   if (origin->leaf == self_) return;
-  leaf_area_cache_.learn(origin->leaf, origin->area);
+  store::MaybeGuard guard(cache_mu_);
+  leaf_cache_->learn(origin->leaf, origin->area);
 }
 
 double LocationServer::negotiate_offered_acc(const AccuracyRange& range) const {
@@ -244,6 +269,11 @@ void LocationServer::on_update_req(NodeId src, const wm::UpdateReq& m) {
   const store::VisitorRecord* rec = visitor_db_.find(m.s.oid);
   if (rec == nullptr || !rec->leaf) {
     ++stats_.updates_unknown;  // stale agent; the object relearns via timeout
+    if (should_nack_unknown(m.s.oid)) {
+      // Total state loss (crash without persistent visitorDB): tell the
+      // client it has no agent so it can re-register (see header note).
+      send_msg(src, wm::AgentChanged{m.s.oid, kNoNode, 0.0});
+    }
     return;
   }
   if (!cfg_.covers(m.s.pos)) {
@@ -272,6 +302,9 @@ void LocationServer::on_batched_update_req(NodeId src, const wm::BatchedUpdateRe
     const store::VisitorRecord* rec = visitor_db_.find(s.oid);
     if (rec == nullptr || !rec->leaf) {
       ++stats_.updates_unknown;  // stale agent; the object relearns via timeout
+      if (should_nack_unknown(s.oid)) {
+        send_msg(src, wm::AgentChanged{s.oid, kNoNode, 0.0});
+      }
       continue;
     }
     if (!cfg_.covers(s.pos)) {
@@ -312,7 +345,10 @@ void LocationServer::initiate_handover(NodeId object_node, const Sighting& s) {
   // §6.5 shortcut: if the leaf-area cache knows the leaf responsible for the
   // new position, hand over directly and repair the path explicitly.
   if (opts_.enable_leaf_area_cache) {
-    const NodeId target = leaf_area_cache_.leaf_containing(s.pos);
+    const NodeId target = [&] {
+      store::MaybeGuard guard(cache_mu_);
+      return leaf_cache_->leaf_containing(s.pos);
+    }();
     if (target.valid() && target != self_) {
       req.direct = true;
       pending.direct_prune = true;
@@ -422,6 +458,12 @@ void LocationServer::on_handover_res(NodeId src, const wm::HandoverRes& m) {
 }
 
 void LocationServer::drop_leaf_visitor(ObjectId oid, bool prune_path) {
+  // The object was dropped DELIBERATELY (handover away, deregistration,
+  // expiry), so an update racing that drop is not state loss: remember the
+  // departure briefly and let the nack path ignore such stragglers.
+  if (opts_.nack_unknown_updates) {
+    recent_departures_[oid] = now() + opts_.pending_timeout;
+  }
   if (sightings_) {
     const store::SightingDb::Record* rec = sightings_->find(oid);
     if (rec != nullptr) {
@@ -441,8 +483,11 @@ void LocationServer::drop_leaf_visitor(ObjectId oid, bool prune_path) {
 void LocationServer::on_pos_query_req(NodeId src, const wm::PosQueryReq& m) {
   // §6.5 cache 3: a still-valid cached descriptor answers immediately.
   if (opts_.enable_position_cache) {
-    const auto cached = position_cache_.find(m.oid, now(), opts_.default_max_speed,
-                                             opts_.position_cache_max_acc);
+    const auto cached = [&] {
+      store::MaybeGuard guard(cache_mu_);
+      return position_cache_->find(m.oid, now(), opts_.default_max_speed,
+                                   opts_.position_cache_max_acc);
+    }();
     if (cached) {
       ++stats_.pos_query_cache_hits;
       send_msg(src, wm::PosQueryRes{m.oid, true, *cached, kNoNode, m.req_id,
@@ -474,7 +519,10 @@ void LocationServer::on_pos_query_req(NodeId src, const wm::PosQueryReq& m) {
 
   // §6.5 cache 2: ask the cached agent directly; fall back on timeout.
   if (opts_.enable_agent_cache) {
-    const auto agent = agent_cache_.find(m.oid, now());
+    const auto agent = [&] {
+      store::MaybeGuard guard(cache_mu_);
+      return agent_cache_->find(m.oid, now());
+    }();
     if (agent && *agent != self_) {
       ++stats_.agent_cache_hits;
       pending.via_agent_cache = true;
@@ -489,7 +537,10 @@ void LocationServer::on_pos_query_req(NodeId src, const wm::PosQueryReq& m) {
   } else if (!cfg_.is_root()) {
     next = cfg_.parent;  // Alg 6-4 line 6: forward query upwards
   }
-  if (!next.valid()) {
+  if (!next.valid() || child_suspect(next)) {
+    // No route -- or the route leads into a crashed subtree: answer fast
+    // instead of letting the client wait out the pending timeout.
+    if (next.valid()) ++stats_.suspect_short_circuits;
     send_msg(src, wm::PosQueryRes{m.oid, false, {}, kNoNode, m.req_id, std::nullopt});
     return;
   }
@@ -523,6 +574,14 @@ void LocationServer::on_pos_query_fwd(NodeId src, const wm::PosQueryFwd& m) {
     return;
   }
   if (rec != nullptr && !rec->leaf && rec->forward_ref.valid()) {
+    if (child_suspect(rec->forward_ref)) {
+      // The forwarding path leads into a crashed subtree: answer for it
+      // (not found) instead of letting the entry time out per query.
+      ++stats_.suspect_short_circuits;
+      send_msg(m.entry,
+               wm::PosQueryRes{m.oid, false, {}, kNoNode, m.req_id, std::nullopt});
+      return;
+    }
     send_msg(rec->forward_ref, m);  // down the forwarding path
     return;
   }
@@ -542,12 +601,14 @@ void LocationServer::on_pos_query_res(NodeId src, const wm::PosQueryRes& m) {
   pending_pos_.erase(it);
   learn_origin(m.origin);
   if (m.found) {
+    store::MaybeGuard guard(cache_mu_);
     if (opts_.enable_agent_cache && m.agent.valid()) {
-      agent_cache_.learn(m.oid, m.agent, now());
+      agent_cache_->learn(m.oid, m.agent, now());
     }
-    if (opts_.enable_position_cache) position_cache_.learn(m.oid, m.ld, now());
+    if (opts_.enable_position_cache) position_cache_->learn(m.oid, m.ld, now());
   } else if (pending.via_agent_cache) {
-    agent_cache_.invalidate(m.oid);
+    store::MaybeGuard guard(cache_mu_);
+    agent_cache_->invalidate(m.oid);
   }
   send_msg(pending.client, wm::PosQueryRes{m.oid, m.found, m.ld, m.agent,
                                            pending.client_req_id, std::nullopt});
@@ -595,7 +656,10 @@ void LocationServer::on_range_query_req(NodeId src, const wm::RangeQueryReq& m) 
   if (needs_more && opts_.enable_leaf_area_cache) {
     // §6.5 cache 1: if cached leaf areas cover the whole remainder, contact
     // those leaves directly instead of traversing the hierarchy.
-    const LeafAreaCache::Coverage cov = leaf_area_cache_.coverage_of(enlarged);
+    const LeafAreaCache::Coverage cov = [&] {
+      store::MaybeGuard guard(cache_mu_);
+      return leaf_cache_->coverage_of(enlarged);
+    }();
     if (pending.covered + cov.covered_size >=
         pending.target - coverage_epsilon(pending.target)) {
       ++stats_.range_direct;
@@ -625,10 +689,21 @@ void LocationServer::route_range(const geo::Polygon& area,
   // did not send us the query (Alg 6-5 fwd lines 8-11).
   for (const ChildRecord& child : cfg_.children) {
     if (child.id == from) continue;
-    if (enlarged.intersects(child.sa)) {
-      send_msg(child.id,
-               wm::RangeQueryFwd{area, req_acc, req_overlap, entry, req_id, false});
+    if (!enlarged.intersects(child.sa)) continue;
+    if (child_suspect(child.id)) {
+      // Answer FOR the crashed subtree: credit its covered portion with no
+      // results so the entry completes promptly (availability over
+      // completeness -- the soft state below the crash is being rebuilt by
+      // refreshes) instead of timing the whole query out.
+      ++stats_.suspect_short_circuits;
+      wm::RangeQuerySubRes sub;
+      sub.req_id = req_id;
+      sub.covered_size = geo::intersection_area(enlarged, child.sa);
+      send_msg(entry, sub);
+      continue;
     }
+    send_msg(child.id,
+             wm::RangeQueryFwd{area, req_acc, req_overlap, entry, req_id, false});
   }
   // Upwards: while part of the enlarged area lies outside our service area
   // (Alg 6-5 fwd lines 13-14).
@@ -775,7 +850,18 @@ void LocationServer::route_nn_probe(const wm::NNProbeFwd& probe, NodeId from) {
       geo::Polygon::circumscribed_circle(probe.p, probe.radius, opts_.nn_probe_sides);
   for (const ChildRecord& child : cfg_.children) {
     if (child.id == from) continue;
-    if (probe_poly.intersects(child.sa)) send_msg(child.id, probe);
+    if (!probe_poly.intersects(child.sa)) continue;
+    if (child_suspect(child.id)) {
+      // Mirror of the range-query fast path: credit the suspect child's
+      // probe coverage so the expanding ring closes without a timeout.
+      ++stats_.suspect_short_circuits;
+      wm::NNProbeSubRes sub;
+      sub.req_id = probe.req_id;
+      sub.covered_size = geo::intersection_area(probe_poly, child.sa);
+      send_msg(probe.coordinator, sub);
+      continue;
+    }
+    send_msg(child.id, probe);
   }
   if (!cfg_.is_root() && cfg_.parent != from &&
       !geo::convex_contains_polygon(cfg_.sa, probe_poly)) {
@@ -940,16 +1026,127 @@ void LocationServer::on_deregister_req(NodeId src, const wm::DeregisterReq& m) {
 
 void LocationServer::request_refresh_all() {
   if (!cfg_.is_leaf()) return;
-  std::vector<std::pair<NodeId, ObjectId>> targets;
+  refresh_targets_scratch_.clear();
   visitor_db_.for_each([&](const store::VisitorRecord& rec) {
     if (rec.leaf && (sightings_ == std::nullopt || !sightings_->find(rec.oid))) {
-      targets.emplace_back(rec.leaf->reg_info.reg_inst, rec.oid);
+      refresh_targets_scratch_.emplace_back(rec.leaf->reg_info.reg_inst, rec.oid);
     }
   });
-  for (const auto& [reg_inst, oid] : targets) {
+  send_refresh_batches(refresh_targets_scratch_);
+}
+
+void LocationServer::send_refresh_batches(
+    std::vector<std::pair<NodeId, ObjectId>>& targets) {
+  if (targets.empty()) return;
+  // Sorting makes the sweep deterministic (the visitorDB map iterates in
+  // hash order) and groups targets per client node.
+  std::sort(targets.begin(), targets.end());
+  wm::BatchedRefreshReq& batch = refresh_batch_scratch_;
+  batch.clear();
+  NodeId current = targets.front().first;
+  const auto flush = [&](NodeId to) {
+    if (batch.empty()) return;
+    ++stats_.refresh_batches_sent;
+    send_msg(to, batch);
+    batch.clear();
+  };
+  for (const auto& [client, oid] : targets) {
+    if (client != current) {
+      flush(current);
+      current = client;
+    }
+    batch.append(oid);
     ++stats_.refresh_requests;
-    send_msg(reg_inst, wm::RefreshReq{oid});
+    if (batch.count >= opts_.refresh_batch_max) flush(current);
   }
+  flush(current);
+}
+
+void LocationServer::announce_recovery() {
+  if (!cfg_.is_leaf()) return;
+  if (cfg_.is_root()) {
+    // Single-server hierarchy: nobody holds forwarding paths for us; sweep
+    // the persisted leaf visitors directly.
+    request_refresh_all();
+    return;
+  }
+  // The parent answers with the BatchedRefreshReq sweep of every object it
+  // still forwards here (on_recovery_hello); the sweep itself happens when
+  // that reply arrives, filtered against whatever sightings already exist.
+  send_msg(cfg_.parent, wm::RecoveryHello{++recovery_incarnation_});
+}
+
+bool LocationServer::child_suspect(NodeId child) const {
+  const auto it = child_health_.find(child);
+  return it != child_health_.end() && it->second.suspect;
+}
+
+bool LocationServer::should_nack_unknown(ObjectId oid) {
+  if (!opts_.nack_unknown_updates) return false;
+  // An update racing a deliberate drop (handover away, dereg, expiry) is not
+  // state loss: the legitimate AgentChanged / silence is already on its way,
+  // and a nack would trigger a spurious client re-registration.
+  const auto it = recent_departures_.find(oid);
+  if (it == recent_departures_.end()) return true;
+  if (now() < it->second) return false;
+  recent_departures_.erase(it);
+  return true;
+}
+
+void LocationServer::on_heartbeat(NodeId src, const wm::Heartbeat& m) {
+  send_msg(src, wm::HeartbeatAck{m.seq});
+}
+
+void LocationServer::on_heartbeat_ack(NodeId src, const wm::HeartbeatAck& m) {
+  const auto it = child_health_.find(src);
+  if (it == child_health_.end()) return;
+  ChildHealth& h = it->second;
+  // ANY ack is liveness evidence (even one reordered behind newer probes):
+  // clear the miss counter and un-suspect without waiting for a hello.
+  h.last_seq_acked = std::max(h.last_seq_acked, m.seq);
+  h.misses = 0;
+  h.suspect = false;
+}
+
+void LocationServer::on_recovery_hello(NodeId src, const wm::RecoveryHello& m) {
+  (void)m;  // the incarnation disambiguates log lines; protocol is idempotent
+  ++stats_.recovery_hellos;
+  const auto it = child_health_.find(src);
+  if (it != child_health_.end()) {
+    it->second.suspect = false;
+    it->second.misses = 0;
+    it->second.last_seq_acked = it->second.last_seq_sent;
+  }
+  // Answer with every object we still forward to the restarted child; the
+  // leaf intersects the list with its persisted records and sweeps refreshes
+  // out to the registering instances.
+  refresh_targets_scratch_.clear();
+  visitor_db_.for_each([&](const store::VisitorRecord& rec) {
+    if (!rec.leaf && rec.forward_ref == src) {
+      refresh_targets_scratch_.emplace_back(src, rec.oid);
+    }
+  });
+  send_refresh_batches(refresh_targets_scratch_);
+}
+
+void LocationServer::on_batched_refresh_req(NodeId src,
+                                            const wm::BatchedRefreshReq& m) {
+  (void)src;
+  if (!cfg_.is_leaf()) return;  // sweeps target leaves (and, beyond, clients)
+  // Parent-driven recovery sweep: refresh every listed object whose leaf
+  // record survived (the persisted regInfo knows the registering instance)
+  // but whose volatile sighting did not. Oids without a leaf record were
+  // lost wholesale; those clients recover via nack_unknown_updates.
+  refresh_targets_scratch_.clear();
+  wm::BatchedRefreshReq::Cursor cur = m.oids();
+  ObjectId oid;
+  while (cur.next(oid)) {
+    const store::VisitorRecord* rec = visitor_db_.find(oid);
+    if (rec == nullptr || !rec->leaf) continue;
+    if (sightings_ && sightings_->find(oid) != nullptr) continue;  // fresh
+    refresh_targets_scratch_.emplace_back(rec->leaf->reg_info.reg_inst, oid);
+  }
+  send_refresh_batches(refresh_targets_scratch_);
 }
 
 // --------------------------------------------------------------------------
@@ -1136,8 +1333,31 @@ void LocationServer::on_event_unsubscribe(NodeId src, const wm::EventUnsubscribe
 // maintenance
 
 void LocationServer::tick(TimePoint t) {
+  // Failure detection: probe every child each interval; a child that let
+  // heartbeat_miss_threshold whole intervals pass unanswered is suspect
+  // (query routing then answers on its behalf; see the header invariants).
+  if (opts_.heartbeat_interval > 0 && !cfg_.children.empty() &&
+      t >= next_heartbeat_) {
+    for (const ChildRecord& child : cfg_.children) {
+      ChildHealth& h = child_health_[child.id];
+      if (h.last_seq_sent > h.last_seq_acked) {
+        if (++h.misses >= opts_.heartbeat_miss_threshold && !h.suspect) {
+          h.suspect = true;
+          ++stats_.children_suspected;
+        }
+      }
+      h.last_seq_sent = ++heartbeat_seq_;
+      ++stats_.heartbeats_sent;
+      send_msg(child.id, wm::Heartbeat{h.last_seq_sent});
+    }
+    next_heartbeat_ = t + opts_.heartbeat_interval;
+  }
   // Bound the persistent log (and with it, recovery time).
   visitor_db_.maybe_compact(opts_.visitor_compact_threshold);
+  // Forget deliberate departures once their nack-suppression window passed.
+  for (auto it = recent_departures_.begin(); it != recent_departures_.end();) {
+    it = it->second <= t ? recent_departures_.erase(it) : std::next(it);
+  }
   // Soft-state expiry (§5): deregister objects whose sightings lapsed. The
   // visitor records are dropped in one bulk pass (remove_batch groups the
   // persistent-log appends); the per-object messages keep their order.
@@ -1159,7 +1379,10 @@ void LocationServer::tick(TimePoint t) {
     PendingPos pending = it->second;
     if (pending.via_agent_cache) {
       // Stale agent cache: invalidate and retry through the hierarchy.
-      agent_cache_.invalidate(pending.oid);
+      {
+        store::MaybeGuard guard(cache_mu_);
+        agent_cache_->invalidate(pending.oid);
+      }
       pending.via_agent_cache = false;
       pending.deadline = t + opts_.pending_timeout;
       const NodeId next = cfg_.is_root() ? kNoNode : cfg_.parent;

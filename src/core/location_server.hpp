@@ -23,6 +23,34 @@
 //  * the event mechanism sketched in §1/§8 (area-count and proximity
 //    predicates with leaf-side membership deltas).
 //
+// Fault tolerance (recovery-protocol invariants; wire/messages.hpp has the
+// framing side):
+//  * failure detection -- with Options::heartbeat_interval > 0 a non-leaf
+//    parent probes each child every interval (wire::Heartbeat) and counts
+//    consecutive unanswered probes; at heartbeat_miss_threshold the child is
+//    SUSPECT. Any HeartbeatAck (or a RecoveryHello) clears suspicion -- a
+//    reordered stale ack is still liveness evidence. Disabled by default
+//    (interval 0) so no-fault message traces stay bit-identical to seeds.
+//  * routing around suspects -- a query that would be forwarded into a
+//    suspect subtree is answered ON BEHALF of that subtree instead of timing
+//    out: position queries get an immediate not-found, range/NN routing
+//    credits the suspect child's covered area with zero results
+//    (availability over completeness; the soft state below the crash is
+//    being rebuilt by refreshes anyway). Updates/handovers are NOT
+//    short-circuited -- their loss is already handled by client retry.
+//  * batched soft-state recovery -- a restarted leaf announces itself with
+//    RecoveryHello; the parent answers with BatchedRefreshReq sweeps listing
+//    every object it still forwards to that leaf; the leaf intersects that
+//    list with its (persisted) leaf records and sweeps BatchedRefreshReq
+//    datagrams to the registering instances -- one datagram per client chunk
+//    instead of one RefreshReq per object. The resulting client updates
+//    rebuild the volatile SightingDb (batch path: SightingDb::apply_batch).
+//    Objects whose leaf records were ALSO lost (in-memory visitorDB) cannot
+//    be reached this way; with Options::nack_unknown_updates their next
+//    update is answered with AgentChanged{kNoNode} and clients configured
+//    with TrackedObject::Options::reregister_on_agent_loss re-register,
+//    rebuilding VisitorDb, forwarding path and sighting from scratch.
+//
 // Sharding (core/sharded_location_server.hpp): a heavily loaded leaf can run
 // as N LocationServer instances -- one per shard -- behind a single NodeId.
 // The shard-routing invariant is:
@@ -49,9 +77,11 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/caches.hpp"
@@ -94,6 +124,20 @@ class LocationServer {
     /// Compact the persistent visitorDB log once it exceeds this many
     /// mutation records (bounds recovery time; §5).
     std::uint64_t visitor_compact_threshold = 1 << 18;
+    /// Failure detection: probe interval for wire::Heartbeat sent to every
+    /// child from tick(). 0 disables the detector entirely (default; keeps
+    /// no-fault traces bit-identical to heartbeat-free builds).
+    Duration heartbeat_interval = 0;
+    /// Consecutive unanswered probes before a child is marked suspect.
+    int heartbeat_miss_threshold = 3;
+    /// Max ObjectIds packed into one BatchedRefreshReq datagram (recovery
+    /// sweeps are chunked per client node; keeps sweeps MTU-friendly).
+    std::size_t refresh_batch_max = 256;
+    /// Answer updates for unknown objects with AgentChanged{kNoNode} so a
+    /// client that outlived a total leaf-state loss (in-memory visitorDB)
+    /// can re-register instead of retrying blindly. Off by default: in
+    /// normal operation an unknown update is a transient handover race.
+    bool nack_unknown_updates = false;
   };
 
   struct Stats {
@@ -118,6 +162,11 @@ class LocationServer {
     std::uint64_t pending_timeouts = 0;
     std::uint64_t refresh_requests = 0;
     std::uint64_t events_fired = 0;
+    std::uint64_t heartbeats_sent = 0;
+    std::uint64_t children_suspected = 0;    // suspect transitions observed
+    std::uint64_t suspect_short_circuits = 0;  // queries answered for suspects
+    std::uint64_t recovery_hellos = 0;       // RecoveryHello received (parent)
+    std::uint64_t refresh_batches_sent = 0;  // BatchedRefreshReq datagrams
 
     /// Accumulates `other` into this record (deployment / shard aggregation).
     void add(const Stats& other);
@@ -145,8 +194,19 @@ class LocationServer {
   void tick(TimePoint now);
 
   /// Recovery hook (§5): after constructing the server from a replayed
-  /// persistent visitorDB, asks every leaf visitor for a position refresh.
+  /// persistent visitorDB, asks every leaf visitor whose sighting is missing
+  /// for a position refresh -- batched per registering instance
+  /// (wire::BatchedRefreshReq; one datagram per client chunk).
   void request_refresh_all();
+
+  /// Crash-restart announcement (fault subsystem): a restarted leaf sends
+  /// RecoveryHello to its parent, which answers with the BatchedRefreshReq
+  /// sweep of objects it still forwards here (see the header invariants). A
+  /// root leaf (single-server hierarchy) has no parent and sweeps locally.
+  void announce_recovery();
+
+  /// True while the failure detector considers `child` crashed/unreachable.
+  bool child_suspect(NodeId child) const;
 
   /// Wires this server as one shard of a ShardedLocationServer (see the
   /// header comment for the routing invariant). `send_pool` replaces the
@@ -158,6 +218,16 @@ class LocationServer {
   void configure_shard(std::uint32_t shard_index, net::BufferPool* send_pool,
                        const store::SightingsView* query_view,
                        SightingEventHook hook);
+
+  /// Shares the §6.5 caches across the shard reactors of one leaf: every
+  /// shard consults the SAME cache set (owned by the ShardedLocationServer),
+  /// so cache hit patterns -- and the message counts they produce -- match
+  /// an unsharded leaf. `mu` serializes cross-thread access in threaded
+  /// mode; inline SimNetwork execution passes null (one datagram at a time).
+  /// Call before any traffic. All three cache pointers must be non-null
+  /// (all-or-nothing -- a partial set is ignored); `mu` may be null.
+  void share_caches(LeafAreaCache* leaf, ObjectAgentCache* agent,
+                    PositionCache* position, std::mutex* mu);
 
   /// Runs the leaf event predicates for an externally observed sighting
   /// change (fan-in from sibling shards; no-op outside sharded setups).
@@ -182,8 +252,8 @@ class LocationServer {
     return sightings_ ? &*sightings_ : nullptr;
   }
   const Options& options() const { return opts_; }
-  const LeafAreaCache& leaf_area_cache() const { return leaf_area_cache_; }
-  const ObjectAgentCache& agent_cache() const { return agent_cache_; }
+  const LeafAreaCache& leaf_area_cache() const { return *leaf_cache_; }
+  const ObjectAgentCache& agent_cache() const { return *agent_cache_; }
 
  private:
   // -- pending distributed operations (the paper's blocking "receive ..."
@@ -225,6 +295,10 @@ class LocationServer {
   void on_event_install(NodeId src, const wire::EventInstall& m);
   void on_event_delta(NodeId src, const wire::EventDelta& m);
   void on_event_unsubscribe(NodeId src, const wire::EventUnsubscribe& m);
+  void on_heartbeat(NodeId src, const wire::Heartbeat& m);
+  void on_heartbeat_ack(NodeId src, const wire::HeartbeatAck& m);
+  void on_recovery_hello(NodeId src, const wire::RecoveryHello& m);
+  void on_batched_refresh_req(NodeId src, const wire::BatchedRefreshReq& m);
 
   // -- helpers --
   /// Encodes into a pooled transport buffer (zero allocations in steady
@@ -281,6 +355,14 @@ class LocationServer {
   void try_complete_range(std::uint64_t key);
   void flush_awaiting_refresh(ObjectId oid);
 
+  /// Packs (client, oid) refresh targets into per-client BatchedRefreshReq
+  /// chunks (sorted for deterministic traces) and sends them.
+  void send_refresh_batches(std::vector<std::pair<NodeId, ObjectId>>& targets);
+
+  /// Whether an unknown update should be answered with the AgentChanged nack
+  /// (suppressed for objects this server dropped deliberately just now).
+  bool should_nack_unknown(ObjectId oid);
+
   // -- leaf-side event predicate maintenance --
   void events_on_sighting(ObjectId oid, bool present, geo::Point pos);
   void install_event(const wire::EventInstall& inst);
@@ -311,12 +393,38 @@ class LocationServer {
   std::uint32_t shard_index_ = 0;
   std::atomic<std::size_t> leaf_pred_count_{0};
 
-  LeafAreaCache leaf_area_cache_;
-  ObjectAgentCache agent_cache_;
-  PositionCache position_cache_;
+  // §6.5 caches: owned by default; a sharded leaf repoints every shard at
+  // ONE shared set via share_caches() (cache_mu_ guards cross-thread use).
+  LeafAreaCache own_leaf_cache_;
+  ObjectAgentCache own_agent_cache_;
+  PositionCache own_position_cache_;
+  LeafAreaCache* leaf_cache_ = &own_leaf_cache_;
+  ObjectAgentCache* agent_cache_ = &own_agent_cache_;
+  PositionCache* position_cache_ = &own_position_cache_;
+  std::mutex* cache_mu_ = nullptr;
 
   std::uint64_t req_counter_ = 0;
   std::optional<wire::OriginArea> origin_cache_;
+
+  // -- fault-tolerance state (failure detector + recovery sweeps) --
+  struct ChildHealth {
+    std::uint64_t last_seq_sent = 0;
+    std::uint64_t last_seq_acked = 0;
+    int misses = 0;     // consecutive probe intervals without liveness
+    bool suspect = false;
+  };
+  std::unordered_map<NodeId, ChildHealth> child_health_;
+  TimePoint next_heartbeat_ = 0;
+  std::uint64_t heartbeat_seq_ = 0;
+  std::uint64_t recovery_incarnation_ = 0;
+  // Objects recently handed away (nack_unknown_updates only): an update that
+  // raced the handover must NOT be nacked -- the legitimate AgentChanged is
+  // already in flight, and a nack would trigger a spurious re-registration.
+  // Entries expire after pending_timeout (swept by tick()).
+  std::unordered_map<ObjectId, TimePoint> recent_departures_;
+  // Recovery-sweep scratch (sorted targets + the batch under construction).
+  std::vector<std::pair<NodeId, ObjectId>> refresh_targets_scratch_;
+  wire::BatchedRefreshReq refresh_batch_scratch_;
 
   // -- hot-path scratch state, reused across operations --
   // Receive-side scratch envelope for handle(); see decode_envelope_into.

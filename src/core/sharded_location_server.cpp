@@ -83,6 +83,12 @@ ShardedLocationServer::ShardedLocationServer(NodeId self, ConfigRecord cfg,
     sh->server->configure_shard(sh->index, sh->pool.get(),
                                 coordinator ? &merged_view_ : nullptr,
                                 std::move(hook));
+    // One shared §6.5 cache set per leaf: hit patterns (and the message
+    // counts they produce) match an unsharded leaf. Inline mode needs no
+    // lock -- datagrams arrive one at a time from the delivery loop.
+    sh->server->share_caches(&shared_leaf_cache_, &shared_agent_cache_,
+                             &shared_position_cache_,
+                             opts_.threaded ? &cache_mu_ : nullptr);
   }
 
   if (opts_.threaded) {
@@ -125,6 +131,12 @@ void ShardedLocationServer::handle(const std::uint8_t* data, std::size_t len) {
       static_cast<wire::MsgType>(data[1]) == wire::MsgType::kBatchedUpdateReq) {
     if (split_batched_update(data, len)) return;
     // Malformed batch: shard 0 runs the full decode and counts the error.
+  }
+  // Batched recovery sweeps likewise list MANY objects; each shard must
+  // refresh only the visitors of its own slice.
+  if (shards_.size() > 1 && len > 1 &&
+      static_cast<wire::MsgType>(data[1]) == wire::MsgType::kBatchedRefreshReq) {
+    if (split_batched_refresh(data, len)) return;
   }
   deliver(*shards_[route(data, len)], data, len);
 }
@@ -182,6 +194,63 @@ bool ShardedLocationServer::split_batched_update(const std::uint8_t* data,
   split_counts_.assign(n, 0);
   for (auto& buf : split_packed_) buf.clear();
   wire::BatchedUpdateView view(data, len);
+  while (const auto item = view.next()) {
+    const std::uint32_t owner = shard_of(item->oid, n);
+    split_packed_[owner].insert(split_packed_[owner].end(), item->data,
+                                item->data + item->len);
+    ++split_counts_[owner];
+  }
+  constexpr std::size_t kHeaderLen = 6;  // [version][type][src u32_fixed]
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (split_counts_[s] == 0) continue;
+    split_datagram_.clear();
+    wire::Writer w(split_datagram_);
+    w.reserve(kHeaderLen + 20 + split_packed_[s].size());
+    w.bytes(data, kHeaderLen);
+    w.u64(split_counts_[s]);
+    w.u64(split_packed_[s].size());
+    w.bytes(split_packed_[s].data(), split_packed_[s].size());
+    w.flush();
+    deliver(*shards_[s], split_datagram_.data(), split_datagram_.size());
+  }
+  return true;
+}
+
+bool ShardedLocationServer::split_batched_refresh(const std::uint8_t* data,
+                                                  std::size_t len) {
+  const std::uint32_t n = static_cast<std::uint32_t>(shards_.size());
+  // Pass 1: a sweep whose oids all hash to one shard forwards unchanged.
+  {
+    wire::BatchedRefreshView peek(data, len);
+    if (!peek.valid()) return false;
+    bool mixed = false;
+    std::uint32_t first = 0;
+    bool have_first = false;
+    while (const auto item = peek.next()) {
+      const std::uint32_t owner = shard_of(item->oid, n);
+      if (!have_first) {
+        first = owner;
+        have_first = true;
+      } else if (owner != first) {
+        mixed = true;
+        break;
+      }
+    }
+    if (!mixed) {
+      deliver(*shards_[have_first ? first : 0], data, len);
+      return true;
+    }
+  }
+  // Pass 2: re-frame per owning shard under the ORIGINAL header bytes (the
+  // source node stays the parent, so replies route correctly). The item byte
+  // ranges are copied verbatim -- no re-encoding, so this splitter never
+  // duplicates the ObjectId wire format. Same scratch protocol as
+  // split_batched_update -- handle() runs in the node's single receive
+  // context.
+  split_packed_.resize(n);
+  split_counts_.assign(n, 0);
+  for (auto& buf : split_packed_) buf.clear();
+  wire::BatchedRefreshView view(data, len);
   while (const auto item = view.next()) {
     const std::uint32_t owner = shard_of(item->oid, n);
     split_packed_[owner].insert(split_packed_[owner].end(), item->data,
@@ -279,6 +348,31 @@ void ShardedLocationServer::request_refresh_all() {
       sh->server->request_refresh_all();
     } else {
       sh->server->request_refresh_all();
+    }
+  }
+}
+
+void ShardedLocationServer::announce_recovery() {
+  // One hello per leaf NodeId: shard 0 speaks for the node (a root leaf's
+  // announce degenerates to a local sweep, which the other shards mirror for
+  // their own slices via request_refresh_all below).
+  {
+    auto& coord = *shards_[0];
+    if (opts_.threaded) {
+      std::lock_guard<std::mutex> lock(coord.reactor_mu);
+      coord.server->announce_recovery();
+    } else {
+      coord.server->announce_recovery();
+    }
+  }
+  if (!shards_[0]->server->config().is_root()) return;
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    auto& sh = *shards_[i];
+    if (opts_.threaded) {
+      std::lock_guard<std::mutex> lock(sh.reactor_mu);
+      sh.server->request_refresh_all();
+    } else {
+      sh.server->request_refresh_all();
     }
   }
 }

@@ -34,7 +34,15 @@
 //
 // The hierarchy protocol above the leaf is unchanged: parents, siblings and
 // clients see one NodeId sending exactly the messages an unsharded leaf
-// would send (with default options; shard-local §6.5 caches may diverge).
+// would send. The §6.5 caches are SHARED across the shard reactors (one
+// LeafAreaCache / ObjectAgentCache / PositionCache per leaf, mutex-guarded
+// only in threaded mode), so cache hit patterns -- and with them message
+// counts -- also match an unsharded leaf with caches enabled.
+//
+// Fault tolerance: a restarted sharded leaf announces recovery once (shard 0
+// sends the RecoveryHello); the parent's BatchedRefreshReq sweep is split
+// per owning shard exactly like batched updates (wire::BatchedRefreshView),
+// so each shard refreshes only the visitors of its own slice.
 #pragma once
 
 #include <condition_variable>
@@ -91,6 +99,11 @@ class ShardedLocationServer {
 
   /// Recovery hook: see LocationServer::request_refresh_all.
   void request_refresh_all();
+
+  /// Crash-restart announcement: shard 0 sends the single RecoveryHello for
+  /// this leaf NodeId (the parent's reply sweep is split per owning shard).
+  /// A root leaf sweeps every shard's persisted visitors locally instead.
+  void announce_recovery();
 
   /// The shard owning an object id; the same for every node, so a handover
   /// re-routes the object to the owning shard of the new agent.
@@ -157,6 +170,11 @@ class ShardedLocationServer {
   /// keeping inline SimNetwork execution deterministic). Returns false if
   /// the datagram is not a well-formed batch (caller falls back to shard 0).
   bool split_batched_update(const std::uint8_t* data, std::size_t len);
+  /// Refresh analogue of split_batched_update: splits a BatchedRefreshReq
+  /// recovery sweep per owning shard (wire::BatchedRefreshView yields the
+  /// packed oids without a full decode). Returns false if the datagram is
+  /// not a well-formed refresh batch (caller falls back to shard 0).
+  bool split_batched_refresh(const std::uint8_t* data, std::size_t len);
   void shard_loop(Shard& sh);
   void wake(Shard& sh);
   /// Applies queued sibling-shard sighting deltas on the coordinator shard.
@@ -167,6 +185,13 @@ class ShardedLocationServer {
   Options opts_;
   std::vector<std::unique_ptr<Shard>> shards_;
   store::SightingsView merged_view_;  // coordinator's cross-slice query view
+
+  // Shared §6.5 caches (one set per leaf; every shard points here via
+  // LocationServer::share_caches). cache_mu_ engages in threaded mode only.
+  LeafAreaCache shared_leaf_cache_;
+  ObjectAgentCache shared_agent_cache_;
+  PositionCache shared_position_cache_;
+  std::mutex cache_mu_;
 
   // Sibling-shard -> coordinator event fan-in (threaded mode; cold unless an
   // event predicate is installed).

@@ -104,6 +104,12 @@ void UpdateCoalescer::handle(const std::uint8_t* data, std::size_t len) {
           if (on_agent_changed_) {
             on_agent_changed_(m.oid, m.new_agent, m.offered_acc);
           }
+        } else if constexpr (std::is_same_v<T, wm::BatchedRefreshReq>) {
+          if (on_refresh_) {
+            wm::BatchedRefreshReq::Cursor cur = m.oids();
+            ObjectId oid;
+            while (cur.next(oid)) on_refresh_(oid);
+          }
         }
       },
       rx_scratch_.msg);

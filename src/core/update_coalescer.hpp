@@ -64,6 +64,7 @@ class UpdateCoalescer {
   using AckFn = std::function<void(ObjectId, double offered_acc)>;
   using AgentChangedFn =
       std::function<void(ObjectId, NodeId new_agent, double offered_acc)>;
+  using RefreshFn = std::function<void(ObjectId)>;
 
   UpdateCoalescer(NodeId self, net::Transport& net, Clock& clock, Options opts);
   /// Flushes every pending batch, then detaches from the transport.
@@ -77,6 +78,11 @@ class UpdateCoalescer {
   void set_on_agent_changed(AgentChangedFn fn) {
     on_agent_changed_ = std::move(fn);
   }
+  /// Fan-out of batched recovery sweeps (wire::BatchedRefreshReq): a
+  /// restarted leaf asks the registering instance -- this node, for
+  /// gateway-style setups -- to refresh each listed object; the owner
+  /// typically re-feeds the object's last position through enqueue().
+  void set_on_refresh(RefreshFn fn) { on_refresh_ = std::move(fn); }
 
   /// Buffers one sighting bound for `agent`; may flush (size / byte budget).
   void enqueue(NodeId agent, const Sighting& s);
@@ -116,6 +122,7 @@ class UpdateCoalescer {
   wire::Envelope rx_scratch_;  // receive-side decode scratch (handle())
   AckFn on_ack_;
   AgentChangedFn on_agent_changed_;
+  RefreshFn on_refresh_;
 };
 
 }  // namespace locs::core

@@ -12,6 +12,23 @@ void SimNetwork::send(NodeId from, NodeId to, PooledBuffer bytes) {
     ++messages_dropped_;
     return;
   }
+  if (!down_nodes_.empty() &&
+      (down_nodes_.count(from) > 0 || down_nodes_.count(to) > 0)) {
+    ++messages_dropped_;
+    return;
+  }
+  // Per-link fault model (fault decisions draw from fault_rng_ ONLY, so the
+  // main latency-jitter stream is untouched by installed faults).
+  const LinkFault* fault = nullptr;
+  if (!link_faults_.empty()) {
+    const auto it = link_faults_.find({from.value, to.value});
+    if (it != link_faults_.end()) fault = &it->second;
+  }
+  if (fault != nullptr && fault->drop_prob > 0.0 &&
+      fault_rng_.bernoulli(fault->drop_prob)) {
+    ++messages_dropped_;
+    return;
+  }
   if (opts_.loss_prob > 0.0 && rng_.bernoulli(opts_.loss_prob)) {
     ++messages_dropped_;
     return;
@@ -22,7 +39,28 @@ void SimNetwork::send(NodeId from, NodeId to, PooledBuffer bytes) {
   if (opts_.jitter_frac > 0.0) {
     latency *= 1.0 + opts_.jitter_frac * (2.0 * rng_.next_double() - 1.0);
   }
-  const auto delay = static_cast<Duration>(std::llround(std::max(latency, 0.0)));
+  double faulted = latency;
+  if (fault != nullptr) {
+    faulted += static_cast<double>(fault->extra_delay);
+    if (fault->jitter_frac > 0.0) {
+      faulted *= 1.0 + fault->jitter_frac * (2.0 * fault_rng_.next_double() - 1.0);
+    }
+  }
+  const auto delay = static_cast<Duration>(std::llround(std::max(faulted, 0.0)));
+  if (fault != nullptr && fault->dup_prob > 0.0 &&
+      fault_rng_.bernoulli(fault->dup_prob)) {
+    // Duplicate delivery: an independently delayed unpooled copy (the
+    // original keeps its pooled buffer; the copy frees on delivery).
+    const double dup_latency =
+        faulted * (1.0 + fault_rng_.next_double());  // lands at or after
+    enqueue(from, to, PooledBuffer(wire::Buffer(*bytes)),
+            static_cast<Duration>(std::llround(std::max(dup_latency, 0.0))));
+  }
+  enqueue(from, to, std::move(bytes), delay);
+}
+
+void SimNetwork::enqueue(NodeId from, NodeId to, PooledBuffer bytes,
+                         Duration delay) {
   queue_.push_back(Event{clock_.now() + delay, seq_++, from, to, std::move(bytes)});
   std::push_heap(queue_.begin(), queue_.end(), Later{});
 }

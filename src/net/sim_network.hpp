@@ -6,11 +6,21 @@
 // single event queue. Identical seeds yield identical executions; buffer
 // pooling recycles payloads after delivery and is trace-invariant (the
 // determinism tests compare pooled vs unpooled runs byte for byte).
+//
+// Fault injection (sim/fault.hpp drives this): per-link drop / duplicate /
+// delay / jitter knobs and whole-node blackouts. All fault randomness draws
+// from a DEDICATED rng stream, so installing a fault on one link never
+// perturbs the latency jitter of the others -- and with no faults installed
+// the delivery path performs no extra rng draws, keeping no-fault traces
+// bit-identical to fault-free builds.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "net/transport.hpp"
@@ -30,7 +40,10 @@ class SimNetwork : public Transport {
   };
 
   SimNetwork() : SimNetwork(Options{}) {}
-  explicit SimNetwork(Options opts) : opts_(opts), rng_(opts.seed) {}
+  explicit SimNetwork(Options opts)
+      : opts_(opts),
+        rng_(opts.seed),
+        fault_rng_(opts.seed ^ 0x9e3779b97f4a7c15ULL) {}
 
   void attach(NodeId node, MessageHandler handler) override {
     handlers_[node] = std::move(handler);
@@ -63,6 +76,32 @@ class SimNetwork : public Transport {
   using DropFn = std::function<bool(NodeId from, NodeId to)>;
   void set_drop_fn(DropFn fn) { drop_fn_ = std::move(fn); }
 
+  /// Per-link fault knobs (fault subsystem; see the header note).
+  struct LinkFault {
+    double drop_prob = 0.0;  // lose the datagram
+    double dup_prob = 0.0;   // deliver a second, independently delayed copy
+    Duration extra_delay = 0;  // fixed skew (reorders vs other links)
+    double jitter_frac = 0.0;  // extra +/- latency fraction on this link
+  };
+  void set_link_fault(NodeId from, NodeId to, LinkFault fault) {
+    link_faults_[{from.value, to.value}] = fault;
+  }
+  void clear_link_fault(NodeId from, NodeId to) {
+    link_faults_.erase({from.value, to.value});
+  }
+
+  /// Transport-level blackout: while down, every datagram to or from the
+  /// node is dropped (counted in messages_dropped). Crash emulation pairs
+  /// this with destroying the reactor (core::Deployment::crash).
+  void set_node_down(NodeId node, bool down) {
+    if (down) {
+      down_nodes_.insert(node);
+    } else {
+      down_nodes_.erase(node);
+    }
+  }
+  bool node_down(NodeId node) const { return down_nodes_.count(node) > 0; }
+
   /// Observer for every delivered message (Fig-6 hop tracing in tests).
   using Tracer =
       std::function<void(TimePoint at, NodeId from, NodeId to, const wire::Buffer&)>;
@@ -86,8 +125,12 @@ class SimNetwork : public Transport {
     }
   };
 
+  /// Queues one delivery event after the fault/latency model ran.
+  void enqueue(NodeId from, NodeId to, PooledBuffer bytes, Duration delay);
+
   Options opts_;
   Rng rng_;
+  Rng fault_rng_;  // dedicated stream for fault decisions (see header)
   ManualClock clock_;
   // Binary heap over a plain vector (std::push_heap/pop_heap) instead of
   // std::priority_queue: the top event can be MOVED out (priority_queue::top
@@ -95,6 +138,8 @@ class SimNetwork : public Transport {
   // across the run -- both matter on the zero-allocation delivery path.
   std::vector<Event> queue_;
   std::unordered_map<NodeId, MessageHandler> handlers_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, LinkFault> link_faults_;
+  std::unordered_set<NodeId> down_nodes_;
   DropFn drop_fn_;
   Tracer tracer_;
   std::uint64_t seq_ = 0;

@@ -79,6 +79,24 @@ struct UdpNetwork::Node {
     std::size_t received = 0;
   };
   std::map<std::uint64_t, Partial> partials;
+  // Buffer reuse: retired fragment arrays (inner buffers keep capacity) and
+  // the reassembled-message scratch, so steady multi-fragment traffic stops
+  // allocating once the buffers reach their working sizes.
+  std::vector<std::vector<wire::Buffer>> frag_pool;
+  wire::Buffer reassembly_scratch;
+
+  std::vector<wire::Buffer> take_frags(std::size_t count) {
+    if (frag_pool.empty()) return std::vector<wire::Buffer>(count);
+    std::vector<wire::Buffer> frags = std::move(frag_pool.back());
+    frag_pool.pop_back();
+    for (wire::Buffer& b : frags) b.clear();
+    frags.resize(count);
+    return frags;
+  }
+
+  void recycle_frags(std::vector<wire::Buffer>&& frags) {
+    if (frag_pool.size() < 8) frag_pool.push_back(std::move(frags));
+  }
 };
 
 UdpNetwork::UdpNetwork(std::uint16_t base_port) : base_port_(base_port) {}
@@ -122,6 +140,22 @@ std::uint16_t UdpNetwork::pick_free_base_port(std::uint16_t span) {
 UdpNetwork::~UdpNetwork() { stop(); }
 
 void UdpNetwork::attach(NodeId node, MessageHandler handler) {
+  // Re-attach after detach (crash-restart harness hook): the socket and its
+  // receive thread survived the detach and keep draining; just swap the
+  // handler in so delivery resumes for the restarted reactor.
+  Node* existing = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = nodes_.find(node);
+    if (it != nodes_.end()) existing = it->second.get();
+  }
+  if (existing != nullptr) {
+    // handler_mu taken WITHOUT mu_ held: a receive thread holds handler_mu
+    // while its handler sends (which locks mu_) -- same order as detach().
+    std::lock_guard<std::mutex> hlock(existing->handler_mu);
+    existing->handler = std::move(handler);
+    return;
+  }
   auto n = std::make_unique<Node>();
   n->id = node;
   n->handler = std::move(handler);
@@ -215,22 +249,31 @@ void UdpNetwork::receive_loop(Node& node) {
       if (node.handler) node.handler(payload, payload_len);
       continue;
     }
-    // Multi-fragment message: stash and deliver once complete.
+    // Multi-fragment message: stash and deliver once complete. Fragment
+    // arrays and the reassembled-message buffer are recycled (capacity
+    // intact) instead of freshly allocated per message.
     auto& partial = node.partials[msg_id];
-    if (partial.frags.empty()) partial.frags.resize(count);
-    if (index >= count || !partial.frags[index].empty()) continue;
+    if (partial.frags.empty()) partial.frags = node.take_frags(count);
+    if (index >= count || index >= partial.frags.size() ||
+        !partial.frags[index].empty()) {
+      continue;
+    }
     partial.frags[index].assign(payload, payload + payload_len);
     if (++partial.received == count) {
-      wire::Buffer whole;
+      wire::Buffer& whole = node.reassembly_scratch;
+      whole.clear();
       for (const auto& frag : partial.frags) {
         whole.insert(whole.end(), frag.begin(), frag.end());
       }
+      node.recycle_frags(std::move(partial.frags));
       node.partials.erase(msg_id);
       std::lock_guard<std::mutex> lock(node.handler_mu);
       if (node.handler) node.handler(whole.data(), whole.size());
     }
-    // Bound reassembly memory: drop oldest partials beyond a small cap.
+    // Bound reassembly memory: drop oldest partials beyond a small cap
+    // (recycling their fragment arrays too).
     while (node.partials.size() > 64) {
+      node.recycle_frags(std::move(node.partials.begin()->second.frags));
       node.partials.erase(node.partials.begin());
     }
   }

@@ -34,6 +34,10 @@ class UdpNetwork : public Transport {
   UdpNetwork(const UdpNetwork&) = delete;
   UdpNetwork& operator=(const UdpNetwork&) = delete;
 
+  /// Binds the node's socket and starts its receive thread. Re-attaching a
+  /// previously detached node swaps the handler in on the surviving socket
+  /// (the crash-restart harness hook: a restarted reactor resumes delivery
+  /// without rebinding the port).
   void attach(NodeId node, MessageHandler handler) override;
   /// Clears the node's handler; blocks until an in-flight callback on the
   /// receive thread has returned. The socket keeps draining (and dropping)

@@ -1,0 +1,77 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+
+namespace locs::sim {
+
+FaultPlan& FaultPlan::crash_at(TimePoint at, NodeId node) {
+  events_.push_back({at, Event::Kind::kCrash, node});
+  sorted_ = false;
+  return *this;
+}
+
+FaultPlan& FaultPlan::restart_at(TimePoint at, NodeId node) {
+  events_.push_back({at, Event::Kind::kRestart, node});
+  sorted_ = false;
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_fault(NodeId from, NodeId to,
+                                 net::SimNetwork::LinkFault f) {
+  link_faults_.emplace_back(from, to, f);
+  return *this;
+}
+
+void FaultPlan::sort_events() {
+  if (sorted_) return;
+  // Stable: events at the same instant fire in schedule order (crash before
+  // the restart that was scheduled after it).
+  std::stable_sort(events_.begin() + static_cast<std::ptrdiff_t>(next_),
+                   events_.end(),
+                   [](const Event& a, const Event& b) { return a.at < b.at; });
+  sorted_ = true;
+}
+
+void FaultPlan::run(net::SimNetwork& net, const Hooks& hooks, TimePoint deadline) {
+  sort_events();
+  for (const auto& [from, to, fault] : link_faults_) {
+    net.set_link_fault(from, to, fault);
+  }
+  link_faults_.clear();  // installed once; a re-run must not re-install
+  const bool ticking = hooks.tick && hooks.tick_every > 0;
+  TimePoint next_tick = ticking ? net.now() + hooks.tick_every : 0;
+  for (;;) {
+    // The next boundary: the earliest of deadline, maintenance tick and
+    // scheduled fault event. run_until delivers everything due before it.
+    TimePoint target = deadline;
+    if (ticking && next_tick < target) target = next_tick;
+    if (next_ < events_.size() && events_[next_].at < target) {
+      target = events_[next_].at;
+    }
+    net.run_until(target);
+    while (next_ < events_.size() && events_[next_].at <= target) {
+      const Event& ev = events_[next_++];
+      if (ev.kind == Event::Kind::kCrash) {
+        if (hooks.crash) hooks.crash(ev.node);
+      } else if (hooks.restart) {
+        hooks.restart(ev.node);
+      }
+    }
+    if (ticking && target >= next_tick) {
+      hooks.tick(target);
+      next_tick += hooks.tick_every;
+    }
+    if (target >= deadline) return;
+  }
+}
+
+std::vector<FaultPlan::Event> FaultPlan::take_due(TimePoint now) {
+  sort_events();
+  std::vector<Event> due;
+  while (next_ < events_.size() && events_[next_].at <= now) {
+    due.push_back(events_[next_++]);
+  }
+  return due;
+}
+
+}  // namespace locs::sim

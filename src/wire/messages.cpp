@@ -347,6 +347,16 @@ void encode(Writer& w, const EventNotify& m) {
 
 void encode(Writer& w, const EventUnsubscribe& m) { w.u64(m.sub_id); }
 
+void encode(Writer& w, const Heartbeat& m) { w.u64(m.seq); }
+void encode(Writer& w, const HeartbeatAck& m) { w.u64(m.seq); }
+void encode(Writer& w, const RecoveryHello& m) { w.u64(m.incarnation); }
+
+void encode(Writer& w, const BatchedRefreshReq& m) {
+  w.u64(m.count);
+  w.u64(m.packed.size());
+  w.bytes(m.packed.data(), m.packed.size());
+}
+
 // --- per-message decode ------------------------------------------------------
 //
 // decode_into fills an existing message in place: vectors/polygons/strings
@@ -565,6 +575,14 @@ void decode_into(Reader& r, EventNotify& m) {
 
 void decode_into(Reader& r, EventUnsubscribe& m) { m.sub_id = r.u64(); }
 
+void decode_into(Reader& r, Heartbeat& m) { m.seq = r.u64(); }
+void decode_into(Reader& r, HeartbeatAck& m) { m.seq = r.u64(); }
+void decode_into(Reader& r, RecoveryHello& m) { m.incarnation = r.u64(); }
+
+void decode_into(Reader& r, BatchedRefreshReq& m) {
+  get_packed_into(r, m.count, m.packed);
+}
+
 // --- per-message size hints --------------------------------------------------
 //
 // Upper-bound-ish estimates of the encoded payload, used by the Writer
@@ -627,6 +645,9 @@ std::size_t size_hint(const BatchedUpdateReq& m) {
 std::size_t size_hint(const BatchedUpdateAck& m) {
   return kEnvelopeBase + m.packed.size();
 }
+std::size_t size_hint(const BatchedRefreshReq& m) {
+  return kEnvelopeBase + m.packed.size();
+}
 
 template <typename M>
 void encode_envelope_impl(Buffer& out, NodeId src, const M& m) {
@@ -676,6 +697,10 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kEventUnsubscribe: return "EventUnsubscribe";
     case MsgType::kBatchedUpdateReq: return "BatchedUpdateReq";
     case MsgType::kBatchedUpdateAck: return "BatchedUpdateAck";
+    case MsgType::kHeartbeat: return "Heartbeat";
+    case MsgType::kHeartbeatAck: return "HeartbeatAck";
+    case MsgType::kRecoveryHello: return "RecoveryHello";
+    case MsgType::kBatchedRefreshReq: return "BatchedRefreshReq";
   }
   return "Unknown";
 }
@@ -706,6 +731,45 @@ bool BatchedUpdateAck::Cursor::next(ObjectId& oid, double& offered_acc) {
   oid = get_oid(r_);
   offered_acc = r_.f64();
   return r_.ok();
+}
+
+void BatchedRefreshReq::append(ObjectId oid) {
+  Writer w(packed);
+  put(w, oid);
+  ++count;
+}
+
+bool BatchedRefreshReq::Cursor::next(ObjectId& out) {
+  if (r_.remaining() == 0) return false;
+  out = get_oid(r_);
+  return r_.ok();
+}
+
+BatchedRefreshView::BatchedRefreshView(const std::uint8_t* data, std::size_t len)
+    : r_(data, len) {
+  // Envelope prefix: [version u8][type u8][src u32_fixed].
+  if (r_.u8() != kWireVersion) return;
+  if (static_cast<MsgType>(r_.u8()) != MsgType::kBatchedRefreshReq) return;
+  (void)r_.u32_fixed();
+  count_ = r_.u64();
+  packed_len_ = static_cast<std::size_t>(r_.u64());
+  if (!r_.ok() || packed_len_ > r_.remaining()) return;
+  packed_base_ = data + (len - r_.remaining());
+  // Re-anchor the reader on exactly the packed region, so iteration cannot
+  // run into trailing bytes.
+  r_ = Reader(packed_base_, packed_len_);
+  valid_ = true;
+}
+
+std::optional<BatchedRefreshView::Item> BatchedRefreshView::next() {
+  if (!valid_ || r_.remaining() == 0) return std::nullopt;
+  const std::size_t start = packed_len_ - r_.remaining();
+  // Delimit the item with the one true ObjectId decoder: the byte range
+  // tracks any future encoding change automatically.
+  const ObjectId oid = get_oid(r_);
+  if (!r_.ok()) return std::nullopt;  // malformed tail: stop iterating
+  const std::size_t end = packed_len_ - r_.remaining();
+  return Item{oid, packed_base_ + start, end - start};
 }
 
 BatchedUpdateView::BatchedUpdateView(const std::uint8_t* data, std::size_t len)

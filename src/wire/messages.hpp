@@ -94,6 +94,10 @@ enum class MsgType : std::uint8_t {
   kEventUnsubscribe,
   kBatchedUpdateReq,
   kBatchedUpdateAck,
+  kHeartbeat,
+  kHeartbeatAck,
+  kRecoveryHello,
+  kBatchedRefreshReq,
 };
 
 const char* msg_type_name(MsgType t);
@@ -387,6 +391,77 @@ struct RefreshReq {
   ObjectId oid;
 };
 
+// --- Fault tolerance (failure detection + batched soft-state recovery) -------
+//
+// Recovery-protocol invariants:
+//  * Heartbeat/HeartbeatAck carry only a sequence number; liveness evidence
+//    is ANY ack (a reordered old ack still proves the child processes
+//    messages). The miss-threshold detector lives entirely in the parent
+//    (core/location_server.hpp); the wire carries no timing state, so the
+//    interval/threshold can differ per deployment without a format change.
+//  * RecoveryHello is idempotent: a parent receiving it (re)learns that the
+//    child is alive, clears suspicion, and answers with a BatchedRefreshReq
+//    sweep of every object it still forwards to that child. Duplicate hellos
+//    just repeat the sweep; refreshes are filtered against present sightings
+//    on the leaf, so the steady state converges.
+//  * BatchedRefreshReq reuses the batched-update framing discipline --
+//    payload [count u64][packed_len u64][packed oid varints]; `count` is
+//    advisory, consumers iterate the packed bytes lazily (Cursor) and stop at
+//    the first malformed entry; a truncated datagram sticky-fails the
+//    envelope decode via the packed_len prefix. The same message travels
+//    parent -> restarted leaf (oids with forwarding paths into that leaf)
+//    and leaf -> registering instance (oids whose sightings need a refresh),
+//    replacing one RefreshReq datagram per object with one sweep datagram
+//    per client node (chunked; see LocationServer::Options::refresh_batch_max).
+
+/// Parent -> child liveness probe (miss-threshold failure detection).
+struct Heartbeat {
+  static constexpr MsgType kType = MsgType::kHeartbeat;
+  std::uint64_t seq = 0;
+};
+
+/// Child -> parent heartbeat answer (echoes the probe's sequence number).
+struct HeartbeatAck {
+  static constexpr MsgType kType = MsgType::kHeartbeatAck;
+  std::uint64_t seq = 0;
+};
+
+/// Restarted leaf -> parent: "I am back with incarnation N; tell me which
+/// objects you still forward to me" (§5 crash recovery, batched).
+struct RecoveryHello {
+  static constexpr MsgType kType = MsgType::kRecoveryHello;
+  std::uint64_t incarnation = 0;
+};
+
+/// Batched refresh sweep: a varint-packed list of ObjectIds that need an
+/// immediate position refresh (the batch analogue of RefreshReq; see the
+/// fault-tolerance framing invariants above).
+struct BatchedRefreshReq {
+  static constexpr MsgType kType = MsgType::kBatchedRefreshReq;
+  std::uint64_t count = 0;  // oids in `packed` (advisory; see framing note)
+  Buffer packed;            // concatenated ObjectId varints
+
+  void clear() {
+    count = 0;
+    packed.clear();
+  }
+  bool empty() const { return count == 0; }
+
+  void append(ObjectId oid);
+
+  /// Lazy unpacker: one oid per next() call, stopping at the end of the
+  /// packed region or the first malformed varint.
+  class Cursor {
+   public:
+    explicit Cursor(const Buffer& packed) : r_(packed) {}
+    bool next(ObjectId& out);
+
+   private:
+    Reader r_;
+  };
+  Cursor oids() const { return Cursor(packed); }
+};
+
 // --- Event mechanism (extension; §1 / §8 future work) ------------------------
 
 enum class PredicateKind : std::uint8_t {
@@ -474,7 +549,11 @@ struct EventUnsubscribe {
   X(EventNotify)                                                               \
   X(EventUnsubscribe)                                                          \
   X(BatchedUpdateReq)                                                          \
-  X(BatchedUpdateAck)
+  X(BatchedUpdateAck)                                                          \
+  X(Heartbeat)                                                                 \
+  X(HeartbeatAck)                                                              \
+  X(RecoveryHello)                                                             \
+  X(BatchedRefreshReq)
 
 using Message = std::variant<
     RegisterReq, RegisterRes, RegisterFailed, CreatePath, RemovePath, UpdateReq,
@@ -482,7 +561,8 @@ using Message = std::variant<
     PosQueryRes, RangeQueryReq, RangeQueryFwd, RangeQuerySubRes, RangeQueryRes,
     NNQueryReq, NNProbeFwd, NNProbeSubRes, NNQueryRes, ChangeAccReq, ChangeAccRes,
     NotifyAvailAcc, DeregisterReq, RefreshReq, EventSubscribe, EventInstall,
-    EventDelta, EventNotify, EventUnsubscribe, BatchedUpdateReq, BatchedUpdateAck>;
+    EventDelta, EventNotify, EventUnsubscribe, BatchedUpdateReq, BatchedUpdateAck,
+    Heartbeat, HeartbeatAck, RecoveryHello, BatchedRefreshReq>;
 
 struct Envelope {
   NodeId src;
@@ -544,6 +624,37 @@ class BatchedUpdateView {
   struct Item {
     ObjectId oid;
     const std::uint8_t* data;  // raw packed encoding of this sighting
+    std::size_t len;
+  };
+  std::optional<Item> next();
+
+ private:
+  Reader r_;
+  const std::uint8_t* packed_base_ = nullptr;
+  std::size_t packed_len_ = 0;
+  std::uint64_t count_ = 0;
+  bool valid_ = false;
+};
+
+/// Shard-routing view over an ENCODED BatchedRefreshReq datagram: yields each
+/// packed ObjectId without a full envelope decode, so a sharded leaf can
+/// split one recovery sweep into per-shard sub-batches (the refresh analogue
+/// of BatchedUpdateView; core/sharded_location_server). Iteration stops at
+/// the end of the packed region or the first malformed varint; a datagram
+/// that is not a well-formed refresh batch yields valid() == false.
+class BatchedRefreshView {
+ public:
+  BatchedRefreshView(const std::uint8_t* data, std::size_t len);
+
+  bool valid() const { return valid_; }
+  std::uint64_t count() const { return count_; }  // advisory (see framing note)
+
+  /// Like BatchedUpdateView::Item: the decoded key PLUS the raw byte range
+  /// of its packed encoding, so shard splitting re-frames by memcpy and
+  /// never duplicates the ObjectId wire encoding.
+  struct Item {
+    ObjectId oid;
+    const std::uint8_t* data;
     std::size_t len;
   };
   std::optional<Item> next();

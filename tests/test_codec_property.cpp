@@ -90,6 +90,13 @@ BatchedUpdateAck rand_batch_ack(Rng& rng) {
   return b;
 }
 
+BatchedRefreshReq rand_refresh_batch(Rng& rng) {
+  BatchedRefreshReq b;
+  const std::size_t n = rng.next_below(8);  // including empty sweeps
+  for (std::size_t i = 0; i < n; ++i) b.append(rand_oid(rng));
+  return b;
+}
+
 /// One randomized instance of every protocol message type.
 std::vector<Message> random_messages(Rng& rng) {
   std::vector<Message> msgs;
@@ -154,6 +161,10 @@ std::vector<Message> random_messages(Rng& rng) {
   msgs.push_back(EventUnsubscribe{rng.next_u64()});
   msgs.push_back(rand_batch(rng));
   msgs.push_back(rand_batch_ack(rng));
+  msgs.push_back(Heartbeat{rng.next_u64()});
+  msgs.push_back(HeartbeatAck{rng.next_u64()});
+  msgs.push_back(RecoveryHello{rng.next_u64()});
+  msgs.push_back(rand_refresh_batch(rng));
   return msgs;
 }
 
@@ -282,7 +293,7 @@ TEST(CodecProperty, RandomGarbageNeverCrashesTheDecoder) {
     if (!junk.empty() && rng.next_below(2) == 0) {
       junk[0] = 1;  // valid version byte: reach the per-type decoders
       if (junk.size() > 1) {
-        junk[1] = static_cast<std::uint8_t>(1 + rng.next_below(33));
+        junk[1] = static_cast<std::uint8_t>(1 + rng.next_below(kVariantCount + 2));
       }
     }
     (void)decode_envelope_into(scratch, junk.data(), junk.size());
@@ -400,6 +411,114 @@ TEST(CodecProperty, BatchBitFlipsNeverCrashCursorOrView) {
         BatchedUpdateReq::Cursor cur = m->sightings();
         core::Sighting s;
         while (cur.next(s)) {
+        }
+        encode_envelope(NodeId{8}, *m);  // and re-encode cleanly
+      }
+    }
+  }
+}
+
+// --- batched refresh sweeps (fault-tolerance framing invariants) -------------
+
+TEST(CodecProperty, RefreshBatchCursorRoundTripsEveryOid) {
+  Rng rng(92);
+  for (int iter = 0; iter < 64; ++iter) {
+    std::vector<ObjectId> in(rng.next_below(16));
+    BatchedRefreshReq batch;
+    for (auto& oid : in) {
+      oid = rand_oid(rng);
+      batch.append(oid);
+    }
+    EXPECT_EQ(batch.count, in.size());
+    const Buffer wire = encode_envelope(NodeId{4}, batch);
+    const auto decoded = decode_envelope(wire);
+    ASSERT_TRUE(decoded.ok());
+    const auto& out = std::get<BatchedRefreshReq>(decoded.value().msg);
+    EXPECT_EQ(out.count, in.size());
+    BatchedRefreshReq::Cursor cur = out.oids();
+    ObjectId oid;
+    std::size_t i = 0;
+    while (cur.next(oid)) {
+      ASSERT_LT(i, in.size());
+      EXPECT_EQ(oid, in[i]);
+      ++i;
+    }
+    EXPECT_EQ(i, in.size());
+  }
+}
+
+TEST(CodecProperty, RefreshViewAgreesWithCursorAndRejectsOtherTypes) {
+  Rng rng(93);
+  for (int iter = 0; iter < 64; ++iter) {
+    BatchedRefreshReq batch = rand_refresh_batch(rng);
+    const Buffer wire = encode_envelope(NodeId{6}, batch);
+    BatchedRefreshView view(wire.data(), wire.size());
+    ASSERT_TRUE(view.valid());
+    EXPECT_EQ(view.count(), batch.count);
+    BatchedRefreshReq::Cursor cur = batch.oids();
+    ObjectId oid;
+    Buffer reassembled;
+    std::size_t items = 0;
+    while (const auto item = view.next()) {
+      ASSERT_TRUE(cur.next(oid));
+      EXPECT_EQ(item->oid, oid);  // the routing peek sees the same key
+      reassembled.insert(reassembled.end(), item->data, item->data + item->len);
+      ++items;
+    }
+    EXPECT_FALSE(cur.next(oid));
+    EXPECT_EQ(items, batch.count);
+    // The concatenated item ranges ARE the packed region (shard splitting
+    // re-frames recovery sweeps by memcpy of these ranges).
+    EXPECT_EQ(reassembled, batch.packed);
+  }
+  // Non-refresh datagrams are rejected (incl. the other batch type).
+  const Buffer update = encode_envelope(NodeId{6}, UpdateReq{{}});
+  EXPECT_FALSE(BatchedRefreshView(update.data(), update.size()).valid());
+  const Buffer batch_upd = encode_envelope(NodeId{6}, BatchedUpdateReq{});
+  EXPECT_FALSE(BatchedRefreshView(batch_upd.data(), batch_upd.size()).valid());
+  EXPECT_FALSE(BatchedRefreshView(nullptr, 0).valid());
+}
+
+TEST(CodecProperty, TruncatedRefreshBatchStickyFailsAndStopsIteration) {
+  Rng rng(94);
+  BatchedRefreshReq batch;
+  for (int i = 0; i < 6; ++i) batch.append(ObjectId{(1ULL << 40) + rng.next_u64() % 1000});
+  // Cutting the datagram breaks the packed_len prefix: envelope sticky-fails.
+  const Buffer wire = encode_envelope(NodeId{3}, batch);
+  for (std::size_t cut = 1; cut < wire.size() - 6; ++cut) {
+    EXPECT_FALSE(decode_envelope(wire.data(), wire.size() - cut).ok());
+  }
+  // A batch whose OWNED packed region is damaged mid-varint stops lazy
+  // iteration at the damage instead of overrunning.
+  BatchedRefreshReq damaged = batch;
+  damaged.packed.resize(damaged.packed.size() - 2);
+  BatchedRefreshReq::Cursor cur = damaged.oids();
+  ObjectId oid;
+  std::size_t complete = 0;
+  while (cur.next(oid)) ++complete;
+  EXPECT_EQ(complete, 5u);
+}
+
+TEST(CodecProperty, RefreshBatchBitFlipsNeverCrashCursorOrView) {
+  Rng rng(95);
+  for (int iter = 0; iter < 200; ++iter) {
+    BatchedRefreshReq batch;
+    const std::size_t n = 1 + rng.next_below(8);
+    for (std::size_t i = 0; i < n; ++i) batch.append(rand_oid(rng));
+    Buffer wire = encode_envelope(NodeId{8}, batch);
+    const std::size_t byte = rng.next_below(wire.size());
+    wire[byte] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    // The view never crashes, whatever the flip hit.
+    BatchedRefreshView view(wire.data(), wire.size());
+    while (view.next()) {
+    }
+    // If the envelope still decodes, lazy iteration must stay in bounds.
+    const auto decoded = decode_envelope(wire);
+    if (decoded.ok()) {
+      if (const auto* m = std::get_if<BatchedRefreshReq>(&decoded.value().msg)) {
+        BatchedRefreshReq::Cursor cur = m->oids();
+        ObjectId oid;
+        while (cur.next(oid)) {
         }
         encode_envelope(NodeId{8}, *m);  // and re-encode cleanly
       }

@@ -51,10 +51,16 @@ std::string fmt_results(std::vector<core::ObjectResult> rs) {
   return out;
 }
 
-WorkloadObservation run_workload(std::uint32_t shards, bool force_sharding) {
+WorkloadObservation run_workload(std::uint32_t shards, bool force_sharding,
+                                 bool caches = false) {
   core::Deployment::Config cfg;
   cfg.leaf_shards = shards;
   cfg.force_leaf_sharding = force_sharding;
+  if (caches) {
+    cfg.server.enable_leaf_area_cache = true;
+    cfg.server.enable_agent_cache = true;
+    cfg.server.enable_position_cache = true;
+  }
   SimWorld w(core::HierarchyBuilder::table2(geo::Rect{{0, 0}, {kArea, kArea}}),
              cfg);
 
@@ -174,6 +180,27 @@ TEST_P(ShardedEquivalence, AnswersAndMessageCountsMatchUnsharded) {
 
 INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardedEquivalence,
                          ::testing::Values(1u, 2u, 4u, 8u));
+
+/// §6.5 caches are SHARED across shard reactors (LocationServer::
+/// share_caches): with every cache enabled, a sharded leaf must produce the
+/// same answers AND the same message counts as an unsharded one -- cache hit
+/// patterns (handover shortcuts, direct range fan-out, agent-cache queries)
+/// may not depend on the shard count.
+class ShardedCacheEquivalence : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ShardedCacheEquivalence, CacheHitPatternsMatchUnsharded) {
+  const WorkloadObservation plain =
+      run_workload(1, /*force_sharding=*/false, /*caches=*/true);
+  const WorkloadObservation sharded =
+      run_workload(GetParam(), false, /*caches=*/true);
+  EXPECT_EQ(plain.answers, sharded.answers);
+  EXPECT_EQ(plain.messages, sharded.messages);
+  EXPECT_EQ(plain.bytes, sharded.bytes);
+  EXPECT_EQ(plain.events_fired, sharded.events_fired);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardedCacheEquivalence,
+                         ::testing::Values(2u, 4u));
 
 TEST(ShardedServer, DeterministicAcrossRuns) {
   const WorkloadObservation a = run_workload(4, false);

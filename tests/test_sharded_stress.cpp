@@ -14,11 +14,13 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/client.hpp"
 #include "core/deployment.hpp"
 #include "core/hierarchy_builder.hpp"
 #include "net/udp_network.hpp"
+#include "sim/fault.hpp"
 #include "util/rng.hpp"
 
 namespace locs::test {
@@ -49,6 +51,10 @@ class SyncUpdater {
           agents_[ch->oid] = ch->new_agent;
           // The handover carried the triggering sighting to the new agent.
           acked_[ch->oid] = pending_pos_[ch->oid];
+        } else {
+          // A restarted leaf that lost its state nacked the update
+          // (nack_unknown_updates); update_blocking re-registers.
+          nacked_.insert(ch->oid);
         }
         ++completions_;
       }
@@ -59,6 +65,12 @@ class SyncUpdater {
   ~SyncUpdater() { net_.detach(self_); }
 
   bool register_blocking(ObjectId oid, geo::Point pos, NodeId entry) {
+    {
+      // Forget any previous agent so the completion wait below really waits
+      // for THIS registration's response (re-registration after a nack).
+      std::lock_guard<std::mutex> lock(mu_);
+      agents_.erase(oid);
+    }
     wire::RegisterReq req;
     req.s = core::Sighting{oid, 0, pos, 5.0};
     req.acc_range = {10.0, 100.0};
@@ -72,8 +84,13 @@ class SyncUpdater {
     return true;
   }
 
+  /// Registration entry point used when an update is nacked (the agent lost
+  /// its state in a crash) and the object must re-register.
+  void set_reregister_entry(NodeId entry) { reregister_entry_ = entry; }
+
   /// Sends an update and waits for the UpdateAck (or the AgentChanged that a
-  /// cross-leaf move produces). Retries around handover races.
+  /// cross-leaf move produces). Retries around handover races; a nack from a
+  /// restarted leaf triggers re-registration when an entry hint is set.
   bool update_blocking(ObjectId oid, geo::Point pos, int attempts = 8) {
     for (int i = 0; i < attempts; ++i) {
       NodeId agent;
@@ -81,12 +98,24 @@ class SyncUpdater {
         std::lock_guard<std::mutex> lock(mu_);
         agent = agents_[oid];
         pending_pos_[oid] = pos;
+        nacked_.erase(oid);
       }
       if (!agent.valid()) return false;
       const std::uint64_t wait_for = completion_count() + 1;
       net::send_message(net_, self_, agent,
                         wire::UpdateReq{core::Sighting{oid, 0, pos, 5.0}});
-      if (wait_until([&] { return acked_[oid] == pos; }, wait_for)) return true;
+      const bool done = wait_until(
+          [&] { return acked_[oid] == pos || nacked_.count(oid) > 0; }, wait_for);
+      if (done) {
+        const bool nacked = [&] {
+          std::lock_guard<std::mutex> lock(mu_);
+          return nacked_.erase(oid) > 0;
+        }();
+        if (!nacked) return true;
+        if (!reregister_entry_.valid()) return false;
+        if (!register_blocking(oid, pos, reregister_entry_)) continue;
+        return true;  // registration carried the position as its sighting
+      }
       // Timeout: stale agent or a dropped datagram; re-resolve and retry.
     }
     return false;
@@ -95,6 +124,11 @@ class SyncUpdater {
   geo::Point acked_position(ObjectId oid) {
     std::lock_guard<std::mutex> lock(mu_);
     return acked_[oid];
+  }
+
+  NodeId agent_of(ObjectId oid) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return agents_[oid];
   }
 
  private:
@@ -113,12 +147,14 @@ class SyncUpdater {
 
   NodeId self_;
   net::Transport& net_;
+  NodeId reregister_entry_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::uint64_t completions_ = 0;
   std::unordered_map<ObjectId, NodeId> agents_;
   std::unordered_map<ObjectId, geo::Point> pending_pos_;
   std::unordered_map<ObjectId, geo::Point> acked_;
+  std::unordered_set<ObjectId> nacked_;
 };
 
 TEST(ShardedStress, ConcurrentUpdatesQueriesAndHandovers) {
@@ -256,6 +292,165 @@ TEST(ShardedStress, ConcurrentUpdatesQueriesAndHandovers) {
     dropped += deployment.sharded(leaf)->inbox_dropped();
   }
   EXPECT_EQ(dropped, 0u) << "shard inboxes overflowed under closed-loop load";
+}
+
+/// Crash/restart soak over real UDP: a sharded leaf is killed and restarted
+/// WHILE updater and query threads hammer the deployment. Drives the
+/// sim::FaultPlan wall-clock hook (take_due), Deployment::crash/restart over
+/// a live UdpNetwork (handler swap on the surviving socket), and the
+/// nack-driven client re-registration path; under ASan/TSan in CI this is
+/// the teardown-vs-traffic race check for the whole fault subsystem.
+TEST(ShardedStress, CrashRestartUnderConcurrentLoad) {
+  constexpr int kUpdaterThreads = 3;
+  constexpr std::uint64_t kObjectsPerThread = 12;
+  constexpr auto kSoak = std::chrono::milliseconds(1500);
+
+  net::UdpNetwork net(net::UdpNetwork::pick_free_base_port(/*span=*/300));
+  SystemClock clock;
+  core::Deployment::Config cfg;
+  cfg.lock_handlers = true;
+  cfg.leaf_shards = 2;
+  cfg.shard_threads = true;
+  // In-memory visitorDBs: the crash is a TOTAL state loss, recovered through
+  // nacked updates + client re-registration.
+  cfg.server.nack_unknown_updates = true;
+  core::Deployment deployment(
+      net, clock, core::HierarchyBuilder::table2(geo::Rect{{0, 0}, {kArea, kArea}}),
+      cfg);
+  const std::vector<NodeId> leaves = [&] {
+    auto l = deployment.leaf_ids();
+    std::sort(l.begin(), l.end());
+    return l;
+  }();
+  const NodeId victim = leaves[0];
+
+  std::vector<std::unique_ptr<SyncUpdater>> updaters;
+  for (int t = 0; t < kUpdaterThreads; ++t) {
+    updaters.push_back(std::make_unique<SyncUpdater>(
+        NodeId{200 + static_cast<std::uint32_t>(t)}, net));
+    updaters.back()->set_reregister_entry(leaves[1]);
+  }
+  Rng seed_rng(17);
+  for (int t = 0; t < kUpdaterThreads; ++t) {
+    for (std::uint64_t i = 0; i < kObjectsPerThread; ++i) {
+      const ObjectId oid{static_cast<std::uint64_t>(t) * kObjectsPerThread + i + 1};
+      const geo::Point p{seed_rng.uniform(10, kArea - 10),
+                         seed_rng.uniform(10, kArea - 10)};
+      ASSERT_TRUE(updaters[static_cast<std::size_t>(t)]->register_blocking(
+          oid, p, deployment.entry_leaf_for(p)));
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> updates_ok{0}, updates_failed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kUpdaterThreads; ++t) {
+    threads.emplace_back([&, t] {
+      SyncUpdater& up = *updaters[static_cast<std::size_t>(t)];
+      Rng rng(4000 + static_cast<std::uint64_t>(t));
+      while (!stop.load(std::memory_order_acquire)) {
+        const ObjectId oid{static_cast<std::uint64_t>(t) * kObjectsPerThread +
+                           rng.next_below(kObjectsPerThread) + 1};
+        const geo::Point p{rng.uniform(10, kArea - 10), rng.uniform(10, kArea - 10)};
+        // One attempt per op: while the victim is down these time out fast
+        // enough for the thread to keep making progress elsewhere.
+        if (up.update_blocking(oid, p, /*attempts=*/1)) {
+          updates_ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          updates_failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::thread query_thread([&] {
+    core::QueryClient qc(NodeId{250}, net, clock);
+    Rng rng(5000);
+    while (!stop.load(std::memory_order_acquire)) {
+      qc.set_entry(leaves[1 + rng.next_below(leaves.size() - 1)]);
+      const geo::Point c{rng.uniform(100, kArea - 100), rng.uniform(100, kArea - 100)};
+      (void)qc.range_query_blocking(
+          geo::Polygon::from_rect(geo::Rect::from_center(c, 150, 150)),
+          /*req_acc=*/60.0, /*req_overlap=*/0.3, kOpTimeout);
+    }
+  });
+
+  // Wall-clock fault schedule through the UDP harness hook: TimePoints are
+  // microseconds since soak start.
+  sim::FaultPlan plan;
+  plan.crash_at(milliseconds(300), victim).restart_at(milliseconds(700), victim);
+  const auto start = std::chrono::steady_clock::now();
+  bool crashed = false, restarted = false;
+  while (std::chrono::steady_clock::now() - start < kSoak) {
+    const auto now_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    for (const sim::FaultPlan::Event& ev : plan.take_due(now_us)) {
+      if (ev.kind == sim::FaultPlan::Event::Kind::kCrash) {
+        deployment.crash(ev.node);
+        crashed = true;
+      } else {
+        deployment.restart(ev.node, /*announce=*/true);
+        restarted = true;
+      }
+    }
+    deployment.tick_all(clock.now());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& th : threads) th.join();
+  query_thread.join();
+  ASSERT_TRUE(crashed);
+  ASSERT_TRUE(restarted);
+  EXPECT_FALSE(deployment.is_down(victim));
+  EXPECT_GT(updates_ok.load(), 50u);
+
+  // Settle-phase maintenance: handovers that were initiated INTO the dead
+  // leaf stay pending until the timeout sweep clears them; without ticks the
+  // blocked objects could never settle. Safe to run from its own thread now
+  // -- crash/restart is over, so tick_all races no teardown. RAII so an
+  // ASSERT early-return still joins the thread.
+  struct Ticker {
+    core::Deployment& deployment;
+    SystemClock& clock;
+    std::atomic<bool> stop{false};
+    std::thread thread;
+    explicit Ticker(core::Deployment& d, SystemClock& c) : deployment(d), clock(c) {
+      thread = std::thread([this] {
+        while (!stop.load(std::memory_order_acquire)) {
+          deployment.tick_all(clock.now());
+          std::this_thread::sleep_for(std::chrono::milliseconds(25));
+        }
+      });
+    }
+    ~Ticker() {
+      stop.store(true, std::memory_order_release);
+      thread.join();
+    }
+  } ticker(deployment, clock);
+
+  // Final consistency: every object settles (re-registering through the
+  // nack path where the crash erased it) and is queryable everywhere.
+  core::QueryClient verifier(NodeId{260}, net, clock);
+  Rng rng(6);
+  for (int t = 0; t < kUpdaterThreads; ++t) {
+    for (std::uint64_t i = 0; i < kObjectsPerThread; ++i) {
+      const ObjectId oid{static_cast<std::uint64_t>(t) * kObjectsPerThread + i + 1};
+      const geo::Point p{rng.uniform(10, kArea - 10), rng.uniform(10, kArea - 10)};
+      SyncUpdater& up = *updaters[static_cast<std::size_t>(t)];
+      ASSERT_TRUE(up.update_blocking(oid, p, 20))
+          << "object " << oid.value << " failed to settle after restart";
+      // Query via the object's CURRENT agent: re-registration (unlike
+      // handover) leaves the previous agent's replica to soft-state expiry,
+      // so a third-party entry may legally serve a stale answer until the
+      // TTL -- the agent's own answer is the authoritative convergence
+      // check.
+      verifier.set_entry(up.agent_of(oid));
+      const auto res = verifier.pos_query_blocking(oid, kOpTimeout);
+      ASSERT_TRUE(res.has_value()) << "object " << oid.value;
+      ASSERT_TRUE(res->found) << "object " << oid.value;
+      EXPECT_EQ(res->ld.pos, p) << "object " << oid.value;
+    }
+  }
 }
 
 /// Regression: cross-thread find_sighting probes must serialize against the
