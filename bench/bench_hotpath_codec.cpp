@@ -71,7 +71,7 @@ wm::Message make_range_sub_res() {
   sub.req_id = 0xfeedfaceULL;
   sub.covered_size = 140625.0;
   for (std::uint64_t i = 1; i <= 8; ++i) {
-    sub.results.push_back({ObjectId{i}, {{100.0 + static_cast<double>(i), 200.0}, 10.0}});
+    sub.results.append({ObjectId{i}, {{100.0 + static_cast<double>(i), 200.0}, 10.0}});
   }
   sub.origin = wm::OriginArea{
       NodeId{4}, geo::Polygon::from_rect(geo::Rect{{0, 0}, {375, 375}})};

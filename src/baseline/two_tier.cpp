@@ -288,7 +288,9 @@ void TwoTierServer::on_range_query_fwd(NodeId src, const wire::RangeQueryFwd& m)
   const geo::Polygon enlarged = geo::enlarge(m.area, std::max(m.req_acc, 0.0));
   wm::RangeQuerySubRes sub;
   sub.req_id = m.req_id;
-  sightings_.objects_in_area(m.area, m.req_acc, m.req_overlap, sub.results);
+  sightings_.objects_in_area_emit(
+      m.area, m.req_acc, m.req_overlap,
+      [&](const core::ObjectResult& r) { sub.results.append(r); });
   sub.covered_size = geo::intersection_area(enlarged, my_area());
   ++stats_.range_sub_answered;
   send_msg(m.entry, sub);
@@ -300,8 +302,9 @@ void TwoTierServer::on_range_query_sub_res(NodeId src,
   const auto it = pending_range_.find(m.req_id);
   if (it == pending_range_.end()) return;
   it->second.covered += m.covered_size;
-  it->second.results.insert(it->second.results.end(), m.results.begin(),
-                            m.results.end());
+  wm::PackedResults::Cursor cur = m.results.iter();
+  core::ObjectResult r;
+  while (cur.next(r)) it->second.results.push_back(r);
   try_complete_range(m.req_id);
 }
 
@@ -314,7 +317,7 @@ void TwoTierServer::try_complete_range(std::uint64_t key) {
   wm::RangeQueryRes res;
   res.req_id = pending.client_req_id;
   res.complete = true;
-  res.results = std::move(pending.results);
+  res.results.assign(pending.results);
   const NodeId client = pending.client;
   pending_range_.erase(it);
   send_msg(client, res);
@@ -353,7 +356,7 @@ void TwoTierServer::tick(TimePoint now) {
     wm::RangeQueryRes res;
     res.req_id = it->second.client_req_id;
     res.complete = false;
-    res.results = std::move(it->second.results);
+    res.results.assign(it->second.results);
     send_msg(it->second.client, res);
     it = pending_range_.erase(it);
   }

@@ -377,10 +377,12 @@ void QueryClient::handle(const std::uint8_t* data, std::size_t len) {
               pos_targets_.erase(target);
             }
           } else if constexpr (std::is_same_v<T, wm::RangeQueryRes>) {
-            range_results_[m.req_id] = RangeResult{m.complete, std::move(m.results)};
+            // Client-facing boundary: unpack the packed framing into the
+            // owned vectors the application API hands out.
+            range_results_[m.req_id] = RangeResult{m.complete, m.results.to_vector()};
           } else if constexpr (std::is_same_v<T, wm::NNQueryRes>) {
             nn_results_[m.req_id] =
-                NNResult{m.found, m.nearest, std::move(m.near_set)};
+                NNResult{m.found, m.nearest, m.near_set.to_vector()};
           } else if constexpr (std::is_same_v<T, wm::EventNotify>) {
             events_.push_back(m);
           }

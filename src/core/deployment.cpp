@@ -49,14 +49,14 @@ void Deployment::make_entry(const HierarchySpec::Node& node, Entry& entry) {
       entry.mu = std::make_unique<std::mutex>();
     }
     std::mutex* mu = cfg_.shard_threads ? nullptr : entry.mu.get();
-    net_.attach(node.id, [server, mu](const std::uint8_t* data, std::size_t len) {
+    net_.attach(node.id, net::DatagramHandler([server, mu](const net::Datagram& dg) {
       if (mu != nullptr) {
         std::lock_guard<std::mutex> lock(*mu);
-        server->handle(data, len);
+        server->handle(dg);
       } else {
-        server->handle(data, len);
+        server->handle(dg);
       }
-    });
+    }));
   } else {
     store::VisitorDb vdb;
     if (cfg_.visitor_db_factory) vdb = cfg_.visitor_db_factory(node.id);
@@ -67,14 +67,14 @@ void Deployment::make_entry(const HierarchySpec::Node& node, Entry& entry) {
     }
     LocationServer* server = entry.server.get();
     std::mutex* mu = entry.mu.get();
-    net_.attach(node.id, [server, mu](const std::uint8_t* data, std::size_t len) {
+    net_.attach(node.id, net::DatagramHandler([server, mu](const net::Datagram& dg) {
       if (mu != nullptr) {
         std::lock_guard<std::mutex> lock(*mu);
-        server->handle(data, len);
+        server->handle(dg);
       } else {
-        server->handle(data, len);
+        server->handle(dg);
       }
-    });
+    }));
   }
 }
 

@@ -72,6 +72,10 @@ void LocationServer::Stats::add(const Stats& other) {
   suspect_short_circuits += other.suspect_short_circuits;
   recovery_hellos += other.recovery_hellos;
   refresh_batches_sent += other.refresh_batches_sent;
+  path_batches_sent += other.path_batches_sent;
+  sub_res_pinned += other.sub_res_pinned;
+  sub_res_copied += other.sub_res_copied;
+  merge_dedup_dropped += other.merge_dedup_dropped;
 }
 
 void LocationServer::configure_shard(std::uint32_t shard_index,
@@ -101,7 +105,23 @@ void LocationServer::share_caches(LeafAreaCache* leaf, ObjectAgentCache* agent,
 // --------------------------------------------------------------------------
 // dispatch
 
-void LocationServer::handle(const std::uint8_t* data, std::size_t len) {
+void LocationServer::handle(const net::Datagram& dg) {
+  const std::uint8_t* data = dg.data();
+  const std::size_t len = dg.size();
+  // Zero-materialization fast path: packed query sub-results are consumed
+  // through a view straight off the receive buffer -- no envelope decode,
+  // no owned vectors (see the read-path invariants in the header). The view
+  // itself validates the message type, so only the version byte is peeked.
+  if (len > 1 && data[0] == wm::kWireVersionPacked) {
+    wm::SubResView view(data, len);
+    if (view.valid()) {
+      ++stats_.msgs_handled;
+      handle_sub_res_view(view, dg);
+      return;
+    }
+    // Another packed type, or malformed: fall through to the full decode,
+    // which handles (or reports and counts) it exactly once.
+  }
   // Decode into the scratch envelope: a steady stream of one message type
   // reuses its vectors' capacity, so dispatch allocates nothing.
   if (!wm::decode_envelope_into(rx_scratch_, data, len).is_ok()) {
@@ -120,6 +140,8 @@ void LocationServer::handle(const std::uint8_t* data, std::size_t len) {
           on_create_path(src, m);
         } else if constexpr (std::is_same_v<T, wm::RemovePath>) {
           on_remove_path(src, m);
+        } else if constexpr (std::is_same_v<T, wm::BatchedPathUpdate>) {
+          on_batched_path_update(src, m);
         } else if constexpr (std::is_same_v<T, wm::UpdateReq>) {
           on_update_req(src, m);
         } else if constexpr (std::is_same_v<T, wm::BatchedUpdateReq>) {
@@ -216,7 +238,7 @@ void LocationServer::on_register_req(NodeId src, const wm::RegisterReq& m) {
         // Registration successful: create the leaf records and the
         // forwarding path, then answer the registering instance.
         const double offered = negotiate_offered_acc(m.acc_range);
-        if (!cfg_.is_root()) send_msg(cfg_.parent, wm::CreatePath{m.s.oid});
+        send_path(true, m.s.oid);
         visitor_db_.insert_leaf(m.s.oid, offered,
                                 RegInfo{m.reg_inst, m.acc_range});
         put_sighting(m.s, offered);
@@ -245,9 +267,31 @@ void LocationServer::on_register_req(NodeId src, const wm::RegisterReq& m) {
   }
 }
 
+void LocationServer::send_path(bool create, ObjectId oid) {
+  if (cfg_.is_root()) return;
+  if (!opts_.coalesce_paths) {
+    if (create) {
+      send_msg(cfg_.parent, wm::CreatePath{oid});
+    } else {
+      send_msg(cfg_.parent, wm::RemovePath{oid});
+    }
+    return;
+  }
+  if (path_batch_.empty()) path_batch_oldest_ = now();
+  path_batch_.append(create, oid);
+  if (path_batch_.count >= opts_.path_batch_max) flush_path_batch();
+}
+
+void LocationServer::flush_path_batch() {
+  if (path_batch_.empty()) return;
+  ++stats_.path_batches_sent;
+  send_msg(cfg_.parent, path_batch_);
+  path_batch_.clear();
+}
+
 void LocationServer::on_create_path(NodeId src, const wm::CreatePath& m) {
   visitor_db_.set_forward(m.oid, src);
-  if (!cfg_.is_root()) send_msg(cfg_.parent, m);
+  send_path(true, m.oid);
 }
 
 void LocationServer::on_remove_path(NodeId src, const wm::RemovePath& m) {
@@ -258,7 +302,29 @@ void LocationServer::on_remove_path(NodeId src, const wm::RemovePath& m) {
   // prune must stop here.
   if (rec == nullptr || rec->leaf.has_value() || rec->forward_ref != src) return;
   visitor_db_.remove(m.oid);
-  if (!cfg_.is_root()) send_msg(cfg_.parent, m);
+  send_path(false, m.oid);
+}
+
+void LocationServer::on_batched_path_update(NodeId src,
+                                            const wm::BatchedPathUpdate& m) {
+  // Entries replay in order, each exactly like its unbatched message; the
+  // upward forwards re-enter this server's own coalescer, so a burst stays
+  // batched hop by hop toward the root.
+  wm::BatchedPathUpdate::Cursor cur = m.entries();
+  bool create = false;
+  ObjectId oid;
+  while (cur.next(create, oid)) {
+    if (create) {
+      visitor_db_.set_forward(oid, src);
+      send_path(true, oid);
+    } else {
+      const store::VisitorRecord* rec = visitor_db_.find(oid);
+      if (rec == nullptr || rec->leaf.has_value() || rec->forward_ref != src)
+        continue;
+      visitor_db_.remove(oid);
+      send_path(false, oid);
+    }
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -377,10 +443,8 @@ void LocationServer::accept_handover(NodeId src, const wm::HandoverReq& m) {
   visitor_db_.insert_leaf(m.s.oid, offered, m.reg_info);
   put_sighting(m.s, offered);
   ++stats_.handovers_accepted;
-  if (m.direct && !cfg_.is_root()) {
-    // Direct handover bypassed the hierarchy: build the new path ourselves.
-    send_msg(cfg_.parent, wm::CreatePath{m.s.oid});
-  }
+  // Direct handover bypassed the hierarchy: build the new path ourselves.
+  if (m.direct) send_path(true, m.s.oid);
   wm::HandoverRes res;
   res.oid = m.s.oid;
   res.new_agent = self_;
@@ -441,8 +505,8 @@ void LocationServer::on_handover_res(NodeId src, const wm::HandoverRes& m) {
     handover_in_flight_.erase(pending.oid);
     send_msg(pending.reply_to,
              wm::AgentChanged{pending.oid, m.new_agent, m.offered_acc});
-    if (m.new_agent.valid() && pending.direct_prune && !cfg_.is_root()) {
-      send_msg(cfg_.parent, wm::RemovePath{pending.oid});
+    if (m.new_agent.valid() && pending.direct_prune) {
+      send_path(false, pending.oid);
     }
     drop_leaf_visitor(pending.oid, /*prune_path=*/false);
     return;
@@ -472,9 +536,7 @@ void LocationServer::drop_leaf_visitor(ObjectId oid, bool prune_path) {
     }
   }
   visitor_db_.remove(oid);
-  if (prune_path && !cfg_.is_root()) {
-    send_msg(cfg_.parent, wm::RemovePath{oid});
-  }
+  if (prune_path) send_path(false, oid);
 }
 
 // --------------------------------------------------------------------------
@@ -640,9 +702,23 @@ void LocationServer::on_range_query_req(NodeId src, const wm::RangeQueryReq& m) 
   pending.target = enlarged.area();
   pending.deadline = now() + opts_.pending_timeout;
 
-  // Local contribution (Alg 6-5 lines 3-7).
+  // Local contribution (Alg 6-5 lines 3-7): streamed from the store into a
+  // packed segment -- already the merge input format -- so the entry's own
+  // results never exist as a vector either.
   if (cfg_.is_leaf() && sightings_ && enlarged.intersects(cfg_.sa)) {
-    query_view().objects_in_area(m.area, m.req_acc, m.req_overlap, pending.results);
+    SubSegment local;
+    local.buf = net::PooledBuffer(send_pool_, send_pool_->acquire());
+    {
+      wm::Writer w(*local.buf);
+      query_view().objects_in_area_emit(
+          m.area, m.req_acc, m.req_overlap, [&](const ObjectResult& r) {
+            wm::put_object_result(w, r);
+            ++local.count;
+          });
+    }  // Writer flushes at scope exit
+    local.data = local.buf->data();
+    local.len = local.buf->size();
+    if (local.count > 0) pending.segments.push_back(std::move(local));
     pending.covered += geo::intersection_area(enlarged, cfg_.sa);
   }
   if (cfg_.is_root()) {
@@ -725,7 +801,11 @@ void LocationServer::answer_range_locally(const geo::Polygon& area,
   wm::RangeQuerySubRes& sub = range_sub_scratch_;
   sub.req_id = req_id;
   sub.results.clear();
-  query_view().objects_in_area(area, req_acc, req_overlap, sub.results);
+  // Results stream straight from the spatial index into the packed wire
+  // framing; no result vector exists between store and socket.
+  query_view().objects_in_area_emit(
+      area, req_acc, req_overlap,
+      [&](const ObjectResult& r) { sub.results.append(r); });
   sub.covered_size = geo::intersection_area(enlarged, cfg_.sa) + extra_covered;
   sub.origin = origin_piggyback();
   ++stats_.range_sub_answered;
@@ -756,14 +836,71 @@ void LocationServer::on_range_query_fwd(NodeId src, const wm::RangeQueryFwd& m) 
 
 void LocationServer::on_range_query_sub_res(NodeId src,
                                             const wm::RangeQuerySubRes& m) {
+  // Legacy (version-1) or re-framed arrival: the packed bytes were already
+  // owned by the envelope decode, so re-frame them into a pooled segment by
+  // one copy. Version-2 datagrams never reach this handler -- they take the
+  // pinning view path (handle_sub_res_view).
   (void)src;
   const auto it = pending_range_.find(m.req_id);
   if (it == pending_range_.end()) return;
   learn_origin(m.origin);
   it->second.covered += m.covered_size;
-  it->second.results.insert(it->second.results.end(), m.results.begin(),
-                            m.results.end());
+  if (!m.results.empty()) {
+    SubSegment seg;
+    seg.buf = net::PooledBuffer(send_pool_, send_pool_->acquire());
+    seg.buf->assign(m.results.packed.begin(), m.results.packed.end());
+    seg.data = seg.buf->data();
+    seg.len = seg.buf->size();
+    seg.count = m.results.count;
+    ++stats_.sub_res_copied;
+    it->second.segments.push_back(std::move(seg));
+  }
   try_complete_range(m.req_id);
+}
+
+void LocationServer::handle_sub_res_view(wm::SubResView& view,
+                                         const net::Datagram& dg) {
+  if (view.type() == wm::MsgType::kRangeQuerySubRes) {
+    const auto it = pending_range_.find(view.req_id());
+    if (it == pending_range_.end()) return;  // timed out earlier
+    if (opts_.enable_leaf_area_cache && view.origin(origin_scratch_)) {
+      learn_origin(origin_scratch_);
+    }
+    it->second.covered += view.covered_size();
+    if (view.count() > 0) {
+      // Pin the receive buffer for the duration of the merge: zero-copy on
+      // both transports' native delivery paths; non-pinnable paths (SPSC
+      // inbox rings, raw injection) degrade to one pooled copy.
+      if (dg.zero_copy()) {
+        ++stats_.sub_res_pinned;
+      } else {
+        ++stats_.sub_res_copied;
+      }
+      net::Datagram::Taken taken = dg.take(*send_pool_);
+      SubSegment seg;
+      seg.data = taken.data + (view.packed_data() - dg.data());
+      seg.len = view.packed_size();
+      seg.count = view.count();
+      seg.buf = std::move(taken.buf);
+      it->second.segments.push_back(std::move(seg));
+    }
+    try_complete_range(view.req_id());
+    return;
+  }
+  // NN probe sub-result: candidates stream item-by-item off the datagram
+  // into the pending ring's dedup map -- the map IS the merge state, so
+  // nothing is pinned and no candidate vector ever exists.
+  const auto it = pending_nn_.find(view.req_id());
+  if (it == pending_nn_.end()) return;
+  if (opts_.enable_leaf_area_cache && view.origin(origin_scratch_)) {
+    learn_origin(origin_scratch_);
+  }
+  it->second.covered += view.covered_size();
+  wm::ResultCursor cur = view.items();
+  while (const auto item = cur.next()) {
+    it->second.candidates[item->res.oid] = item->res.ld;
+  }
+  check_nn_ring(view.req_id());
 }
 
 void LocationServer::try_complete_range(std::uint64_t key) {
@@ -771,13 +908,61 @@ void LocationServer::try_complete_range(std::uint64_t key) {
   if (it == pending_range_.end()) return;
   PendingRange& pending = it->second;
   if (pending.covered < pending.target - coverage_epsilon(pending.target)) return;
-  wm::RangeQueryRes res;
-  res.req_id = pending.client_req_id;
-  res.complete = true;
-  res.results = std::move(pending.results);
-  const NodeId client = pending.client;
+  emit_range_result(pending.client, pending.client_req_id, /*complete=*/true,
+                    pending);
   pending_range_.erase(it);
-  send_msg(client, res);
+}
+
+void LocationServer::emit_range_result(NodeId client, std::uint64_t client_req_id,
+                                       bool complete, PendingRange& pending) {
+  // Streaming merge: the final RangeQueryRes is written directly into an
+  // outgoing pooled envelope by copying kept item byte ranges out of the
+  // pinned segments -- the sub-results are never decoded. Dedup-on-emit:
+  // the first occurrence of an ObjectId wins (arrival order), which equals
+  // the historical plain concatenation whenever leaf areas tile (they do by
+  // construction; direct/forwarded overlaps are the defensive case).
+  //
+  // Pass 1 sizes the answer (the dedup decisions are deterministic, so pass
+  // 2 repeats them while copying); a lone segment skips the seen-set.
+  const bool dedup = pending.segments.size() > 1;
+  merge_seen_scratch_.clear();
+  std::uint64_t kept = 0;
+  std::size_t kept_bytes = 0;
+  for (const SubSegment& seg : pending.segments) {
+    wm::ResultCursor cur(seg.data, seg.len);
+    while (const auto item = cur.next()) {
+      if (dedup && !merge_seen_scratch_.insert(item->res.oid)) {
+        ++stats_.merge_dedup_dropped;
+        continue;
+      }
+      ++kept;
+      kept_bytes += item->len;
+    }
+  }
+  // Pass 2: emit. Byte-identical to encode_envelope_into of the equivalent
+  // owned RangeQueryRes (pinned by test_query_merge).
+  net::PooledBuffer out(send_pool_, send_pool_->acquire());
+  {
+    wm::Writer w(*out);
+    w.reserve(64 + kept_bytes);
+    wm::begin_envelope(w, self_, wm::MsgType::kRangeQueryRes);
+    w.u64(client_req_id);
+    w.boolean(complete);
+    w.u64(kept);
+    w.u64(kept_bytes);
+    merge_seen_scratch_.clear();
+    for (const SubSegment& seg : pending.segments) {
+      wm::ResultCursor cur(seg.data, seg.len);
+      while (const auto item = cur.next()) {
+        if (dedup && !merge_seen_scratch_.insert(item->res.oid)) continue;
+        w.bytes(item->data, item->len);
+      }
+    }
+  }  // Writer flushes at scope exit
+  pending.segments.clear();  // release the pinned receive buffers
+  if (!client.valid()) return;
+  ++stats_.msgs_sent;
+  net_.send(self_, client, std::move(out));
 }
 
 // --------------------------------------------------------------------------
@@ -821,11 +1006,12 @@ std::uint64_t LocationServer::launch_nn_ring(PendingNN op) {
   op.covered = 0.0;
   op.deadline = now() + opts_.pending_timeout;
 
-  // Local contribution.
+  // Local contribution: streamed from the store straight into the ring's
+  // candidate map (no intermediate vector).
   if (cfg_.is_leaf() && sightings_ && probe_poly.intersects(cfg_.sa)) {
-    nn_local_scratch_.clear();
-    query_view().objects_in_circle({op.p, op.radius}, op.req_acc, nn_local_scratch_);
-    for (const ObjectResult& r : nn_local_scratch_) op.candidates[r.oid] = r.ld;
+    query_view().objects_in_circle_emit(
+        {op.p, op.radius}, op.req_acc,
+        [&](const ObjectResult& r) { op.candidates[r.oid] = r.ld; });
     op.covered += geo::intersection_area(probe_poly, cfg_.sa);
   }
   if (cfg_.is_root()) {
@@ -877,8 +1063,11 @@ void LocationServer::answer_nn_probe_locally(const wm::NNProbeFwd& probe,
   wm::NNProbeSubRes& sub = nn_sub_scratch_;
   sub.req_id = probe.req_id;
   sub.candidates.clear();
-  query_view().objects_in_circle({probe.p, probe.radius}, probe.req_acc,
-                                sub.candidates);
+  // Candidates stream straight from the spatial index into the packed wire
+  // framing; no candidate vector exists between store and socket.
+  query_view().objects_in_circle_emit(
+      {probe.p, probe.radius}, probe.req_acc,
+      [&](const ObjectResult& r) { sub.candidates.append(r); });
   sub.covered_size = geo::intersection_area(probe_poly, cfg_.sa) + extra_covered;
   sub.origin = origin_piggyback();
   send_msg(probe.coordinator, sub);
@@ -908,9 +1097,13 @@ void LocationServer::on_nn_probe_sub_res(NodeId src, const wm::NNProbeSubRes& m)
   (void)src;
   const auto it = pending_nn_.find(m.req_id);
   if (it == pending_nn_.end()) return;
+  // Legacy (version-1) arrival; version-2 datagrams take the view path
+  // (handle_sub_res_view). Same lazy per-item merge either way.
   learn_origin(m.origin);
   it->second.covered += m.covered_size;
-  for (const ObjectResult& r : m.candidates) it->second.candidates[r.oid] = r.ld;
+  wm::PackedResults::Cursor cur = m.candidates.iter();
+  ObjectResult r;
+  while (cur.next(r)) it->second.candidates[r.oid] = r.ld;
   check_nn_ring(m.req_id);
 }
 
@@ -935,9 +1128,9 @@ void LocationServer::check_nn_ring(std::uint64_t ring_key) {
   // object (meeting reqAcc) within op.radius is known, so d* is the global
   // minimum. One more ring of radius d* + nearQual completes nearObjSet.
   double best = std::numeric_limits<double>::max();
-  for (const auto& [oid, ld] : op.candidates) {
+  op.candidates.for_each([&](ObjectId, const LocationDescriptor& ld) {
     best = std::min(best, geo::distance(ld.pos, op.p));
-  }
+  });
   const double needed = best + op.near_qual;
   if (op.final_ring || op.radius >= needed - 1e-9) {
     finish_nn(ring_key);
@@ -966,26 +1159,34 @@ void LocationServer::finish_nn(std::uint64_t ring_key) {
     ObjectId best_oid;
     LocationDescriptor best_ld;
     double best_d = std::numeric_limits<double>::max();
-    for (const auto& [oid, ld] : op.candidates) {
+    op.candidates.for_each([&](ObjectId oid, const LocationDescriptor& ld) {
       const double d = geo::distance(ld.pos, op.p);
       if (d < best_d || (d == best_d && oid < best_oid)) {
         best_d = d;
         best_oid = oid;
         best_ld = ld;
       }
-    }
+    });
     res.found = true;
     res.nearest = {best_oid, best_ld};
-    for (const auto& [oid, ld] : op.candidates) {
-      if (oid == best_oid) continue;
+    // nearObjSet: the only place the candidates materialize, bounded by the
+    // near-quality disk and sorted before packing into the final framing.
+    nn_local_scratch_.clear();
+    op.candidates.for_each([&](ObjectId oid, const LocationDescriptor& ld) {
+      if (oid == best_oid) return;
       if (geo::distance(ld.pos, op.p) <= best_d + op.near_qual + 1e-9) {
-        res.near_set.push_back({oid, ld});
+        nn_local_scratch_.push_back({oid, ld});
       }
-    }
-    std::sort(res.near_set.begin(), res.near_set.end(),
+    });
+    // (distance, id): a total order, so the packed nearObjSet is identical
+    // no matter which container or arrival order fed the candidates.
+    std::sort(nn_local_scratch_.begin(), nn_local_scratch_.end(),
               [&](const ObjectResult& a, const ObjectResult& b) {
-                return geo::distance(a.ld.pos, op.p) < geo::distance(b.ld.pos, op.p);
+                const double da = geo::distance(a.ld.pos, op.p);
+                const double db = geo::distance(b.ld.pos, op.p);
+                return da != db ? da < db : a.oid < b.oid;
               });
+    for (const ObjectResult& r : nn_local_scratch_) res.near_set.append(r);
   }
   send_msg(op.client, res);
   nn_map_pool_.push_back(std::move(op.candidates));
@@ -1352,6 +1553,11 @@ void LocationServer::tick(TimePoint t) {
     }
     next_heartbeat_ = t + opts_.heartbeat_interval;
   }
+  // Deadline flush for coalesced forwarding-path maintenance.
+  if (opts_.coalesce_paths && !path_batch_.empty() &&
+      t >= path_batch_oldest_ + opts_.path_batch_delay) {
+    flush_path_batch();
+  }
   // Bound the persistent log (and with it, recovery time).
   visitor_db_.maybe_compact(opts_.visitor_compact_threshold);
   // Forget deliberate departures once their nack-suppression window passed.
@@ -1366,7 +1572,7 @@ void LocationServer::tick(TimePoint t) {
     for (const ObjectId oid : expired) {
       ++stats_.sightings_expired;
       events_on_sighting(oid, false, {});
-      if (!cfg_.is_root()) send_msg(cfg_.parent, wm::RemovePath{oid});
+      send_path(false, oid);
     }
     visitor_db_.remove_batch(expired);
   }
@@ -1404,11 +1610,8 @@ void LocationServer::tick(TimePoint t) {
       continue;
     }
     ++stats_.pending_timeouts;
-    wm::RangeQueryRes res;
-    res.req_id = it->second.client_req_id;
-    res.complete = false;
-    res.results = std::move(it->second.results);
-    send_msg(it->second.client, res);
+    emit_range_result(it->second.client, it->second.client_req_id,
+                      /*complete=*/false, it->second);
     it = pending_range_.erase(it);
   }
   std::vector<std::uint64_t> nn_timeouts;

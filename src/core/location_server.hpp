@@ -72,6 +72,27 @@
 // With N = 1 all three rules degenerate to the unsharded server and the
 // message trace is bit-identical. Shard-local caches (§6.5) are NOT merged:
 // with caches enabled, message counts may differ from an unsharded run.
+//
+// Zero-materialization query merge (read-path invariants; wire/messages.hpp
+// has the framing side):
+//  * sub-results never decode into owned vectors. A version-2
+//    RangeQuerySubRes/NNProbeSubRes datagram is consumed through
+//    wire::SubResView straight off the receive buffer: NN candidates stream
+//    item-by-item into the pending ring's candidate map; range sub-results
+//    PIN the datagram (net::Datagram::take -- zero-copy on both transports)
+//    and the pending operation holds just the packed byte range until the
+//    merge completes. Legacy version-1 datagrams fall back to the full
+//    decode path and are re-framed by one copy.
+//  * the final RangeQueryRes is written DIRECTLY into an outgoing pooled
+//    envelope: kept item byte ranges are memcpy'd from the pinned
+//    sub-result buffers, deduplicated on emit (first occurrence of an
+//    ObjectId wins, in arrival order -- identical to the historical
+//    concatenation whenever leaf areas tile, which they do by
+//    construction), and the pins are released as the segments drop.
+//  * leaf-local answers stream from the store into the packed wire buffer
+//    through the SightingDb/SightingsView *_emit sinks -- no intermediate
+//    result vector exists anywhere between the spatial index and the
+//    socket.
 #pragma once
 
 #include <atomic>
@@ -93,6 +114,7 @@
 #include "store/sighting_view.hpp"
 #include "store/visitor_db.hpp"
 #include "util/clock.hpp"
+#include "util/oid_set.hpp"
 #include "wire/messages.hpp"
 
 namespace locs::core {
@@ -138,6 +160,18 @@ class LocationServer {
     /// can re-register instead of retrying blindly. Off by default: in
     /// normal operation an unknown update is a transient handover race.
     bool nack_unknown_updates = false;
+    /// Coalesce server-to-server CreatePath/RemovePath bursts bound for the
+    /// parent into wire::BatchedPathUpdate datagrams (flushed at
+    /// path_batch_max entries or by the tick() deadline sweep; entry order
+    /// is preserved, so create/remove sequences replay in order). Off by
+    /// default: unbatched traces stay bit-identical.
+    bool coalesce_paths = false;
+    /// Flush a pending path batch at this many entries.
+    std::size_t path_batch_max = 64;
+    /// Deadline flush: the oldest buffered path entry waits at most this
+    /// long (enforced by tick(); bounds the forwarding-path staleness that
+    /// coalescing can add).
+    Duration path_batch_delay = milliseconds(2);
   };
 
   struct Stats {
@@ -167,6 +201,10 @@ class LocationServer {
     std::uint64_t suspect_short_circuits = 0;  // queries answered for suspects
     std::uint64_t recovery_hellos = 0;       // RecoveryHello received (parent)
     std::uint64_t refresh_batches_sent = 0;  // BatchedRefreshReq datagrams
+    std::uint64_t path_batches_sent = 0;     // BatchedPathUpdate datagrams
+    std::uint64_t sub_res_pinned = 0;    // sub-results merged without a copy
+    std::uint64_t sub_res_copied = 0;    // sub-results merged via copy fallback
+    std::uint64_t merge_dedup_dropped = 0;  // duplicate results dropped on emit
 
     /// Accumulates `other` into this record (deployment / shard aggregation).
     void add(const Stats& other);
@@ -187,8 +225,17 @@ class LocationServer {
   LocationServer(const LocationServer&) = delete;
   LocationServer& operator=(const LocationServer&) = delete;
 
-  /// Transport entry point: decode + dispatch one datagram.
-  void handle(const std::uint8_t* data, std::size_t len);
+  /// Transport entry point: decode + dispatch one datagram. Packed query
+  /// sub-results take the zero-materialization view path (may pin the
+  /// datagram; see the read-path invariants above); everything else goes
+  /// through the scratch-envelope decode.
+  void handle(const net::Datagram& dg);
+
+  /// Borrow-only convenience overload (tests, synthesized datagrams):
+  /// identical dispatch, but a pin degrades to a copy.
+  void handle(const std::uint8_t* data, std::size_t len) {
+    handle(net::Datagram(data, len));
+  }
 
   /// Periodic maintenance: soft-state expiry, pending-operation timeouts.
   void tick(TimePoint now);
@@ -268,7 +315,10 @@ class LocationServer {
     bool final_ring = false;  // radius already covers d* + nearQual
     double target = 0.0;
     double covered = 0.0;
-    std::unordered_map<ObjectId, LocationDescriptor> candidates;
+    // Flat candidate map (util/oid_set.hpp): streaming sub-result merge
+    // with zero allocations at working size; retired maps recycle through
+    // nn_map_pool_ with their slot arrays intact.
+    util::OidMap<LocationDescriptor> candidates;
     TimePoint deadline = 0;
   };
 
@@ -276,6 +326,7 @@ class LocationServer {
   void on_register_req(NodeId src, const wire::RegisterReq& m);
   void on_create_path(NodeId src, const wire::CreatePath& m);
   void on_remove_path(NodeId src, const wire::RemovePath& m);
+  void on_batched_path_update(NodeId src, const wire::BatchedPathUpdate& m);
   void on_update_req(NodeId src, const wire::UpdateReq& m);
   void on_batched_update_req(NodeId src, const wire::BatchedUpdateReq& m);
   void on_handover_req(NodeId src, wire::HandoverReq m);
@@ -354,6 +405,22 @@ class LocationServer {
   void put_sighting(const Sighting& s, double offered_acc);
   void try_complete_range(std::uint64_t key);
   void flush_awaiting_refresh(ObjectId oid);
+
+  /// Zero-materialization sub-result intake (see the header invariants):
+  /// consumes a valid SubResView straight off the receive buffer, pinning
+  /// the datagram for range merges / streaming candidates for NN rings.
+  void handle_sub_res_view(wire::SubResView& view, const net::Datagram& dg);
+  /// Streams the merged range answer directly into an outgoing pooled
+  /// envelope (dedup-on-emit) and releases the pinned segments.
+  struct PendingRange;
+  void emit_range_result(NodeId client, std::uint64_t client_req_id,
+                         bool complete, PendingRange& pending);
+
+  /// CreatePath/RemovePath toward the parent, coalesced into a
+  /// BatchedPathUpdate when Options::coalesce_paths is on (entry order
+  /// preserved; flushed at path_batch_max or by tick()).
+  void send_path(bool create, ObjectId oid);
+  void flush_path_batch();
 
   /// Packs (client, oid) refresh targets into per-client BatchedRefreshReq
   /// chunks (sorted for deterministic traces) and sends them.
@@ -440,8 +507,17 @@ class LocationServer {
   // SightingDb::apply_batch, and the packed ack under construction.
   std::vector<store::SightingDb::BulkUpdate> batch_apply_scratch_;
   wire::BatchedUpdateAck batch_ack_scratch_;
-  // Retired NN candidate maps (bucket arrays intact) for the next ring.
-  std::vector<std::unordered_map<ObjectId, LocationDescriptor>> nn_map_pool_;
+  // Retired NN candidate maps (slot arrays intact) for the next ring.
+  std::vector<util::OidMap<LocationDescriptor>> nn_map_pool_;
+  // Merge scratch: dedup-on-emit seen set (flat table, capacity reused --
+  // zero allocations at working size) and the origin piggyback decode
+  // target for the sub-result view path (polygon capacity reused).
+  util::OidSet merge_seen_scratch_;
+  std::optional<wire::OriginArea> origin_scratch_;
+  // Server-to-server path coalescing (Options::coalesce_paths): the batch
+  // under construction toward the parent and its oldest-entry enqueue time.
+  wire::BatchedPathUpdate path_batch_;
+  TimePoint path_batch_oldest_ = 0;
 
   // -- pending distributed operations --
   struct PendingHandover {
@@ -465,12 +541,22 @@ class LocationServer {
   };
   std::unordered_map<std::uint64_t, PendingPos> pending_pos_;
 
+  /// One contributed slice of a pending range merge: the raw packed-result
+  /// bytes of a sub-result, held WITHOUT decoding. `buf` pins the receive
+  /// buffer the bytes live in (zero-copy path) or owns a pooled copy
+  /// (legacy/non-pinnable arrivals); (data, len) delimit the packed region.
+  struct SubSegment {
+    net::PooledBuffer buf;
+    const std::uint8_t* data = nullptr;
+    std::size_t len = 0;
+    std::uint64_t count = 0;
+  };
   struct PendingRange {
     NodeId client;
     std::uint64_t client_req_id;
     double target = 0.0;   // size of the enlarged query area
     double covered = 0.0;  // accumulated from sub-results
-    std::vector<ObjectResult> results;
+    std::vector<SubSegment> segments;  // local + sub-results, arrival order
     TimePoint deadline;
   };
   std::unordered_map<std::uint64_t, PendingRange> pending_range_;

@@ -124,7 +124,9 @@ std::uint32_t ShardedLocationServer::route(const std::uint8_t* data,
   return shard_of(*key, static_cast<std::uint32_t>(shards_.size()));
 }
 
-void ShardedLocationServer::handle(const std::uint8_t* data, std::size_t len) {
+void ShardedLocationServer::handle(const net::Datagram& dg) {
+  const std::uint8_t* data = dg.data();
+  const std::size_t len = dg.size();
   // Batched updates carry sightings for MANY objects: split them per owning
   // shard instead of routing the whole datagram to one reactor.
   if (shards_.size() > 1 && len > 1 &&
@@ -138,13 +140,16 @@ void ShardedLocationServer::handle(const std::uint8_t* data, std::size_t len) {
       static_cast<wire::MsgType>(data[1]) == wire::MsgType::kBatchedRefreshReq) {
     if (split_batched_refresh(data, len)) return;
   }
-  deliver(*shards_[route(data, len)], data, len);
+  deliver(*shards_[route(data, len)], dg);
 }
 
-void ShardedLocationServer::deliver(Shard& sh, const std::uint8_t* data,
-                                    std::size_t len) {
+void ShardedLocationServer::deliver(Shard& sh, const net::Datagram& dg) {
+  const std::uint8_t* data = dg.data();
+  const std::size_t len = dg.size();
   if (!opts_.threaded) {
-    sh.server->handle(data, len);
+    // Inline: forward the Datagram itself so the coordinator's merge paths
+    // can pin the receive buffer exactly like an unsharded server.
+    sh.server->handle(dg);
     return;
   }
   for (int attempt = 0;; ++attempt) {
@@ -182,7 +187,7 @@ bool ShardedLocationServer::split_batched_update(const std::uint8_t* data,
       }
     }
     if (!mixed) {
-      deliver(*shards_[have_first ? first : 0], data, len);
+      deliver(*shards_[have_first ? first : 0], net::Datagram(data, len));
       return true;
     }
   }
@@ -211,7 +216,8 @@ bool ShardedLocationServer::split_batched_update(const std::uint8_t* data,
     w.u64(split_packed_[s].size());
     w.bytes(split_packed_[s].data(), split_packed_[s].size());
     w.flush();
-    deliver(*shards_[s], split_datagram_.data(), split_datagram_.size());
+    deliver(*shards_[s],
+            net::Datagram(split_datagram_.data(), split_datagram_.size()));
   }
   return true;
 }
@@ -237,7 +243,7 @@ bool ShardedLocationServer::split_batched_refresh(const std::uint8_t* data,
       }
     }
     if (!mixed) {
-      deliver(*shards_[have_first ? first : 0], data, len);
+      deliver(*shards_[have_first ? first : 0], net::Datagram(data, len));
       return true;
     }
   }
@@ -268,7 +274,8 @@ bool ShardedLocationServer::split_batched_refresh(const std::uint8_t* data,
     w.u64(split_packed_[s].size());
     w.bytes(split_packed_[s].data(), split_packed_[s].size());
     w.flush();
-    deliver(*shards_[s], split_datagram_.data(), split_datagram_.size());
+    deliver(*shards_[s],
+            net::Datagram(split_datagram_.data(), split_datagram_.size()));
   }
   return true;
 }

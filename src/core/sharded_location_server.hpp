@@ -90,8 +90,16 @@ class ShardedLocationServer {
 
   /// Transport entry point. Must be invoked from a single context per node
   /// (SimNetwork delivery loop / the node's UdpNetwork receive thread): the
-  /// inboxes are single-producer.
-  void handle(const std::uint8_t* data, std::size_t len);
+  /// inboxes are single-producer. Inline mode forwards the Datagram (and
+  /// with it the pin escape hatch) to the owning shard; threaded mode
+  /// copies through the SPSC inbox, where a shard-side pin degrades to a
+  /// pooled copy (see net/transport.hpp).
+  void handle(const net::Datagram& dg);
+
+  /// Borrow-only convenience overload (tests, synthesized datagrams).
+  void handle(const std::uint8_t* data, std::size_t len) {
+    handle(net::Datagram(data, len));
+  }
 
   /// Sweeps soft-state expiry and pending-operation timeouts on every shard
   /// (serialized against the shard reactors in threaded mode).
@@ -162,7 +170,7 @@ class ShardedLocationServer {
 
   std::uint32_t route(const std::uint8_t* data, std::size_t len) const;
   /// Delivers one datagram to a shard (inline call or SPSC inbox push).
-  void deliver(Shard& sh, const std::uint8_t* data, std::size_t len);
+  void deliver(Shard& sh, const net::Datagram& dg);
   /// Splits a BatchedUpdateReq per owning shard (wire::BatchedUpdateView
   /// delimits each packed sighting without a full envelope decode). A batch whose
   /// sightings all hash to one shard is forwarded unchanged; a straddling

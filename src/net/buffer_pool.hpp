@@ -138,6 +138,11 @@ class PooledBuffer {
 
   ~PooledBuffer() { reset(); }
 
+  /// True while the handle still owns a pool-bound buffer. Moved-from (e.g.
+  /// stolen via net::Datagram::take) and default-constructed handles are
+  /// disarmed; the UDP receive loop uses this to re-provision stolen slots.
+  bool armed() const { return pool_ != nullptr; }
+
   /// Returns the buffer to the pool (if any) and empties the handle.
   void reset() {
     if (pool_ != nullptr) {

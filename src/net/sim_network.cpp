@@ -74,9 +74,16 @@ bool SimNetwork::step() {
   if (tracer_) tracer_(ev.at, ev.from, ev.to, *ev.bytes);
   const auto it = handlers_.find(ev.to);
   if (it != handlers_.end() && it->second) {
-    it->second(ev.bytes.data(), ev.bytes.size());
+    // Deliver with the pooled event buffer as backing: a handler that pins
+    // the datagram (Datagram::take) steals the handle zero-copy, and the
+    // buffer returns to its pool whenever the pin is released. Untaken
+    // buffers recycle right below, exactly as before -- delivery order,
+    // bytes and timing are unchanged either way.
+    const Datagram dg(ev.bytes.data(), ev.bytes.size(), &ev.bytes);
+    it->second(dg);
   }
-  // `ev.bytes` returns to the pool here, ready for the next send.
+  // `ev.bytes` (unless taken) returns to the pool here, ready for the next
+  // send.
   return true;
 }
 

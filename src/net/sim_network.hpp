@@ -45,7 +45,8 @@ class SimNetwork : public Transport {
         rng_(opts.seed),
         fault_rng_(opts.seed ^ 0x9e3779b97f4a7c15ULL) {}
 
-  void attach(NodeId node, MessageHandler handler) override {
+  using Transport::attach;
+  void attach(NodeId node, DatagramHandler handler) override {
     handlers_[node] = std::move(handler);
   }
 
@@ -137,7 +138,7 @@ class SimNetwork : public Transport {
   // is const&, forcing a payload copy), and the vector's capacity is reused
   // across the run -- both matter on the zero-allocation delivery path.
   std::vector<Event> queue_;
-  std::unordered_map<NodeId, MessageHandler> handlers_;
+  std::unordered_map<NodeId, DatagramHandler> handlers_;
   std::map<std::pair<std::uint32_t, std::uint32_t>, LinkFault> link_faults_;
   std::unordered_set<NodeId> down_nodes_;
   DropFn drop_fn_;

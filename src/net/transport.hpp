@@ -13,10 +13,22 @@
 // make_buffer(), encode into it, and pass the handle to send(); the
 // transport returns the buffer to the pool once the datagram has been
 // delivered (SimNetwork) or written to the socket (UdpNetwork). Steady-state
-// send therefore allocates nothing. Handler callbacks receive a pointer into
-// a transport-owned receive buffer that is only valid for the duration of
-// the callback -- decoded views (wire::Reader::str()/bytes()) inherit that
-// lifetime and must be own()ed to outlive it.
+// send therefore allocates nothing.
+//
+// Receive-side borrow/lifetime contract: handler callbacks receive a
+// Datagram -- a borrowed view into a transport-owned receive buffer that is
+// only valid for the duration of the callback. Decoded views
+// (wire::Reader::str()/bytes(), wire::SubResView items) inherit that
+// lifetime. A handler that needs datagram bytes to OUTLIVE the callback --
+// the entry server pinning sub-result payloads across a multi-datagram
+// query merge -- calls Datagram::take(): when the transport delivered the
+// datagram in a poolable buffer (SimNetwork events, UdpNetwork recvmmsg
+// slots and reassembled messages) this is a zero-copy ownership transfer
+// and every pointer into the datagram stays valid for the lifetime of the
+// returned PooledBuffer; otherwise (SPSC inbox rings, raw injections) the
+// bytes are copied into a fresh pooled buffer -- degrade to copy, never
+// dangle. Both transports honor the same contract, so inline SimNetwork
+// traces stay bit-identical to UDP behavior.
 #pragma once
 
 #include <cstdint>
@@ -31,15 +43,74 @@
 
 namespace locs::net {
 
-/// Invoked with the raw datagram; the source node is inside the envelope.
+/// One received datagram as presented to a handler: a borrowed view plus an
+/// optional zero-copy ownership escape hatch (see the receive-side contract
+/// in the header comment).
+class Datagram {
+ public:
+  /// Borrow-only view (no backing buffer; take() degrades to a copy).
+  Datagram(const std::uint8_t* data, std::size_t len)
+      : data_(data), len_(len) {}
+  /// View backed by a poolable receive buffer; take() may steal it.
+  Datagram(const std::uint8_t* data, std::size_t len, PooledBuffer* backing)
+      : data_(data), len_(len), backing_(backing) {}
+
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return len_; }
+
+  /// True while take() would be a zero-copy ownership transfer.
+  bool zero_copy() const { return backing_ != nullptr; }
+
+  struct Taken {
+    PooledBuffer buf;                  // owns (at least) the datagram bytes
+    const std::uint8_t* data = nullptr;  // the datagram within buf
+  };
+
+  /// Takes ownership of the datagram bytes. With a backing buffer this is a
+  /// zero-copy transfer: the buffer handle moves out (only the FIRST take
+  /// is zero-copy) and `Taken::data` equals data() -- every pointer into
+  /// the datagram remains valid for the lifetime of Taken::buf. Without one
+  /// the bytes are copied into a buffer from `fallback` and pointers must
+  /// be rebased onto Taken::data. Either way the caller never dangles.
+  Taken take(BufferPool& fallback) const {
+    if (backing_ != nullptr) {
+      Taken t{std::move(*backing_), data_};
+      backing_ = nullptr;
+      return t;
+    }
+    Taken t{PooledBuffer(&fallback, fallback.acquire()), nullptr};
+    t.buf->assign(data_, data_ + len_);
+    t.data = t.buf->data();
+    return t;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t len_;
+  mutable PooledBuffer* backing_ = nullptr;
+};
+
+/// Raw-bytes handler form (clients, tests): invoked with the datagram view;
+/// the source node is inside the envelope.
 using MessageHandler = std::function<void(const std::uint8_t* data, std::size_t len)>;
+
+/// Full-contract handler form (server dispatch): receives the Datagram so
+/// merge paths can pin the receive buffer (see header comment).
+using DatagramHandler = std::function<void(const Datagram& dg)>;
 
 class Transport {
  public:
   virtual ~Transport() = default;
 
   /// Registers a node and its datagram handler.
-  virtual void attach(NodeId node, MessageHandler handler) = 0;
+  virtual void attach(NodeId node, DatagramHandler handler) = 0;
+
+  /// Convenience overload for raw-bytes handlers (no pin support).
+  void attach(NodeId node, MessageHandler handler) {
+    attach(node, DatagramHandler([h = std::move(handler)](const Datagram& dg) {
+             h(dg.data(), dg.size());
+           }));
+  }
 
   /// Unregisters a node's handler. After this returns, the handler is never
   /// invoked again (UdpNetwork waits for an in-flight callback to finish),

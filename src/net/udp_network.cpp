@@ -71,7 +71,7 @@ struct UdpNetwork::Node {
   // Guards handler invocation vs detach(): a reactor clearing its handler
   // before destruction must not race an in-flight callback.
   std::mutex handler_mu;
-  MessageHandler handler;
+  DatagramHandler handler;
   std::thread thread;
   // Reassembly buffers keyed by (sender msg_id); single-threaded per node.
   struct Partial {
@@ -81,9 +81,11 @@ struct UdpNetwork::Node {
   std::map<std::uint64_t, Partial> partials;
   // Buffer reuse: retired fragment arrays (inner buffers keep capacity) and
   // the reassembled-message scratch, so steady multi-fragment traffic stops
-  // allocating once the buffers reach their working sizes.
+  // allocating once the buffers reach their working sizes. The scratch is a
+  // pooled slot so a handler can pin a reassembled message zero-copy
+  // (Datagram::take steals it; the loop re-provisions on demand).
   std::vector<std::vector<wire::Buffer>> frag_pool;
-  wire::Buffer reassembly_scratch;
+  PooledBuffer reassembly;
 
   std::vector<wire::Buffer> take_frags(std::size_t count) {
     if (frag_pool.empty()) return std::vector<wire::Buffer>(count);
@@ -139,7 +141,7 @@ std::uint16_t UdpNetwork::pick_free_base_port(std::uint16_t span) {
 
 UdpNetwork::~UdpNetwork() { stop(); }
 
-void UdpNetwork::attach(NodeId node, MessageHandler handler) {
+void UdpNetwork::attach(NodeId node, DatagramHandler handler) {
   // Re-attach after detach (crash-restart harness hook): the socket and its
   // receive thread survived the detach and keep draining; just swap the
   // handler in so delivery resumes for the restarted reactor.
@@ -230,51 +232,90 @@ void UdpNetwork::send(NodeId from, NodeId to, PooledBuffer bytes) {
   // `bytes` is recycled into the pool on return.
 }
 
-void UdpNetwork::receive_loop(Node& node) {
-  std::vector<std::uint8_t> buf(kMaxFragPayload + kFragHeader + 1024);
-  while (!stopping_.load(std::memory_order_acquire)) {
-    pollfd pfd{node.fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
-    if (ready <= 0) continue;
-    const ssize_t n = ::recvfrom(node.fd, buf.data(), buf.size(), 0, nullptr, nullptr);
-    if (n < static_cast<ssize_t>(kFragHeader)) continue;
-    if (get_u16(buf.data()) != kFragMagic) continue;
-    const std::uint32_t msg_id = get_u32(buf.data() + 2);
-    const std::uint16_t index = get_u16(buf.data() + 6);
-    const std::uint16_t count = get_u16(buf.data() + 8);
-    const std::uint8_t* payload = buf.data() + kFragHeader;
-    const std::size_t payload_len = static_cast<std::size_t>(n) - kFragHeader;
-    if (count <= 1) {
-      std::lock_guard<std::mutex> lock(node.handler_mu);
-      if (node.handler) node.handler(payload, payload_len);
-      continue;
-    }
-    // Multi-fragment message: stash and deliver once complete. Fragment
-    // arrays and the reassembled-message buffer are recycled (capacity
-    // intact) instead of freshly allocated per message.
-    auto& partial = node.partials[msg_id];
-    if (partial.frags.empty()) partial.frags = node.take_frags(count);
-    if (index >= count || index >= partial.frags.size() ||
-        !partial.frags[index].empty()) {
-      continue;
-    }
+void UdpNetwork::handle_datagram(Node& node, PooledBuffer& slot,
+                                 std::size_t len) {
+  const std::uint8_t* buf = slot->data();
+  if (len < kFragHeader) return;
+  if (get_u16(buf) != kFragMagic) return;
+  const std::uint32_t msg_id = get_u32(buf + 2);
+  const std::uint16_t index = get_u16(buf + 6);
+  const std::uint16_t count = get_u16(buf + 8);
+  const std::uint8_t* payload = buf + kFragHeader;
+  const std::size_t payload_len = len - kFragHeader;
+  if (count <= 1) {
+    // Single-fragment message (the common case): deliver straight out of
+    // the receive slot. A handler pin steals the slot's buffer; the loop
+    // re-provisions before the next recvmmsg batch.
+    const Datagram dg(payload, payload_len, &slot);
+    std::lock_guard<std::mutex> lock(node.handler_mu);
+    if (node.handler) node.handler(dg);
+    return;
+  }
+  // Multi-fragment message: stash and deliver once complete. Fragment
+  // arrays and the reassembled-message buffer are recycled (capacity
+  // intact) instead of freshly allocated per message.
+  auto& partial = node.partials[msg_id];
+  if (partial.frags.empty()) partial.frags = node.take_frags(count);
+  if (index < count && index < partial.frags.size() &&
+      partial.frags[index].empty()) {
     partial.frags[index].assign(payload, payload + payload_len);
     if (++partial.received == count) {
-      wire::Buffer& whole = node.reassembly_scratch;
+      // Reassemble into the pooled scratch slot so the handler can pin the
+      // whole message zero-copy, exactly like a single-fragment datagram.
+      if (!node.reassembly.armed()) {
+        node.reassembly = PooledBuffer(&rx_pool_, rx_pool_.acquire());
+      }
+      wire::Buffer& whole = *node.reassembly;
       whole.clear();
       for (const auto& frag : partial.frags) {
         whole.insert(whole.end(), frag.begin(), frag.end());
       }
       node.recycle_frags(std::move(partial.frags));
       node.partials.erase(msg_id);
+      const Datagram dg(whole.data(), whole.size(), &node.reassembly);
       std::lock_guard<std::mutex> lock(node.handler_mu);
-      if (node.handler) node.handler(whole.data(), whole.size());
+      if (node.handler) node.handler(dg);
     }
-    // Bound reassembly memory: drop oldest partials beyond a small cap
-    // (recycling their fragment arrays too).
-    while (node.partials.size() > 64) {
-      node.recycle_frags(std::move(node.partials.begin()->second.frags));
-      node.partials.erase(node.partials.begin());
+  }
+  // Bound reassembly memory: drop oldest partials beyond a small cap
+  // (recycling their fragment arrays too).
+  while (node.partials.size() > 64) {
+    node.recycle_frags(std::move(node.partials.begin()->second.frags));
+    node.partials.erase(node.partials.begin());
+  }
+}
+
+void UdpNetwork::receive_loop(Node& node) {
+  // One pooled slot per recvmmsg entry, provisioned at full datagram size
+  // once and then reused batch after batch; a slot is re-provisioned (one
+  // pool round-trip) only after a handler stole its buffer via
+  // Datagram::take. Pool exhaustion just allocates -- never blocks.
+  constexpr std::size_t kSlotSize = kMaxFragPayload + kFragHeader + 1024;
+  PooledBuffer slots[kRecvBatch];
+  const auto provision = [&](PooledBuffer& slot) {
+    slot = PooledBuffer(&rx_pool_, rx_pool_.acquire());
+    slot->resize(kSlotSize);
+  };
+  for (PooledBuffer& slot : slots) provision(slot);
+  mmsghdr msgs[kRecvBatch];
+  iovec iovs[kRecvBatch];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{node.fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready <= 0) continue;
+    for (std::size_t i = 0; i < kRecvBatch; ++i) {
+      if (!slots[i].armed()) provision(slots[i]);
+      iovs[i] = {slots[i]->data(), slots[i]->size()};
+      std::memset(&msgs[i], 0, sizeof msgs[i]);
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    // Batched receive: one syscall drains up to kRecvBatch queued datagrams
+    // (under load the syscall cost amortizes across the whole batch).
+    const int n = ::recvmmsg(node.fd, msgs, kRecvBatch, MSG_DONTWAIT, nullptr);
+    if (n <= 0) continue;
+    for (int i = 0; i < n; ++i) {
+      handle_datagram(node, slots[i], msgs[i].msg_len);
     }
   }
 }

@@ -8,6 +8,25 @@
 // reactor discipline the simulator provides, with real parallelism between
 // nodes (the paper ran one server per machine).
 //
+// Receive path (recvmmsg + receive-side BufferPool): each receive thread
+// drains its socket in batches of up to kRecvBatch datagrams per syscall
+// (recvmmsg), one pooled slot buffer per batch entry. Handlers get a
+// net::Datagram backed by the slot; the borrow/lifetime rules are:
+//  * by default the slot buffer is REUSED for the next batch the moment the
+//    handler returns -- views into the datagram are valid only during the
+//    callback;
+//  * a handler that pins the datagram (Datagram::take) steals the slot's
+//    pooled buffer zero-copy; the loop re-provisions that slot from the
+//    receive pool before the next batch, and the stolen buffer returns to
+//    the pool when the pin is released (e.g. when a query merge completes).
+//    Pinning therefore costs one pool round-trip, never a byte copy;
+//  * reassembled multi-fragment messages live in a pooled scratch buffer
+//    under the same steal/re-provision protocol, so even >32 KiB sub-results
+//    can be pinned without copying;
+//  * the receive pool never blocks: exhaustion (every buffer pinned) simply
+//    allocates fresh buffers, and non-poolable delivery paths degrade to
+//    copy inside Datagram::take -- never to a dangling view.
+//
 // Datagrams larger than the safe UDP payload are fragmented and reassembled
 // with a small header (large range-query results can exceed 64 KiB).
 #pragma once
@@ -38,7 +57,8 @@ class UdpNetwork : public Transport {
   /// previously detached node swaps the handler in on the surviving socket
   /// (the crash-restart harness hook: a restarted reactor resumes delivery
   /// without rebinding the port).
-  void attach(NodeId node, MessageHandler handler) override;
+  using Transport::attach;
+  void attach(NodeId node, DatagramHandler handler) override;
   /// Clears the node's handler; blocks until an in-flight callback on the
   /// receive thread has returned. The socket keeps draining (and dropping)
   /// datagrams until stop().
@@ -62,13 +82,24 @@ class UdpNetwork : public Transport {
   std::uint64_t datagrams_sent() const { return datagrams_sent_.load(); }
   std::uint64_t send_errors() const { return send_errors_.load(); }
 
+  /// Receive-side pool feeding the recvmmsg slot buffers and reassembly
+  /// scratch (shared by all receive threads; see the header contract).
+  BufferPool& rx_pool() { return rx_pool_; }
+
+  /// Datagrams per recvmmsg syscall (and pooled slots per receive thread).
+  static constexpr std::size_t kRecvBatch = 16;
+
  private:
   struct Node;
 
   int socket_for_send(NodeId from);
   void receive_loop(Node& node);
+  /// Parses one received datagram (frag header, reassembly) and invokes the
+  /// node's handler with `slot` as the Datagram backing.
+  void handle_datagram(Node& node, PooledBuffer& slot, std::size_t len);
 
   std::uint16_t base_port_;
+  BufferPool rx_pool_;  // receive-side buffers (recvmmsg slots + reassembly)
   std::mutex mu_;  // guards nodes_ map mutation (setup/teardown only)
   std::unordered_map<NodeId, std::unique_ptr<Node>> nodes_;
   int fallback_send_fd_ = -1;

@@ -6,6 +6,14 @@
 // across partial results. These helpers keep that logic in one place and
 // make the order deterministic (ties broken by object id) so sharded and
 // unsharded servers return the same winners.
+//
+// merge_k_nearest is a streaming bounded-k heap: the accumulator never grows
+// beyond k entries (a max-heap on (distance, id) whose root is the current
+// worst survivor), so merging S shards of k candidates each costs
+// O(S*k*log k) and touches O(k) memory -- the old concatenate-sort-truncate
+// needed O(S*k) scratch and a full O(S*k*log(S*k)) sort per merge step. The
+// winners and their final order are IDENTICAL (same strict weak order, final
+// sort of the surviving k).
 #pragma once
 
 #include <algorithm>
@@ -22,14 +30,28 @@ namespace locs::spatial {
 template <typename T, typename PosFn, typename IdFn>
 void merge_k_nearest(std::vector<T>& acc, std::vector<T>&& part, geo::Point p,
                      std::size_t k, PosFn pos_fn, IdFn id_fn) {
-  acc.insert(acc.end(), std::make_move_iterator(part.begin()),
-             std::make_move_iterator(part.end()));
-  std::sort(acc.begin(), acc.end(), [&](const T& a, const T& b) {
+  // "a precedes b": nearer first, ties by id.
+  const auto before = [&](const T& a, const T& b) {
     const double da = geo::distance(pos_fn(a), p);
     const double db = geo::distance(pos_fn(b), p);
     return da != db ? da < db : id_fn(a) < id_fn(b);
-  });
-  if (acc.size() > k) acc.resize(k);
+  };
+  // Max-heap: the WORST survivor sits at the root, ready to be evicted.
+  // (acc arrives sorted from the previous merge step; re-heapify is O(k).)
+  const auto worse_at_top = [&](const T& a, const T& b) { return before(a, b); };
+  std::make_heap(acc.begin(), acc.end(), worse_at_top);
+  for (T& cand : part) {
+    if (acc.size() < k) {
+      acc.push_back(std::move(cand));
+      std::push_heap(acc.begin(), acc.end(), worse_at_top);
+      continue;
+    }
+    if (k == 0 || !before(cand, acc.front())) continue;  // not among the k best
+    std::pop_heap(acc.begin(), acc.end(), worse_at_top);
+    acc.back() = std::move(cand);
+    std::push_heap(acc.begin(), acc.end(), worse_at_top);
+  }
+  std::sort(acc.begin(), acc.end(), before);
 }
 
 }  // namespace locs::spatial

@@ -5,10 +5,6 @@
 
 namespace locs::store {
 
-namespace {
-constexpr double kMinOverlap = 1e-12;
-}
-
 SightingDb::SightingDb(spatial::IndexFactory index_factory)
     : index_factory_(std::move(index_factory)), index_(index_factory_()) {}
 
@@ -102,37 +98,14 @@ std::vector<ObjectId> SightingDb::expire_until(TimePoint now) {
 void SightingDb::objects_in_area(const geo::Polygon& area, double req_acc,
                                  double req_overlap,
                                  std::vector<core::ObjectResult>& out) const {
-  if (area.empty()) return;
-  req_overlap = std::max(req_overlap, kMinOverlap);
-  // Any qualifying object has ld.acc <= req_acc, so its stored position lies
-  // within req_acc of the area: the inflated bounding box is a complete
-  // candidate set.
-  const geo::Rect search = area.bounding_box().inflated(std::max(req_acc, 0.0));
-  candidates_scratch_.clear();
-  index_->query_rect(search, candidates_scratch_);
-  for (const spatial::Entry& cand : candidates_scratch_) {
-    const auto it = records_.find(cand.id);
-    assert(it != records_.end());
-    const Record& rec = it->second;
-    if (rec.offered_acc > req_acc) continue;  // insufficient accuracy (§3.2)
-    const double ov = geo::overlap_degree(area, {rec.sighting.pos, rec.offered_acc});
-    if (ov >= req_overlap) {
-      out.push_back({cand.id, {rec.sighting.pos, rec.offered_acc}});
-    }
-  }
+  objects_in_area_emit(area, req_acc, req_overlap,
+                       [&](const core::ObjectResult& r) { out.push_back(r); });
 }
 
 void SightingDb::objects_in_circle(const geo::Circle& circle, double req_acc,
                                    std::vector<core::ObjectResult>& out) const {
-  candidates_scratch_.clear();
-  index_->query_circle(circle, candidates_scratch_);
-  for (const spatial::Entry& cand : candidates_scratch_) {
-    const auto it = records_.find(cand.id);
-    assert(it != records_.end());
-    const Record& rec = it->second;
-    if (rec.offered_acc > req_acc) continue;
-    out.push_back({cand.id, {rec.sighting.pos, rec.offered_acc}});
-  }
+  objects_in_circle_emit(circle, req_acc,
+                         [&](const core::ObjectResult& r) { out.push_back(r); });
 }
 
 std::vector<core::ObjectResult> SightingDb::k_nearest(geo::Point p, std::size_t k,

@@ -12,6 +12,7 @@
 // rebuilds them from incoming position updates after a restart.
 #pragma once
 
+#include <cassert>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -91,10 +92,53 @@ class SightingDb {
   void objects_in_area(const geo::Polygon& area, double req_acc, double req_overlap,
                        std::vector<core::ObjectResult>& out) const;
 
+  /// Sink-based variant: invokes `sink(result)` per qualifying object, in
+  /// the exact order the vector variant appends. The query read path streams
+  /// results straight into packed wire buffers through this (no
+  /// intermediate vector is ever materialized).
+  template <typename Sink>
+  void objects_in_area_emit(const geo::Polygon& area, double req_acc,
+                            double req_overlap, Sink&& sink) const {
+    if (area.empty()) return;
+    req_overlap = std::max(req_overlap, kMinOverlap);
+    // Any qualifying object has ld.acc <= req_acc, so its stored position
+    // lies within req_acc of the area: the inflated bounding box is a
+    // complete candidate set.
+    const geo::Rect search = area.bounding_box().inflated(std::max(req_acc, 0.0));
+    candidates_scratch_.clear();
+    index_->query_rect(search, candidates_scratch_);
+    for (const spatial::Entry& cand : candidates_scratch_) {
+      const auto it = records_.find(cand.id);
+      assert(it != records_.end());
+      const Record& rec = it->second;
+      if (rec.offered_acc > req_acc) continue;  // insufficient accuracy (§3.2)
+      const double ov =
+          geo::overlap_degree(area, {rec.sighting.pos, rec.offered_acc});
+      if (ov >= req_overlap) {
+        sink(core::ObjectResult{cand.id, {rec.sighting.pos, rec.offered_acc}});
+      }
+    }
+  }
+
   /// Candidates for nearest-neighbor probes: objects with acc <= req_acc
   /// whose stored position lies within the circle.
   void objects_in_circle(const geo::Circle& circle, double req_acc,
                          std::vector<core::ObjectResult>& out) const;
+
+  /// Sink-based variant of objects_in_circle (same order, no vector).
+  template <typename Sink>
+  void objects_in_circle_emit(const geo::Circle& circle, double req_acc,
+                              Sink&& sink) const {
+    candidates_scratch_.clear();
+    index_->query_circle(circle, candidates_scratch_);
+    for (const spatial::Entry& cand : candidates_scratch_) {
+      const auto it = records_.find(cand.id);
+      assert(it != records_.end());
+      const Record& rec = it->second;
+      if (rec.offered_acc > req_acc) continue;
+      sink(core::ObjectResult{cand.id, {rec.sighting.pos, rec.offered_acc}});
+    }
+  }
 
   /// The k nearest objects (by stored position) with acc <= req_acc.
   std::vector<core::ObjectResult> k_nearest(geo::Point p, std::size_t k,
@@ -112,6 +156,10 @@ class SightingDb {
   /// its reads. Unsharded servers leave this null (zero-cost branch).
   void set_slice_lock(std::mutex* mu) { slice_mu_ = mu; }
   std::mutex* slice_lock() const { return slice_mu_; }
+
+  /// Smallest positive req_overlap (values <= 0 clamp to this; see
+  /// objects_in_area).
+  static constexpr double kMinOverlap = 1e-12;
 
  private:
   struct HeapEntry {

@@ -28,18 +28,14 @@ bool SightingsView::lookup(ObjectId oid, SightingDb::Record& out) const {
 void SightingsView::objects_in_area(const geo::Polygon& area, double req_acc,
                                     double req_overlap,
                                     std::vector<core::ObjectResult>& out) const {
-  for (const Slice& s : slices_) {
-    MaybeGuard guard(s.mu);
-    s.db->objects_in_area(area, req_acc, req_overlap, out);
-  }
+  objects_in_area_emit(area, req_acc, req_overlap,
+                       [&](const core::ObjectResult& r) { out.push_back(r); });
 }
 
 void SightingsView::objects_in_circle(const geo::Circle& circle, double req_acc,
                                       std::vector<core::ObjectResult>& out) const {
-  for (const Slice& s : slices_) {
-    MaybeGuard guard(s.mu);
-    s.db->objects_in_circle(circle, req_acc, out);
-  }
+  objects_in_circle_emit(circle, req_acc,
+                         [&](const core::ObjectResult& r) { out.push_back(r); });
 }
 
 std::vector<core::ObjectResult> SightingsView::k_nearest(geo::Point p,

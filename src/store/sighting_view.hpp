@@ -52,9 +52,32 @@ class SightingsView {
   void objects_in_area(const geo::Polygon& area, double req_acc, double req_overlap,
                        std::vector<core::ObjectResult>& out) const;
 
+  /// Sink-based union: results stream straight from each slice into `sink`
+  /// (same order as the vector variant), so a leaf's query answer packs into
+  /// the outgoing wire buffer without an intermediate vector. The sink runs
+  /// UNDER the slice lock -- it must not call back into the store.
+  template <typename Sink>
+  void objects_in_area_emit(const geo::Polygon& area, double req_acc,
+                            double req_overlap, Sink&& sink) const {
+    for (const Slice& s : slices_) {
+      MaybeGuard guard(s.mu);
+      s.db->objects_in_area_emit(area, req_acc, req_overlap, sink);
+    }
+  }
+
   /// SightingDb::objects_in_circle over the union of slices.
   void objects_in_circle(const geo::Circle& circle, double req_acc,
                          std::vector<core::ObjectResult>& out) const;
+
+  /// Sink-based variant of objects_in_circle (same contract as above).
+  template <typename Sink>
+  void objects_in_circle_emit(const geo::Circle& circle, double req_acc,
+                              Sink&& sink) const {
+    for (const Slice& s : slices_) {
+      MaybeGuard guard(s.mu);
+      s.db->objects_in_circle_emit(circle, req_acc, sink);
+    }
+  }
 
   /// The k globally nearest objects with acc <= req_acc, merged across
   /// slices (spatial/merge.hpp; ties broken by object id).

@@ -244,6 +244,11 @@ class Reader {
 
   bool boolean() { return u8() != 0; }
 
+  /// Forces the sticky failure flag. Decoders use this to reject payloads
+  /// whose structure (not bounds) is malformed, e.g. an implausible element
+  /// count discovered mid-message.
+  void fail() { ok_ = false; }
+
   Status status() const {
     return ok_ ? Status::ok()
                : Status(StatusCode::kCorruptData, "wire decode out of bounds");

@@ -6,8 +6,6 @@ namespace locs::wire {
 
 namespace {
 
-constexpr std::uint8_t kWireVersion = 1;
-
 // --- field helpers -----------------------------------------------------------
 
 void put(Writer& w, geo::Point p) {
@@ -112,19 +110,36 @@ ObjectResult get_object_result(Reader& r) {
   return res;
 }
 
-void put(Writer& w, const std::vector<ObjectResult>& v) {
-  w.u64(v.size());
-  for (const auto& res : v) put(w, res);
+/// Packed result list, current (version 2) framing: [count][packed_len]
+/// [packed] -- the packed bytes are emitted verbatim (built by append()).
+void put(Writer& w, const PackedResults& v) {
+  w.u64(v.count);
+  w.u64(v.packed.size());
+  w.bytes(v.packed.data(), v.packed.size());
 }
 
-void get_results_into(Reader& r, std::vector<ObjectResult>& v) {
-  v.clear();
-  const std::uint64_t n = r.u64();
-  if (!r.ok() || n > 10'000'000) return;
-  // Clamp the reserve by the bytes actually present (>= 25 per result): a
-  // corrupt length prefix must not pin hundreds of MB in scratch envelopes.
-  v.reserve(std::min<std::uint64_t>(n, r.remaining() / 25 + 1));
-  for (std::uint64_t i = 0; i < n && r.ok(); ++i) v.push_back(get_object_result(r));
+/// Legacy (version 1) result-list decode: [n][results...]. The old element
+/// encoding is byte-identical to the packed region, so the raw bytes of the
+/// n results are captured into `packed` without re-encoding: probe-parse to
+/// find the region's end, then take it verbatim.
+void get_results_v1_into(Reader& r, PackedResults& out) {
+  out.clear();
+  out.count = r.u64();
+  if (!r.ok()) return;
+  if (out.count > 10'000'000) {
+    r.fail();
+    return;
+  }
+  Reader probe = r;
+  for (std::uint64_t i = 0; i < out.count; ++i) (void)get_object_result(probe);
+  if (!probe.ok()) {
+    out.count = 0;
+    r.fail();
+    return;
+  }
+  const std::size_t len = r.remaining() - probe.remaining();
+  const std::span<const std::uint8_t> bytes = r.bytes(len);
+  out.packed.assign(bytes.begin(), bytes.end());
 }
 
 void put(Writer& w, const std::optional<OriginArea>& origin) {
@@ -249,6 +264,7 @@ void encode(Writer& w, const RangeQueryFwd& m) {
   w.boolean(m.direct);
 }
 
+// Packed query results (version-2 envelopes; see the header invariants).
 void encode(Writer& w, const RangeQuerySubRes& m) {
   w.u64(m.req_id);
   w.f64(m.covered_size);
@@ -352,6 +368,12 @@ void encode(Writer& w, const HeartbeatAck& m) { w.u64(m.seq); }
 void encode(Writer& w, const RecoveryHello& m) { w.u64(m.incarnation); }
 
 void encode(Writer& w, const BatchedRefreshReq& m) {
+  w.u64(m.count);
+  w.u64(m.packed.size());
+  w.bytes(m.packed.data(), m.packed.size());
+}
+
+void encode(Writer& w, const BatchedPathUpdate& m) {
   w.u64(m.count);
   w.u64(m.packed.size());
   w.bytes(m.packed.data(), m.packed.size());
@@ -477,17 +499,27 @@ void decode_into(Reader& r, RangeQueryFwd& m) {
   m.direct = r.boolean();
 }
 
-void decode_into(Reader& r, RangeQuerySubRes& m) {
+/// Version-dispatched result-list decode: version 2 is the packed framing,
+/// version 1 the legacy vector layout (captured verbatim; see above).
+void get_results_into(Reader& r, PackedResults& out, std::uint8_t version) {
+  if (version == kWireVersionPacked) {
+    get_packed_into(r, out.count, out.packed);
+  } else {
+    get_results_v1_into(r, out);
+  }
+}
+
+void decode_into(Reader& r, RangeQuerySubRes& m, std::uint8_t version) {
   m.req_id = r.u64();
   m.covered_size = r.f64();
-  get_results_into(r, m.results);
+  get_results_into(r, m.results, version);
   get_origin_into(r, m.origin);
 }
 
-void decode_into(Reader& r, RangeQueryRes& m) {
+void decode_into(Reader& r, RangeQueryRes& m, std::uint8_t version) {
   m.req_id = r.u64();
   m.complete = r.boolean();
-  get_results_into(r, m.results);
+  get_results_into(r, m.results, version);
 }
 
 void decode_into(Reader& r, NNQueryReq& m) {
@@ -505,18 +537,18 @@ void decode_into(Reader& r, NNProbeFwd& m) {
   m.req_id = r.u64();
 }
 
-void decode_into(Reader& r, NNProbeSubRes& m) {
+void decode_into(Reader& r, NNProbeSubRes& m, std::uint8_t version) {
   m.req_id = r.u64();
   m.covered_size = r.f64();
-  get_results_into(r, m.candidates);
+  get_results_into(r, m.candidates, version);
   get_origin_into(r, m.origin);
 }
 
-void decode_into(Reader& r, NNQueryRes& m) {
+void decode_into(Reader& r, NNQueryRes& m, std::uint8_t version) {
   m.req_id = r.u64();
   m.found = r.boolean();
   m.nearest = get_object_result(r);
-  get_results_into(r, m.near_set);
+  get_results_into(r, m.near_set, version);
 }
 
 void decode_into(Reader& r, ChangeAccReq& m) {
@@ -583,6 +615,34 @@ void decode_into(Reader& r, BatchedRefreshReq& m) {
   get_packed_into(r, m.count, m.packed);
 }
 
+void decode_into(Reader& r, BatchedPathUpdate& m) {
+  get_packed_into(r, m.count, m.packed);
+}
+
+/// Uniform decode entry used by the envelope switch: most messages require a
+/// version-1 envelope; the packed query result types dispatch on the version
+/// byte (and so keep the legacy framing decodable).
+template <typename M>
+void decode_msg(Reader& r, M& m, std::uint8_t version) {
+  if (version != kWireVersion) {
+    r.fail();
+    return;
+  }
+  decode_into(r, m);
+}
+void decode_msg(Reader& r, RangeQuerySubRes& m, std::uint8_t version) {
+  decode_into(r, m, version);
+}
+void decode_msg(Reader& r, RangeQueryRes& m, std::uint8_t version) {
+  decode_into(r, m, version);
+}
+void decode_msg(Reader& r, NNProbeSubRes& m, std::uint8_t version) {
+  decode_into(r, m, version);
+}
+void decode_msg(Reader& r, NNQueryRes& m, std::uint8_t version) {
+  decode_into(r, m, version);
+}
+
 // --- per-message size hints --------------------------------------------------
 //
 // Upper-bound-ish estimates of the encoded payload, used by the Writer
@@ -595,8 +655,8 @@ std::size_t extra_hint(const geo::Polygon& p) { return 16 * p.size(); }
 std::size_t extra_hint(const std::optional<OriginArea>& o) {
   return o ? 8 + extra_hint(o->area) : 1;
 }
-std::size_t extra_hint(const std::vector<ObjectResult>& v) {
-  return 26 * v.size();  // oid varint + 3 fixed doubles, worst case
+std::size_t extra_hint(const PackedResults& v) {
+  return 20 + v.packed.size();  // count + packed_len varints + packed bytes
 }
 
 template <typename M>
@@ -648,13 +708,22 @@ std::size_t size_hint(const BatchedUpdateAck& m) {
 std::size_t size_hint(const BatchedRefreshReq& m) {
   return kEnvelopeBase + m.packed.size();
 }
+std::size_t size_hint(const BatchedPathUpdate& m) {
+  return kEnvelopeBase + m.packed.size();
+}
+
+/// Envelope version stamp, keyed off the one shared predicate (header).
+template <typename M>
+constexpr std::uint8_t version_for() {
+  return is_packed_result_type(M::kType) ? kWireVersionPacked : kWireVersion;
+}
 
 template <typename M>
 void encode_envelope_impl(Buffer& out, NodeId src, const M& m) {
   out.clear();
   Writer w(out);
   w.reserve(size_hint(m));
-  w.u8(kWireVersion);
+  w.u8(version_for<M>());
   w.u8(static_cast<std::uint8_t>(M::kType));
   w.u32_fixed(src.value);
   encode(w, m);
@@ -701,8 +770,109 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kHeartbeatAck: return "HeartbeatAck";
     case MsgType::kRecoveryHello: return "RecoveryHello";
     case MsgType::kBatchedRefreshReq: return "BatchedRefreshReq";
+    case MsgType::kBatchedPathUpdate: return "BatchedPathUpdate";
   }
   return "Unknown";
+}
+
+// --- packed query results: packing / lazy unpacking --------------------------
+
+void put_object_result(Writer& w, const ObjectResult& r) { put(w, r); }
+
+void PackedResults::append(const ObjectResult& r) {
+  Writer w(packed);
+  put(w, r);
+  ++count;
+}
+
+bool PackedResults::Cursor::next(ObjectResult& out) {
+  if (r_.remaining() == 0) return false;
+  out = get_object_result(r_);
+  return r_.ok();
+}
+
+std::vector<ObjectResult> PackedResults::to_vector() const {
+  std::vector<ObjectResult> v;
+  // `count` is wire-advisory and UNVALIDATED; clamp the reserve by the bytes
+  // actually present (>= 25 per result) so a corrupt or hostile count can
+  // never pin memory (the Cursor stops at the real packed region anyway).
+  v.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, packed.size() / 25 + 1)));
+  Cursor cur = iter();
+  ObjectResult r;
+  while (cur.next(r)) v.push_back(r);
+  return v;
+}
+
+void PackedResults::assign(const std::vector<ObjectResult>& v) {
+  clear();
+  for (const ObjectResult& r : v) append(r);
+}
+
+std::optional<ResultCursor::Item> ResultCursor::next() {
+  if (r_.remaining() == 0) return std::nullopt;
+  const std::size_t start = len_ - r_.remaining();
+  // Delimit the item with the one true ObjectResult decoder: the byte range
+  // tracks any future layout change automatically.
+  const ObjectResult res = get_object_result(r_);
+  if (!r_.ok()) return std::nullopt;  // malformed tail: stop iterating
+  const std::size_t end = len_ - r_.remaining();
+  return Item{res, base_ + start, end - start};
+}
+
+SubResView::SubResView(const std::uint8_t* data, std::size_t len) {
+  Reader r(data, len);
+  // Envelope prefix: [version u8][type u8][src u32_fixed]. Only version-2
+  // (packed) framings are viewable; legacy version-1 datagrams take the full
+  // decode path.
+  if (r.u8() != kWireVersionPacked) return;
+  type_ = static_cast<MsgType>(r.u8());
+  if (type_ != MsgType::kRangeQuerySubRes && type_ != MsgType::kNNProbeSubRes)
+    return;
+  src_ = NodeId{r.u32_fixed()};
+  req_id_ = r.u64();
+  covered_size_ = r.f64();
+  count_ = r.u64();
+  const std::size_t packed_len = static_cast<std::size_t>(r.u64());
+  if (!r.ok() || packed_len > r.remaining()) return;
+  packed_base_ = data + (len - r.remaining());
+  packed_len_ = packed_len;
+  tail_base_ = packed_base_ + packed_len_;
+  tail_len_ = r.remaining() - packed_len_;
+  valid_ = true;
+}
+
+bool SubResView::origin(std::optional<OriginArea>& out) const {
+  if (!valid_) return false;
+  Reader r(tail_base_, tail_len_);
+  get_origin_into(r, out);
+  if (!r.ok()) {
+    out.reset();
+    return false;
+  }
+  return out.has_value();
+}
+
+void begin_envelope(Writer& w, NodeId src, MsgType type) {
+  w.u8(is_packed_result_type(type) ? kWireVersionPacked : kWireVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32_fixed(src.value);
+}
+
+// --- batched path maintenance: packing / lazy unpacking ----------------------
+
+void BatchedPathUpdate::append(bool create, ObjectId oid) {
+  Writer w(packed);
+  w.u8(create ? 1 : 0);
+  put(w, oid);
+  ++count;
+}
+
+bool BatchedPathUpdate::Cursor::next(bool& create, ObjectId& oid) {
+  if (r_.remaining() == 0) return false;
+  create = r_.u8() != 0;
+  oid = get_oid(r_);
+  return r_.ok();
 }
 
 // --- batched-update packing / lazy unpacking ---------------------------------
@@ -825,20 +995,21 @@ Status decode_envelope_into(Envelope& env, const std::uint8_t* data,
                             std::size_t len) {
   Reader r(data, len);
   const std::uint8_t version = r.u8();
-  if (!r.ok() || version != kWireVersion) {
+  if (!r.ok() || (version != kWireVersion && version != kWireVersionPacked)) {
     return Status(StatusCode::kCorruptData, "bad wire version");
   }
   const auto type = static_cast<MsgType>(r.u8());
   env.src = NodeId{r.u32_fixed()};
   switch (type) {
 // Reuse the envelope's current alternative when the type matches -- its
-// vectors/polygons keep their capacity across messages.
+// vectors/polygons keep their capacity across messages. decode_msg rejects
+// version mismatches (only the packed query results accept version 2).
 #define LOCS_WIRE_DECODE_CASE(T)                  \
   case MsgType::k##T:                             \
     if (T* m = std::get_if<T>(&env.msg)) {        \
-      decode_into(r, *m);                         \
+      decode_msg(r, *m, version);                 \
     } else {                                      \
-      decode_into(r, env.msg.emplace<T>());       \
+      decode_msg(r, env.msg.emplace<T>(), version); \
     }                                             \
     break;
     LOCS_WIRE_FOR_EACH_MESSAGE(LOCS_WIRE_DECODE_CASE)

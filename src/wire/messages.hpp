@@ -38,6 +38,31 @@
 //  * flush policy lives in the SENDER (size / byte-budget / deadline, see
 //    UpdateCoalescer::Options); the wire format carries no timing state, so
 //    a batch is valid no matter which policy emitted it.
+//
+// Packed query results (read-path analogue of the batched updates): the bulk
+// result messages -- RangeQuerySubRes / NNProbeSubRes and the entry-server
+// finals RangeQueryRes / NNQueryRes (near_set) -- carry their ObjectResult
+// lists in the same [count][packed_len][packed] framing (PackedResults).
+// Invariants:
+//  * the per-result encoding inside `packed` is IDENTICAL to the historical
+//    vector elements, so a merge loop re-frames sub-results into the final
+//    answer by copying raw item byte ranges -- never decode + re-encode.
+//  * these four messages are stamped with envelope version
+//    kWireVersionPacked (2); a version-1 envelope of the same MsgType still
+//    decodes (the legacy length-prefixed vector layout), so traces recorded
+//    before the framing change stay comparable for one release. Everything
+//    else remains version 1, byte for byte.
+//  * decode is lazy -- receivers iterate `packed` with a Reader-backed
+//    Cursor (or, without any envelope decode, through SubResView); `count`
+//    is advisory exactly as in the batched updates.
+//  * read-path borrow/lifetime contract: SubResView and ResultCursor point
+//    INTO the datagram. They are valid only while the receive buffer is
+//    alive and unmodified -- for the duration of the transport handler
+//    invocation, unless the handler pins the buffer via
+//    net::Datagram::take() (see net/transport.hpp), in which case views
+//    stay valid for the lifetime of the returned PooledBuffer. The entry
+//    server's merge loops rely on this to hold sub-result bytes across a
+//    multi-datagram merge without copying.
 #pragma once
 
 #include <cstdint>
@@ -59,6 +84,14 @@ using core::LocationDescriptor;
 using core::ObjectResult;
 using core::RegInfo;
 using core::Sighting;
+
+/// Envelope version bytes. Every message is stamped kWireVersion except the
+/// packed query result messages (see is_packed_result_type below), which
+/// carry kWireVersionPacked; their version-1 (legacy vector) layout stays
+/// decodable for one release (see the packed-query-results invariants in
+/// the header comment).
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersionPacked = 2;
 
 enum class MsgType : std::uint8_t {
   kRegisterReq = 1,
@@ -98,9 +131,19 @@ enum class MsgType : std::uint8_t {
   kHeartbeatAck,
   kRecoveryHello,
   kBatchedRefreshReq,
+  kBatchedPathUpdate,
 };
 
 const char* msg_type_name(MsgType t);
+
+/// THE definition of which message types use the packed result framing and
+/// the kWireVersionPacked envelope byte. Every version-dispatch site (the
+/// encoder's version stamp, begin_envelope, the decode switch) keys off
+/// this single predicate, so the set cannot silently drift.
+constexpr bool is_packed_result_type(MsgType t) {
+  return t == MsgType::kRangeQuerySubRes || t == MsgType::kRangeQueryRes ||
+         t == MsgType::kNNProbeSubRes || t == MsgType::kNNQueryRes;
+}
 
 /// §6.5 piggyback: originating leaf server and its service area.
 struct OriginArea {
@@ -277,6 +320,53 @@ struct PosQueryRes {
   std::optional<OriginArea> origin;
 };
 
+// --- Packed result lists (read-path batching helper) -------------------------
+
+/// Reusable [count][packed_len][packed] list of ObjectResults -- the framing
+/// discipline of the batched update/refresh messages applied to the query
+/// read path (see the packed-query-results invariants in the header
+/// comment). append() packs on the sender; Cursor lazily unpacks on the
+/// receiver; to_vector()/assign() are cold-path conveniences for tests and
+/// client-facing boundaries.
+struct PackedResults {
+  std::uint64_t count = 0;  // results in `packed` (advisory; see header)
+  Buffer packed;            // concatenated per-field encodings of ObjectResult
+
+  void clear() {
+    count = 0;
+    packed.clear();
+  }
+  bool empty() const { return count == 0; }
+  std::size_t payload_bytes() const { return packed.size(); }
+
+  /// Packs one result (same field encoding the vector framing carried).
+  void append(const ObjectResult& r);
+
+  /// Lazy Reader-backed unpacker: decodes one result per next() call,
+  /// stopping at the end of the packed region or the first malformed entry.
+  class Cursor {
+   public:
+    explicit Cursor(const Buffer& packed) : r_(packed) {}
+    bool next(ObjectResult& out);
+
+   private:
+    Reader r_;
+  };
+  Cursor iter() const { return Cursor(packed); }
+
+  std::vector<ObjectResult> to_vector() const;
+  void assign(const std::vector<ObjectResult>& v);
+
+  bool operator==(const PackedResults& other) const {
+    return count == other.count && packed == other.packed;
+  }
+};
+
+/// Writes one ObjectResult in the packed per-field encoding. The direct-emit
+/// merge loops (core/location_server) use this to stream store results
+/// straight into an outgoing buffer without an intermediate vector.
+void put_object_result(Writer& w, const ObjectResult& r);
+
 // --- Range query (Algorithm 6-5) --------------------------------------------
 
 struct RangeQueryReq {
@@ -306,7 +396,7 @@ struct RangeQuerySubRes {
   static constexpr MsgType kType = MsgType::kRangeQuerySubRes;
   std::uint64_t req_id = 0;
   double covered_size = 0.0;
-  std::vector<ObjectResult> results;
+  PackedResults results;  // packed framing; see the header invariants
   std::optional<OriginArea> origin;
 };
 
@@ -314,7 +404,7 @@ struct RangeQueryRes {
   static constexpr MsgType kType = MsgType::kRangeQueryRes;
   std::uint64_t req_id = 0;
   bool complete = true;  // false if assembled on timeout
-  std::vector<ObjectResult> results;
+  PackedResults results;  // packed framing; see the header invariants
 };
 
 // --- Nearest-neighbor query (§3.2 semantics) ---------------------------------
@@ -342,7 +432,7 @@ struct NNProbeSubRes {
   static constexpr MsgType kType = MsgType::kNNProbeSubRes;
   std::uint64_t req_id = 0;
   double covered_size = 0.0;  // size of probe-disk ∩ leaf area
-  std::vector<ObjectResult> candidates;
+  PackedResults candidates;  // packed framing; see the header invariants
   std::optional<OriginArea> origin;
 };
 
@@ -351,7 +441,7 @@ struct NNQueryRes {
   std::uint64_t req_id = 0;
   bool found = false;
   ObjectResult nearest;
-  std::vector<ObjectResult> near_set;  // nearObjSet per §3.2
+  PackedResults near_set;  // nearObjSet per §3.2; packed framing
 };
 
 // --- Accuracy management (§3.1) ---------------------------------------------
@@ -462,6 +552,40 @@ struct BatchedRefreshReq {
   Cursor oids() const { return Cursor(packed); }
 };
 
+/// Coalesced server-to-server forwarding-path maintenance: a burst of
+/// CreatePath/RemovePath messages bound for the same parent travels as ONE
+/// datagram (same framing discipline as the batched updates; the entries
+/// keep their relative order, so create/remove sequences for one object
+/// replay in order). Each entry is [op u8: 1=create, 0=remove][oid varint].
+/// Sent only when LocationServer::Options::coalesce_paths is on -- default
+/// traces carry the unbatched messages bit for bit.
+struct BatchedPathUpdate {
+  static constexpr MsgType kType = MsgType::kBatchedPathUpdate;
+  std::uint64_t count = 0;  // entries in `packed` (advisory; see framing note)
+  Buffer packed;            // concatenated [op u8][oid varint] entries
+
+  void clear() {
+    count = 0;
+    packed.clear();
+  }
+  bool empty() const { return count == 0; }
+  std::size_t payload_bytes() const { return packed.size(); }
+
+  void append(bool create, ObjectId oid);
+
+  /// Lazy unpacker: one (op, oid) entry per next() call, stopping at the end
+  /// of the packed region or the first malformed entry.
+  class Cursor {
+   public:
+    explicit Cursor(const Buffer& packed) : r_(packed) {}
+    bool next(bool& create, ObjectId& oid);
+
+   private:
+    Reader r_;
+  };
+  Cursor entries() const { return Cursor(packed); }
+};
+
 // --- Event mechanism (extension; §1 / §8 future work) ------------------------
 
 enum class PredicateKind : std::uint8_t {
@@ -553,7 +677,8 @@ struct EventUnsubscribe {
   X(Heartbeat)                                                                 \
   X(HeartbeatAck)                                                              \
   X(RecoveryHello)                                                             \
-  X(BatchedRefreshReq)
+  X(BatchedRefreshReq)                                                         \
+  X(BatchedPathUpdate)
 
 using Message = std::variant<
     RegisterReq, RegisterRes, RegisterFailed, CreatePath, RemovePath, UpdateReq,
@@ -562,7 +687,7 @@ using Message = std::variant<
     NNQueryReq, NNProbeFwd, NNProbeSubRes, NNQueryRes, ChangeAccReq, ChangeAccRes,
     NotifyAvailAcc, DeregisterReq, RefreshReq, EventSubscribe, EventInstall,
     EventDelta, EventNotify, EventUnsubscribe, BatchedUpdateReq, BatchedUpdateAck,
-    Heartbeat, HeartbeatAck, RecoveryHello, BatchedRefreshReq>;
+    Heartbeat, HeartbeatAck, RecoveryHello, BatchedRefreshReq, BatchedPathUpdate>;
 
 struct Envelope {
   NodeId src;
@@ -666,5 +791,79 @@ class BatchedRefreshView {
   std::uint64_t count_ = 0;
   bool valid_ = false;
 };
+
+/// Iterates a raw packed-ObjectResult region (the `packed` bytes of any
+/// PackedResults-framed message), yielding each decoded result PLUS the raw
+/// byte range of its encoding -- the merge loops copy kept ranges verbatim
+/// into the outgoing envelope, never re-encoding. Stops at the end of the
+/// region or the first malformed entry. Borrow contract: items point into
+/// the caller's buffer (see the read-path lifetime invariants above).
+class ResultCursor {
+ public:
+  ResultCursor(const std::uint8_t* data, std::size_t len)
+      : r_(data, len), base_(data), len_(len) {}
+
+  struct Item {
+    ObjectResult res;
+    const std::uint8_t* data;  // raw packed encoding of this result
+    std::size_t len;
+  };
+  std::optional<Item> next();
+
+ private:
+  Reader r_;
+  const std::uint8_t* base_;
+  std::size_t len_;
+};
+
+/// Read-path analogue of BatchedUpdateView: a peek over an ENCODED
+/// version-2 RangeQuerySubRes or NNProbeSubRes datagram. Exposes the header
+/// fields and the raw packed-results region without a full envelope decode,
+/// so the entry server can merge a sub-result by borrowing its bytes (pin
+/// the receive buffer via net::Datagram::take) instead of materializing an
+/// owned vector. valid() == false for malformed datagrams, other message
+/// types, and version-1 (legacy vector) framings -- those fall back to the
+/// full decode path.
+class SubResView {
+ public:
+  SubResView(const std::uint8_t* data, std::size_t len);
+
+  bool valid() const { return valid_; }
+  MsgType type() const { return type_; }
+  NodeId src() const { return src_; }
+  std::uint64_t req_id() const { return req_id_; }
+  double covered_size() const { return covered_size_; }
+  std::uint64_t count() const { return count_; }  // advisory (framing note)
+
+  /// The raw packed-results region (borrowed from the datagram).
+  const std::uint8_t* packed_data() const { return packed_base_; }
+  std::size_t packed_size() const { return packed_len_; }
+
+  /// Lazy per-item iteration over the packed region.
+  ResultCursor items() const { return ResultCursor(packed_base_, packed_len_); }
+
+  /// Decodes the trailing §6.5 origin piggyback (cold: cache learning only).
+  /// Returns false when absent or malformed.
+  bool origin(std::optional<OriginArea>& out) const;
+
+ private:
+  MsgType type_ = MsgType::kRangeQuerySubRes;
+  NodeId src_;
+  std::uint64_t req_id_ = 0;
+  double covered_size_ = 0.0;
+  std::uint64_t count_ = 0;
+  const std::uint8_t* packed_base_ = nullptr;
+  std::size_t packed_len_ = 0;
+  const std::uint8_t* tail_base_ = nullptr;  // origin piggyback bytes
+  std::size_t tail_len_ = 0;
+  bool valid_ = false;
+};
+
+/// Direct-emit support for the merge loops: writes the envelope prefix
+/// ([version][type][src]) for `type`, choosing the version byte the normal
+/// encode path would use. A merge loop that follows this with the exact
+/// per-field writes of the message body produces bytes IDENTICAL to
+/// encode_envelope_into of the equivalent owned message (pinned by test).
+void begin_envelope(Writer& w, NodeId src, MsgType type);
 
 }  // namespace locs::wire

@@ -265,7 +265,7 @@ TEST(Messages, RangeQueryRoundTrip) {
   RangeQuerySubRes sub;
   sub.req_id = 77;
   sub.covered_size = 123.5;
-  sub.results = {{ObjectId{1}, {{1, 2}, 3}}, {ObjectId{2}, {{4, 5}, 6}}};
+  sub.results.assign({{ObjectId{1}, {{1, 2}, 3}}, {ObjectId{2}, {{4, 5}, 6}}});
   sub.origin = OriginArea{NodeId{8}, test_polygon()};
   const RangeQuerySubRes sub_out = round_trip(sub);
   EXPECT_EQ(sub_out.results, sub.results);
@@ -289,7 +289,7 @@ TEST(Messages, NNRoundTrip) {
   res.req_id = 5;
   res.found = true;
   res.nearest = {ObjectId{3}, {{6, 7}, 8}};
-  res.near_set = {{ObjectId{4}, {{9, 10}, 11}}};
+  res.near_set.assign({{ObjectId{4}, {{9, 10}, 11}}});
   const NNQueryRes out = round_trip(res);
   EXPECT_EQ(out.nearest, res.nearest);
   EXPECT_EQ(out.near_set, res.near_set);

@@ -59,9 +59,10 @@ core::RegInfo rand_reg_info(Rng& rng) {
   return {rand_node(rng), rand_acc_range(rng)};
 }
 
-std::vector<core::ObjectResult> rand_results(Rng& rng) {
-  std::vector<core::ObjectResult> v(rng.next_below(6));
-  for (auto& r : v) r = {rand_oid(rng), rand_ld(rng)};
+PackedResults rand_results(Rng& rng) {
+  PackedResults v;
+  const std::size_t n = rng.next_below(6);  // including empty lists
+  for (std::size_t i = 0; i < n; ++i) v.append({rand_oid(rng), rand_ld(rng)});
   return v;
 }
 
@@ -94,6 +95,13 @@ BatchedRefreshReq rand_refresh_batch(Rng& rng) {
   BatchedRefreshReq b;
   const std::size_t n = rng.next_below(8);  // including empty sweeps
   for (std::size_t i = 0; i < n; ++i) b.append(rand_oid(rng));
+  return b;
+}
+
+BatchedPathUpdate rand_path_batch(Rng& rng) {
+  BatchedPathUpdate b;
+  const std::size_t n = rng.next_below(8);  // including empty batches
+  for (std::size_t i = 0; i < n; ++i) b.append(rng.next_below(2) == 0, rand_oid(rng));
   return b;
 }
 
@@ -165,6 +173,7 @@ std::vector<Message> random_messages(Rng& rng) {
   msgs.push_back(HeartbeatAck{rng.next_u64()});
   msgs.push_back(RecoveryHello{rng.next_u64()});
   msgs.push_back(rand_refresh_batch(rng));
+  msgs.push_back(rand_path_batch(rng));
   return msgs;
 }
 
@@ -583,6 +592,264 @@ TEST(CodecProperty, OverlongAndOverflowingVarintsStickyFail) {
     const std::uint64_t v = r.u64();
     EXPECT_TRUE(r.ok());
     EXPECT_EQ(v, 1ULL << 63);
+  }
+}
+
+// --- packed query results (read-path framings) -------------------------------
+
+namespace {
+
+RangeQuerySubRes rand_range_sub(Rng& rng) {
+  return RangeQuerySubRes{rng.next_u64(), rng.uniform(0, 1e6), rand_results(rng),
+                          rand_origin(rng)};
+}
+
+NNProbeSubRes rand_nn_sub(Rng& rng) {
+  return NNProbeSubRes{rng.next_u64(), rng.uniform(0, 1e6), rand_results(rng),
+                       rand_origin(rng)};
+}
+
+void write_result_v1(Writer& w, const core::ObjectResult& r) {
+  w.u64(r.oid.value);
+  w.f64(r.ld.pos.x);
+  w.f64(r.ld.pos.y);
+  w.f64(r.ld.acc);
+}
+
+/// Hand-encodes the legacy (version-1) vector framing of a result list.
+void write_results_v1(Writer& w, const std::vector<core::ObjectResult>& v) {
+  w.u64(v.size());
+  for (const auto& r : v) write_result_v1(w, r);
+}
+
+void write_origin(Writer& w, const std::optional<OriginArea>& origin) {
+  w.boolean(origin.has_value());
+  if (origin) {
+    w.u64(origin->leaf.value);
+    w.u64(origin->area.size());
+    for (const geo::Point& p : origin->area.vertices()) {
+      w.f64(p.x);
+      w.f64(p.y);
+    }
+  }
+}
+
+}  // namespace
+
+TEST(CodecProperty, SubResViewAgreesWithOwnedDecode) {
+  Rng rng(4242);
+  for (int iter = 0; iter < 128; ++iter) {
+    const bool nn = rng.next_below(2) == 0;
+    const Message m = nn ? Message(rand_nn_sub(rng)) : Message(rand_range_sub(rng));
+    const NodeId src = rand_node(rng);
+    const Buffer wire = encode_envelope(src, m);
+
+    SubResView view(wire.data(), wire.size());
+    ASSERT_TRUE(view.valid());
+    EXPECT_EQ(view.src(), src);
+
+    // Owned decode of the same bytes.
+    const auto decoded = decode_envelope(wire);
+    ASSERT_TRUE(decoded.ok());
+    std::vector<core::ObjectResult> owned;
+    std::optional<OriginArea> owned_origin;
+    std::visit(
+        [&](const auto& msg) {
+          using T = std::decay_t<decltype(msg)>;
+          if constexpr (std::is_same_v<T, RangeQuerySubRes>) {
+            EXPECT_EQ(view.type(), MsgType::kRangeQuerySubRes);
+            EXPECT_EQ(view.req_id(), msg.req_id);
+            EXPECT_EQ(view.covered_size(), msg.covered_size);
+            EXPECT_EQ(view.count(), msg.results.count);
+            owned = msg.results.to_vector();
+            owned_origin = msg.origin;
+          } else if constexpr (std::is_same_v<T, NNProbeSubRes>) {
+            EXPECT_EQ(view.type(), MsgType::kNNProbeSubRes);
+            EXPECT_EQ(view.req_id(), msg.req_id);
+            EXPECT_EQ(view.covered_size(), msg.covered_size);
+            EXPECT_EQ(view.count(), msg.candidates.count);
+            owned = msg.candidates.to_vector();
+            owned_origin = msg.origin;
+          } else {
+            FAIL() << "unexpected decode alternative";
+          }
+        },
+        decoded.value().msg);
+
+    // Item iteration agrees with the owned decode, and the raw byte ranges
+    // re-concatenate to exactly the packed region (the merge loops copy
+    // these ranges verbatim).
+    ResultCursor cur = view.items();
+    Buffer reassembled;
+    std::size_t i = 0;
+    while (const auto item = cur.next()) {
+      ASSERT_LT(i, owned.size());
+      EXPECT_EQ(item->res, owned[i]);
+      reassembled.insert(reassembled.end(), item->data, item->data + item->len);
+      ++i;
+    }
+    EXPECT_EQ(i, owned.size());
+    EXPECT_EQ(reassembled,
+              Buffer(view.packed_data(), view.packed_data() + view.packed_size()));
+
+    std::optional<OriginArea> view_origin;
+    view.origin(view_origin);
+    EXPECT_EQ(view_origin.has_value(), owned_origin.has_value());
+    if (view_origin && owned_origin) {
+      EXPECT_EQ(view_origin->leaf, owned_origin->leaf);
+      EXPECT_EQ(view_origin->area.vertices(), owned_origin->area.vertices());
+    }
+  }
+}
+
+TEST(CodecProperty, LegacyV1ResultFramingsStillDecode) {
+  Rng rng(777);
+  for (int iter = 0; iter < 64; ++iter) {
+    const std::uint64_t req_id = rng.next_u64();
+    const double covered = rng.uniform(0, 1e6);
+    PackedResults results = rand_results(rng);
+    const std::vector<core::ObjectResult> owned = results.to_vector();
+    const std::optional<OriginArea> origin = rand_origin(rng);
+
+    // Hand-encode the PRE-REFACTOR (version 1, length-prefixed vector)
+    // RangeQuerySubRes layout...
+    Buffer v1;
+    {
+      Writer w(v1);
+      w.u8(kWireVersion);
+      w.u8(static_cast<std::uint8_t>(MsgType::kRangeQuerySubRes));
+      w.u32_fixed(7);
+      w.u64(req_id);
+      w.f64(covered);
+      write_results_v1(w, owned);
+      write_origin(w, origin);
+    }
+    // ...which must not be viewable (views are version-2 only)...
+    EXPECT_FALSE(SubResView(v1.data(), v1.size()).valid());
+    // ...but must still decode, into the packed representation, with the
+    // packed bytes byte-identical to a natively packed message.
+    const auto decoded = decode_envelope(v1);
+    ASSERT_TRUE(decoded.ok());
+    const auto* sub = std::get_if<RangeQuerySubRes>(&decoded.value().msg);
+    ASSERT_NE(sub, nullptr);
+    EXPECT_EQ(sub->req_id, req_id);
+    EXPECT_EQ(sub->results, results);
+    EXPECT_EQ(sub->origin.has_value(), origin.has_value());
+
+    // Truncating the v1 results region must sticky-fail, not mis-decode.
+    if (!owned.empty()) {
+      Buffer origin_buf;
+      {
+        Writer w(origin_buf);
+        write_origin(w, origin);
+      }
+      const std::size_t keep = v1.size() - origin_buf.size() - 3;
+      EXPECT_FALSE(decode_envelope(v1.data(), keep).ok());
+    }
+
+    // Same drill for the legacy NNQueryRes near_set framing.
+    Buffer nn1;
+    {
+      Writer w(nn1);
+      w.u8(kWireVersion);
+      w.u8(static_cast<std::uint8_t>(MsgType::kNNQueryRes));
+      w.u32_fixed(7);
+      w.u64(req_id);
+      w.boolean(true);
+      write_result_v1(w, owned.empty() ? core::ObjectResult{} : owned.front());
+      write_results_v1(w, owned);
+    }
+    const auto nn_decoded = decode_envelope(nn1);
+    ASSERT_TRUE(nn_decoded.ok());
+    const auto* nn = std::get_if<NNQueryRes>(&nn_decoded.value().msg);
+    ASSERT_NE(nn, nullptr);
+    EXPECT_EQ(nn->near_set, results);
+  }
+}
+
+TEST(CodecProperty, PackedResultTruncationAndBitFlipsNeverCrash) {
+  Rng rng(31337);
+  for (int iter = 0; iter < 32; ++iter) {
+    const Buffer wire = encode_envelope(NodeId{4}, rand_range_sub(rng));
+    // Truncation anywhere: the envelope decode sticky-fails via the
+    // packed_len prefix, and the view either rejects or stops early.
+    for (std::size_t len = 0; len < wire.size(); ++len) {
+      (void)decode_envelope(wire.data(), len);
+      SubResView view(wire.data(), len);
+      if (view.valid()) {
+        ResultCursor cur = view.items();
+        while (cur.next()) {
+        }
+      }
+    }
+    // Bit flips: iterate everything that still parses; never crash.
+    Buffer flipped = wire;
+    for (std::size_t bit = 0; bit < flipped.size() * 8; ++bit) {
+      flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      SubResView view(flipped.data(), flipped.size());
+      if (view.valid()) {
+        ResultCursor cur = view.items();
+        std::uint64_t n = 0;
+        while (cur.next()) ++n;
+        EXPECT_LE(n * 25, view.packed_size() + 25);
+        std::optional<OriginArea> o;
+        view.origin(o);
+      }
+      (void)decode_envelope(flipped.data(), flipped.size());
+      flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+  }
+}
+
+TEST(CodecProperty, HostileAdvisoryCountCannotPinMemory) {
+  // `count` is wire-advisory and unvalidated by design (the packed region's
+  // length prefix is what bounds decoding) -- so a spoofed count of 2^63
+  // over an empty packed region must decode into a message whose
+  // to_vector() does NOT try to reserve 2^63 entries.
+  Buffer hostile;
+  {
+    Writer w(hostile);
+    w.u8(kWireVersionPacked);
+    w.u8(static_cast<std::uint8_t>(MsgType::kRangeQueryRes));
+    w.u32_fixed(7);
+    w.u64(1);           // req_id
+    w.boolean(true);    // complete
+    w.u64(1ULL << 63);  // hostile advisory count
+    w.u64(0);           // packed_len: nothing actually present
+  }
+  const auto decoded = decode_envelope(hostile);
+  ASSERT_TRUE(decoded.ok());
+  const auto* res = std::get_if<RangeQueryRes>(&decoded.value().msg);
+  ASSERT_NE(res, nullptr);
+  EXPECT_EQ(res->results.count, 1ULL << 63);
+  const std::vector<core::ObjectResult> v = res->results.to_vector();
+  EXPECT_TRUE(v.empty());  // and, crucially, no length_error/bad_alloc
+}
+
+TEST(CodecProperty, DirectEmitMatchesEncodeEnvelope) {
+  // The entry server's merge loop writes the final RangeQueryRes straight
+  // into the outgoing buffer (core/location_server emit_range_result); this
+  // pins the manual field sequence to the canonical encoder, byte for byte.
+  Rng rng(2718);
+  for (int iter = 0; iter < 64; ++iter) {
+    RangeQueryRes res;
+    res.req_id = rng.next_u64();
+    res.complete = rng.next_below(2) == 0;
+    res.results = rand_results(rng);
+    const NodeId src = rand_node(rng);
+    const Buffer canonical = encode_envelope(src, res);
+
+    Buffer direct;
+    {
+      Writer w(direct);
+      begin_envelope(w, src, MsgType::kRangeQueryRes);
+      w.u64(res.req_id);
+      w.boolean(res.complete);
+      w.u64(res.results.count);
+      w.u64(res.results.packed.size());
+      w.bytes(res.results.packed.data(), res.results.packed.size());
+    }
+    EXPECT_EQ(direct, canonical);
   }
 }
 

@@ -77,7 +77,7 @@ TEST(HotpathCodec, ScratchEnvelopeDecodesAlternatingTypes) {
   RangeQuerySubRes sub;
   sub.req_id = 42;
   sub.covered_size = 10.0;
-  sub.results = {{ObjectId{1}, {{1, 2}, 3}}, {ObjectId{2}, {{4, 5}, 6}}};
+  sub.results.assign({{ObjectId{1}, {{1, 2}, 3}}, {ObjectId{2}, {{4, 5}, 6}}});
   sub.origin = OriginArea{NodeId{9}, geo::Polygon::from_rect({{0, 0}, {10, 10}})};
   const Buffer sub_buf = encode_envelope(NodeId{5}, Message{sub});
   const Buffer upd_buf = encode_envelope(
