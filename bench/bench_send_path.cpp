@@ -1,0 +1,325 @@
+// Send-path bench: syscalls per datagram with the transmit ring, and hot-leaf
+// update throughput with per-shard SO_REUSEPORT sockets.
+//
+// Phase 1 (deterministic): one UdpNetwork, one receiver. Run A sends 4096
+// small messages UNCORKED (the pre-ring behavior: one sendmmsg syscall per
+// datagram); run B sends the SAME payloads under a cork window, so the ring
+// groups them into batches of TxRing::kSendBatch. Both runs must deliver
+// byte-identical answers (order-independent payload checksum); the gated
+// metric is the per-datagram syscall reduction, >= 8x at batch factor 16.
+//
+// Phase 2 (wall-clock): the bench_sharded_update closed-loop workload at 1
+// and 4 shards, now riding the per-shard transmit channels -- floors only,
+// absolute numbers vary with runner cores.
+//
+// Plain executable (no Google Benchmark dependency); writes
+// BENCH_send_path.json next to the binary, gated by
+// bench/baselines/send_path.json.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "core/hierarchy_builder.hpp"
+#include "net/udp_network.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace locs;
+
+// ---------------------------------------------------------------------------
+// Phase 1: syscalls per datagram, uncorked vs corked, identical payloads.
+
+constexpr int kDatagrams = 4096;
+
+struct SyscallRun {
+  double syscalls_per_datagram = 0.0;
+  std::uint64_t delivered = 0;
+  std::uint64_t checksum = 0;
+  std::uint64_t dropped = 0;
+};
+
+struct SyscallResult {
+  SyscallRun baseline;  // uncorked: flush per enqueue
+  SyscallRun ring;      // corked: sendmmsg batches
+};
+
+SyscallResult run_syscall_phase() {
+  net::UdpNetwork net(net::UdpNetwork::pick_free_base_port(/*span=*/10));
+  // Order-independent tally per run (keyed by the payload's run tag): count
+  // plus a commutative FNV-style checksum over the payload BODY, so the two
+  // runs must deliver the same multiset of bytes to count as equal.
+  struct Tally {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> checksum{0};
+  };
+  Tally tallies[2];
+  net.attach(NodeId{1}, [&](const std::uint8_t* d, std::size_t n) {
+    if (n < 2 || d[0] > 1) return;
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::size_t i = 1; i < n; ++i) h = (h ^ d[i]) * 1099511628211ull;
+    tallies[d[0]].count.fetch_add(1, std::memory_order_relaxed);
+    tallies[d[0]].checksum.fetch_add(h, std::memory_order_relaxed);
+  });
+  // Distinct senders so each run reads its own ring stats from zero.
+  net.attach(NodeId{2}, [](const std::uint8_t*, std::size_t) {});
+  net.attach(NodeId{3}, [](const std::uint8_t*, std::size_t) {});
+
+  const auto payload = [](std::uint8_t run_tag, int seq) {
+    wire::Buffer b;
+    b.push_back(run_tag);
+    for (int i = 0; i < 20; ++i) {
+      b.push_back(static_cast<std::uint8_t>((seq * 31 + i * 7) & 0xff));
+    }
+    return b;
+  };
+  const auto wait_delivered = [&](std::uint8_t run_tag) {
+    for (int i = 0; i < 1000; ++i) {
+      if (tallies[run_tag].count.load() >= kDatagrams) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  };
+
+  // Run A -- uncorked sender: every enqueue flushes inline, one syscall per
+  // datagram (the pre-ring send path's syscall count).
+  for (int i = 0; i < kDatagrams; ++i) {
+    net.send(NodeId{2}, NodeId{1}, payload(0, i));
+  }
+  wait_delivered(0);
+
+  // Run B -- corked sender: same payloads, batches of TxRing::kSendBatch.
+  net.cork(NodeId{3});
+  for (int i = 0; i < kDatagrams; ++i) {
+    net.send(NodeId{3}, NodeId{1}, payload(1, i));
+  }
+  net.uncork(NodeId{3});
+  wait_delivered(1);
+
+  const auto run_of = [&](NodeId sender, std::uint8_t run_tag) {
+    const net::UdpNetwork::TxStats tx = net.tx_stats(sender);
+    SyscallRun run;
+    run.syscalls_per_datagram =
+        tx.datagrams_sent > 0
+            ? static_cast<double>(tx.batches_flushed) /
+                  static_cast<double>(tx.datagrams_sent)
+            : 0.0;
+    run.delivered = tallies[run_tag].count.load();
+    run.checksum = tallies[run_tag].checksum.load();
+    run.dropped = tx.dropped;
+    return run;
+  };
+  SyscallResult res;
+  res.baseline = run_of(NodeId{2}, 0);
+  res.ring = run_of(NodeId{3}, 1);
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: hot-leaf closed-loop update throughput at 1 and 4 shards (the
+// bench_sharded_update workload over the per-shard transmit channels).
+
+constexpr double kAreaSize = 1500.0;
+constexpr std::size_t kObjects = 4000;
+constexpr int kUpdaterThreads = 8;
+constexpr auto kWarmup = std::chrono::milliseconds(300);
+constexpr auto kMeasure = std::chrono::milliseconds(1500);
+constexpr Duration kOpTimeout = seconds(2);
+
+class UpdateClient {
+ public:
+  UpdateClient(NodeId self, net::Transport& net) : self_(self), net_(net) {
+    net_.attach(self_, [this](const std::uint8_t* data, std::size_t len) {
+      const auto env = wire::decode_envelope(data, len);
+      if (!env.ok()) return;
+      if (std::holds_alternative<wire::UpdateAck>(env.value().msg)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++acks_;
+        cv_.notify_all();
+      }
+    });
+  }
+
+  ~UpdateClient() { net_.detach(self_); }
+
+  bool update_blocking(const core::Sighting& s, NodeId agent) {
+    std::uint64_t wait_for;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      wait_for = acks_ + 1;
+    }
+    net::send_message(net_, self_, agent, wire::UpdateReq{s});
+    std::unique_lock<std::mutex> lock(mu_);
+    return cv_.wait_for(lock, std::chrono::microseconds(kOpTimeout),
+                        [&] { return acks_ >= wait_for; });
+  }
+
+ private:
+  NodeId self_;
+  net::Transport& net_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t acks_ = 0;
+};
+
+double run_hot_leaf(std::uint32_t shards) {
+  net::UdpNetwork net(net::UdpNetwork::pick_free_base_port(/*span=*/300));
+  SystemClock clock;
+  core::Deployment::Config cfg;
+  cfg.lock_handlers = true;
+  cfg.leaf_shards = shards;
+  cfg.shard_threads = shards > 1;
+  core::Deployment deployment(
+      net, clock,
+      core::HierarchyBuilder::table2(geo::Rect{{0, 0}, {kAreaSize, kAreaSize}}),
+      cfg);
+  std::vector<NodeId> leaves = deployment.leaf_ids();
+  std::sort(leaves.begin(), leaves.end());
+  const NodeId hot_leaf = leaves[0];
+  const geo::Rect leaf_rect =
+      deployment.server(hot_leaf).config().sa.bounding_box();
+
+  // Register every object on the hot leaf (paced so buffers never overflow).
+  struct RegState {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t done = 0;
+  } reg;
+  net.attach(NodeId{91}, [&reg](const std::uint8_t* data, std::size_t len) {
+    const auto env = wire::decode_envelope(data, len);
+    if (!env.ok()) return;
+    if (std::holds_alternative<wire::RegisterRes>(env.value().msg)) {
+      std::lock_guard<std::mutex> lock(reg.mu);
+      ++reg.done;
+      reg.cv.notify_all();
+    }
+  });
+  Rng reg_rng(7);
+  for (std::uint64_t i = 1; i <= kObjects; ++i) {
+    wire::RegisterReq req;
+    req.s = core::Sighting{ObjectId{i}, 0,
+                           {reg_rng.uniform(leaf_rect.min.x + 1, leaf_rect.max.x - 1),
+                            reg_rng.uniform(leaf_rect.min.y + 1, leaf_rect.max.y - 1)},
+                           5.0};
+    req.acc_range = {10.0, 100.0};
+    req.reg_inst = NodeId{91};
+    req.req_id = i;
+    net.send(NodeId{91}, hot_leaf,
+             wire::encode_envelope(NodeId{91}, wire::Message{req}));
+    if (i % 256 == 0) {
+      std::unique_lock<std::mutex> lock(reg.mu);
+      reg.cv.wait_for(lock, std::chrono::seconds(2),
+                      [&] { return reg.done >= i - 128; });
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(reg.mu);
+    reg.cv.wait_for(lock, std::chrono::seconds(10),
+                    [&] { return reg.done >= kObjects * 99 / 100; });
+  }
+  net.detach(NodeId{91});
+
+  std::vector<std::unique_ptr<UpdateClient>> clients;
+  for (int t = 0; t < kUpdaterThreads; ++t) {
+    clients.push_back(std::make_unique<UpdateClient>(
+        NodeId{100 + static_cast<std::uint32_t>(t)}, net));
+  }
+
+  std::atomic<bool> measuring{false}, stop{false};
+  std::atomic<std::uint64_t> acked{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kUpdaterThreads; ++t) {
+    threads.emplace_back([&, t] {
+      UpdateClient& client = *clients[static_cast<std::size_t>(t)];
+      Rng rng(100 + static_cast<std::uint64_t>(t));
+      while (!stop.load(std::memory_order_acquire)) {
+        const ObjectId oid{1 + rng.next_below(kObjects)};
+        const core::Sighting s{
+            oid, 0,
+            {rng.uniform(leaf_rect.min.x + 1, leaf_rect.max.x - 1),
+             rng.uniform(leaf_rect.min.y + 1, leaf_rect.max.y - 1)},
+            5.0};
+        const bool ok = client.update_blocking(s, hot_leaf);
+        if (ok && measuring.load(std::memory_order_relaxed)) {
+          acked.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(kWarmup);
+  const auto start = std::chrono::steady_clock::now();
+  measuring.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(kMeasure);
+  measuring.store(false, std::memory_order_release);
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  stop.store(true, std::memory_order_release);
+  for (std::thread& th : threads) th.join();
+  return static_cast<double>(acked.load()) / elapsed;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("bench_send_path: transmit-ring syscall amortization, %u cores\n",
+              cores);
+
+  const SyscallResult sys = run_syscall_phase();
+  const bool checksums_equal =
+      sys.baseline.delivered == static_cast<std::uint64_t>(kDatagrams) &&
+      sys.ring.delivered == static_cast<std::uint64_t>(kDatagrams) &&
+      sys.baseline.checksum == sys.ring.checksum &&
+      sys.baseline.dropped == 0 && sys.ring.dropped == 0;
+  const double reduction =
+      sys.ring.syscalls_per_datagram > 0.0
+          ? sys.baseline.syscalls_per_datagram / sys.ring.syscalls_per_datagram
+          : 0.0;
+  std::printf("  uncorked: %.3f syscalls/datagram (%llu delivered)\n",
+              sys.baseline.syscalls_per_datagram,
+              static_cast<unsigned long long>(sys.baseline.delivered));
+  std::printf("  corked:   %.3f syscalls/datagram (%llu delivered)\n",
+              sys.ring.syscalls_per_datagram,
+              static_cast<unsigned long long>(sys.ring.delivered));
+  std::printf("  reduction: %.2fx, payload checksums %s\n", reduction,
+              checksums_equal ? "equal" : "DIFFER");
+
+  const double sharded1 = run_hot_leaf(1);
+  std::printf("  hot leaf, 1 shard:  %10.0f acked updates/s\n", sharded1);
+  const double sharded4 = run_hot_leaf(4);
+  std::printf("  hot leaf, 4 shards: %10.0f acked updates/s\n", sharded4);
+
+  FILE* f = std::fopen("BENCH_send_path.json", "w");
+  if (f == nullptr) return 1;
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"send_path_syscall_amortization\",\n"
+               "  \"transport\": \"udp_loopback\",\n"
+               "  \"datagrams\": %d,\n"
+               "  \"host_cores\": %u,\n"
+               "  \"baseline_syscalls_per_datagram\": %.4f,\n"
+               "  \"ring_syscalls_per_datagram\": %.4f,\n"
+               "  \"syscall_reduction\": %.3f,\n"
+               "  \"payload_checksums_equal\": %s,\n"
+               "  \"baseline_delivered\": %llu,\n"
+               "  \"ring_delivered\": %llu,\n"
+               "  \"sharded1_updates_per_sec\": %.1f,\n"
+               "  \"sharded4_updates_per_sec\": %.1f\n"
+               "}\n",
+               kDatagrams, cores, sys.baseline.syscalls_per_datagram,
+               sys.ring.syscalls_per_datagram, reduction,
+               checksums_equal ? "true" : "false",
+               static_cast<unsigned long long>(sys.baseline.delivered),
+               static_cast<unsigned long long>(sys.ring.delivered),
+               sharded1, sharded4);
+  std::fclose(f);
+  // Self-gate the deterministic half so a local run fails loudly even
+  // without the baseline script.
+  return (reduction >= 8.0 && checksums_equal) ? 0 : 1;
+}

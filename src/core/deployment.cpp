@@ -57,6 +57,9 @@ void Deployment::make_entry(const HierarchySpec::Node& node, Entry& entry) {
         server->handle(dg);
       }
     }));
+    // After attach, so each shard channel can join the node's SO_REUSEPORT
+    // group (no-op for inline shards and channel-less transports).
+    server->open_tx_senders();
   } else {
     store::VisitorDb vdb;
     if (cfg_.visitor_db_factory) vdb = cfg_.visitor_db_factory(node.id);

@@ -1534,6 +1534,27 @@ void LocationServer::on_event_unsubscribe(NodeId src, const wm::EventUnsubscribe
 // maintenance
 
 void LocationServer::tick(TimePoint t) {
+  // Send-burst bracket: a tick can emit a storm (heartbeats to every child,
+  // batch deadline flushes, expiry notifications), so cork the sender and
+  // let the transport coalesce them into sendmmsg batches. SimNetwork
+  // ignores the bracket (inline delivery, traces unchanged); the explicit
+  // flush at the end guarantees nothing a tick produced outlives the tick.
+  if (tx_sender_ != nullptr) {
+    tx_sender_->cork();
+  } else {
+    net_.cork(self_);
+  }
+  tick_body(t);
+  if (tx_sender_ != nullptr) {
+    tx_sender_->uncork();
+    tx_sender_->flush();
+  } else {
+    net_.uncork(self_);
+    net_.flush(self_);
+  }
+}
+
+void LocationServer::tick_body(TimePoint t) {
   // Failure detection: probe every child each interval; a child that let
   // heartbeat_miss_threshold whole intervals pass unanswered is suspect
   // (query routing then answers on its behalf; see the header invariants).

@@ -276,6 +276,14 @@ class LocationServer {
   void share_caches(LeafAreaCache* leaf, ObjectAgentCache* agent,
                     PositionCache* position, std::mutex* mu);
 
+  /// Routes every outgoing message through a dedicated transmit channel
+  /// (net::Sender) instead of Transport::send -- the per-shard SO_REUSEPORT
+  /// socket + ring wiring (ShardedLocationServer::open_tx_senders), which
+  /// takes the shared transport completely off this reactor's send path.
+  /// The caller owns the channel and must keep it alive for the server's
+  /// lifetime; null restores the default path. Call before any traffic.
+  void set_tx_sender(net::Sender* sender) { tx_sender_ = sender; }
+
   /// Runs the leaf event predicates for an externally observed sighting
   /// change (fan-in from sibling shards; no-op outside sharded setups).
   void apply_sighting_event(ObjectId oid, bool present, geo::Point pos);
@@ -362,6 +370,15 @@ class LocationServer {
     ++stats_.msgs_sent;
     // send_pool_ is the transport's shared pool by default, a private
     // per-shard pool under sharding (no cross-shard send contention).
+    if (tx_sender_ != nullptr) {
+      // Dedicated transmit channel (per-shard socket + ring): encode into a
+      // pooled envelope exactly like net::send_message, hand it to the
+      // channel -- the shared transport is never touched.
+      net::PooledBuffer buf(send_pool_, send_pool_->acquire());
+      wire::encode_envelope_into(*buf, self_, msg);
+      tx_sender_->send(to, std::move(buf));
+      return;
+    }
     net::send_message(net_, *send_pool_, self_, to, msg);
   }
   std::uint64_t next_req_id();
@@ -422,6 +439,9 @@ class LocationServer {
   void send_path(bool create, ObjectId oid);
   void flush_path_batch();
 
+  /// tick() minus the send-burst bracket (tick corks, runs this, flushes).
+  void tick_body(TimePoint t);
+
   /// Packs (client, oid) refresh targets into per-client BatchedRefreshReq
   /// chunks (sorted for deterministic traces) and sends them.
   void send_refresh_batches(std::vector<std::pair<NodeId, ObjectId>>& targets);
@@ -454,6 +474,7 @@ class LocationServer {
 
   // -- shard wiring (configure_shard; defaults are the unsharded server) --
   net::BufferPool* send_pool_;               // defaults to the transport pool
+  net::Sender* tx_sender_ = nullptr;         // per-shard transmit channel
   store::SightingsView own_view_;            // single-slice view over sightings_
   const store::SightingsView* shard_view_ = nullptr;  // coordinator: all slices
   SightingEventHook sighting_event_hook_;    // shards > 0: fan-in to shard 0

@@ -111,6 +111,27 @@ ShardedLocationServer::~ShardedLocationServer() {
     for (auto& sh : shards_) {
       if (sh->thread.joinable()) sh->thread.join();
     }
+    // Deterministic send-side teardown: whatever the final drain bursts
+    // left on the shard channels goes to the wire before destruction.
+    for (auto& sh : shards_) {
+      if (sh->tx != nullptr) sh->tx->flush();
+    }
+  }
+}
+
+void ShardedLocationServer::open_tx_senders() {
+  if (!opts_.threaded) return;
+  for (auto& sh : shards_) {
+    if (sh->tx != nullptr) continue;
+    sh->tx = net_.open_sender(self_);
+    if (sh->tx == nullptr) return;  // transport has no per-sender channels
+    {
+      std::lock_guard<std::mutex> lock(sh->reactor_mu);
+      sh->server->set_tx_sender(sh->tx.get());
+    }
+    // Publish to the already-running shard_loop last (release pairs with its
+    // acquire load), so the reactor only corks a fully wired channel.
+    sh->tx_raw.store(sh->tx.get(), std::memory_order_release);
   }
 }
 
@@ -291,6 +312,11 @@ void ShardedLocationServer::shard_loop(Shard& sh) {
   int idle_rounds = 0;
   while (true) {
     bool did_work = false;
+    // Cork the shard's transmit channel across the drain burst: replies for
+    // up to kDrainBatch datagrams coalesce into sendmmsg batches, flushed by
+    // the uncork below (mirrors the UdpNetwork receive-loop bracket).
+    net::Sender* tx = sh.tx_raw.load(std::memory_order_acquire);
+    if (tx != nullptr) tx->cork();
     for (int i = 0; i < kDrainBatch; ++i) {
       const bool popped = sh.inbox.try_pop([&](const std::uint8_t* d, std::size_t l) {
         std::lock_guard<std::mutex> lock(sh.reactor_mu);
@@ -300,6 +326,7 @@ void ShardedLocationServer::shard_loop(Shard& sh) {
       did_work = true;
     }
     if (sh.index == 0) did_work |= drain_sighting_deltas();
+    if (tx != nullptr) tx->uncork();
     if (did_work) {
       idle_rounds = 0;
       continue;

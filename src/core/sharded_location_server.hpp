@@ -101,6 +101,17 @@ class ShardedLocationServer {
     handle(net::Datagram(data, len));
   }
 
+  /// Opens one dedicated transmit channel per shard (Transport::open_sender)
+  /// and routes each shard reactor's sends through it: over UdpNetwork every
+  /// shard then owns its own SO_REUSEPORT socket + transmit ring, so N
+  /// shards do N independent sendmmsg-batched sends with zero shared
+  /// send-side state. No-op in inline mode (one delivery context -- nothing
+  /// to decouple) and on transports without per-sender channels (SimNetwork
+  /// returns nullptr). Call AFTER the leaf's NodeId is attached -- the
+  /// channels can then join the node's SO_REUSEPORT group (Deployment does
+  /// this) -- and before traffic.
+  void open_tx_senders();
+
   /// Sweeps soft-state expiry and pending-operation timeouts on every shard
   /// (serialized against the shard reactors in threaded mode).
   void tick(TimePoint now);
@@ -150,6 +161,12 @@ class ShardedLocationServer {
     std::uint32_t index = 0;
     std::shared_ptr<net::BufferPool> pool;  // private send pool (adopted by
                                             // the transport for lifetime)
+    std::shared_ptr<net::Sender> tx;  // dedicated transmit channel (threaded
+                                      // mode; see open_tx_senders)
+    // Reactor-side view of `tx`: open_tx_senders() publishes here AFTER the
+    // shard threads have started, so the loop reads an atomic instead of
+    // racing the shared_ptr.
+    std::atomic<net::Sender*> tx_raw{nullptr};
     std::unique_ptr<LocationServer> server;
     mutable std::mutex slice_mu;    // SightingDb slice vs. cross-shard reads
     mutable std::mutex reactor_mu;  // serializes handle()/tick() (threaded)

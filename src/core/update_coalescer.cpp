@@ -54,20 +54,30 @@ void UpdateCoalescer::flush_locked(NodeId agent, Pending& p) {
 
 void UpdateCoalescer::tick(TimePoint now) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Send-burst bracket: a deadline sweep can flush one batch PER AGENT, so
+  // cork the sender and let the transport coalesce those datagrams into
+  // sendmmsg batches (no-op over SimNetwork; the enqueue-triggered single
+  // flush in enqueue() stays inline, keeping per-batch latency unchanged).
+  net_.cork(self_);
   for (auto& [agent, p] : pending_) {
     if (p.batch.empty() || now - p.oldest < opts_.max_delay) continue;
     ++stats_.flushes_deadline;
     flush_locked(agent, p);
   }
+  net_.uncork(self_);
+  net_.flush(self_);
 }
 
 void UpdateCoalescer::flush_all() {
   std::lock_guard<std::mutex> lock(mu_);
+  net_.cork(self_);  // one per-agent batch each -- same bracket as tick()
   for (auto& [agent, p] : pending_) {
     if (p.batch.empty()) continue;
     ++stats_.flushes_forced;
     flush_locked(agent, p);
   }
+  net_.uncork(self_);
+  net_.flush(self_);
 }
 
 UpdateCoalescer::Stats UpdateCoalescer::stats() const {

@@ -15,6 +15,24 @@
 // delivered (SimNetwork) or written to the socket (UdpNetwork). Steady-state
 // send therefore allocates nothing.
 //
+// Send-side batching contract (cork / uncork / flush / open_sender):
+// transports MAY defer sends to amortize syscalls (UdpNetwork queues them on
+// per-sender transmit rings and writes sendmmsg batches; see net/tx_ring.hpp).
+// The knobs all default to no-ops so SimNetwork keeps delivering inline --
+// every existing simulated trace stays bit-identical:
+//  * cork(from)/uncork(from) bracket a burst (a receive-batch's handler
+//    replies, a tick's heartbeats): sends in between may queue, the last
+//    uncork flushes. Calls nest and may overlap across threads.
+//  * flush(from) unconditionally pushes everything still queued for that
+//    sender to the wire. Reactor drive loops (LocationServer::tick, bench
+//    drivers) call it so a deferred datagram never outlives the burst that
+//    produced it; it is always safe to call and a no-op when nothing queues.
+//  * open_sender(from) returns a dedicated per-sender transmit channel
+//    (Sender) when the transport supports one -- UdpNetwork hands out an
+//    SO_REUSEPORT socket + private ring per call, which is what lets N shard
+//    reactors behind one NodeId transmit with zero shared state -- or
+//    nullptr (SimNetwork), in which case callers fall back to plain send().
+//
 // Receive-side borrow/lifetime contract: handler callbacks receive a
 // Datagram -- a borrowed view into a transport-owned receive buffer that is
 // only valid for the duration of the callback. Decoded views
@@ -98,6 +116,22 @@ using MessageHandler = std::function<void(const std::uint8_t* data, std::size_t 
 /// merge paths can pin the receive buffer (see header comment).
 using DatagramHandler = std::function<void(const Datagram& dg)>;
 
+/// A dedicated per-sender transmit channel (see Transport::open_sender).
+/// send() consumes pooled envelopes exactly like Transport::send but
+/// transmits them over the channel's private path (UdpNetwork: an
+/// SO_REUSEPORT socket + TxRing owned by this channel alone), so concurrent
+/// shard reactors never share send-side state. cork()/uncork() bracket a
+/// burst; flush() pushes everything queued. Channels are NOT thread-safe
+/// against each other's owner -- one reactor per channel.
+class Sender {
+ public:
+  virtual ~Sender() = default;
+  virtual void send(NodeId to, PooledBuffer bytes) = 0;
+  virtual void flush() = 0;
+  virtual void cork() {}
+  virtual void uncork() {}
+};
+
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -127,6 +161,24 @@ class Transport {
   /// joins the pool after delivery.
   void send(NodeId from, NodeId to, wire::Buffer bytes) {
     send(from, to, PooledBuffer(&pool_, std::move(bytes)));
+  }
+
+  /// Begins a send burst for `from`: the transport may defer sends until the
+  /// matching uncork() to batch syscalls. Nests; no-op by default (SimNetwork
+  /// delivers inline, keeping simulated traces bit-identical).
+  virtual void cork(NodeId /*from*/) {}
+  /// Ends a burst; the uncork that closes the outermost cork flushes.
+  virtual void uncork(NodeId /*from*/) {}
+  /// Unconditionally pushes everything still queued for `from` to the wire
+  /// (cork depth notwithstanding). Safe to call anytime; no-op when nothing
+  /// is queued or the transport never defers.
+  virtual void flush(NodeId /*from*/) {}
+  /// Opens a dedicated transmit channel for `from`, or nullptr when the
+  /// transport has no per-sender path (SimNetwork). Call after attach(from)
+  /// so UdpNetwork can join the node's SO_REUSEPORT group; the transport
+  /// keeps the channel's stats (and its socket) alive until teardown.
+  virtual std::shared_ptr<Sender> open_sender(NodeId /*from*/) {
+    return nullptr;
   }
 
   /// Acquires an empty recycled buffer to encode an outgoing message into.

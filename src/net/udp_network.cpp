@@ -1,6 +1,7 @@
 #include "net/udp_network.hpp"
 
 #include <arpa/inet.h>
+#include <linux/filter.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -14,12 +15,6 @@ namespace locs::net {
 
 namespace {
 
-// Fragmentation header: [magic u16][msg_id u32][index u16][count u16].
-constexpr std::uint16_t kFragMagic = 0x4c53;  // "LS"
-constexpr std::size_t kFragHeader = 10;
-// Stay well below the 65507-byte UDP payload limit.
-constexpr std::size_t kMaxFragPayload = 32 * 1024;
-
 sockaddr_in addr_for(std::uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -28,31 +23,19 @@ sockaddr_in addr_for(std::uint16_t port) {
   return addr;
 }
 
-void put_u16(std::uint8_t* p, std::uint16_t v) {
-  p[0] = static_cast<std::uint8_t>(v);
-  p[1] = static_cast<std::uint8_t>(v >> 8);
-}
-
-void put_u32(std::uint8_t* p, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
-}
-
-std::uint16_t get_u16(const std::uint8_t* p) {
-  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
-}
-
-std::uint32_t get_u32(const std::uint8_t* p) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
-  return v;
-}
-
-int make_socket(std::uint16_t bind_port) {
+int make_socket(std::uint16_t bind_port, bool reuseport = false) {
   const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd < 0) return -1;
   const int buf_size = 4 * 1024 * 1024;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &buf_size, sizeof buf_size);
   ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &buf_size, sizeof buf_size);
+  if (reuseport) {
+    const int one = 1;
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
   if (bind_port != 0) {
     sockaddr_in addr = addr_for(bind_port);
     if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
@@ -63,11 +46,51 @@ int make_socket(std::uint16_t bind_port) {
   return fd;
 }
 
+// Installs the classic-BPF steering program that pins EVERY inbound packet
+// of a SO_REUSEPORT group to member index 0 -- the primary receive socket
+// bound first -- so transmit channels joining the group later never siphon
+// receive traffic (the kernel would otherwise hash by 4-tuple). Returns
+// false when the kernel lacks the option; callers then refuse same-port
+// channel binds.
+bool steer_group_to_primary(int fd) {
+#ifdef SO_ATTACH_REUSEPORT_CBPF
+  sock_filter code[] = {{BPF_RET | BPF_K, 0, 0, 0}};
+  sock_fprog prog{};
+  prog.len = 1;
+  prog.filter = code;
+  return ::setsockopt(fd, SOL_SOCKET, SO_ATTACH_REUSEPORT_CBPF, &prog,
+                      sizeof prog) == 0;
+#else
+  (void)fd;
+  return false;
+#endif
+}
+
+// Thread-local send cache: one (transport instance, sender) -> Node mapping
+// per thread. Reactors send as themselves from one thread and client threads
+// send as one id, so steady-state sends resolve their ring with three
+// compares -- no transport mutex, no hash lookup. The instance id guards
+// against a recycled UdpNetwork address.
+struct SendCache {
+  const void* net = nullptr;
+  std::uint64_t instance = 0;
+  std::uint32_t from = 0;
+  void* node = nullptr;
+};
+thread_local SendCache t_send_cache;
+std::atomic<std::uint64_t> g_instance_ids{1};
+
 }  // namespace
 
 struct UdpNetwork::Node {
   NodeId id;
   int fd = -1;
+  // Transmit ring on this node's socket (never null once attached). The
+  // Node -- and with it the ring and its stats -- survives stop() so stale
+  // thread-local cache entries and late stats reads stay valid; stop()
+  // poisons the ring's fd instead.
+  std::unique_ptr<TxRing> ring;
+  bool steering_ok = false;  // REUSEPORT group steering installed
   // Guards handler invocation vs detach(): a reactor clearing its handler
   // before destruction must not race an in-flight callback.
   std::mutex handler_mu;
@@ -101,7 +124,45 @@ struct UdpNetwork::Node {
   }
 };
 
-UdpNetwork::UdpNetwork(std::uint16_t base_port) : base_port_(base_port) {}
+// A per-sender transmit channel: its own socket (SO_REUSEPORT group member
+// when possible, ephemeral otherwise) + private ring. Owned jointly by the
+// opener (shard reactor) and the transport's channel registry, so stats and
+// the socket outlive the reactor.
+class UdpNetwork::TxChannel : public Sender {
+ public:
+  TxChannel(UdpNetwork& net, int fd)
+      : base_port_(net.base_port_), fd_(fd), ring_(fd, net.next_msg_id_) {}
+  ~TxChannel() override { shutdown(); }
+
+  void send(NodeId to, PooledBuffer bytes) override {
+    ring_.enqueue(addr_for(static_cast<std::uint16_t>(base_port_ + to.value)),
+                  std::move(bytes));
+  }
+  void flush() override { ring_.flush(); }
+  void cork() override { ring_.cork(); }
+  void uncork() override { ring_.uncork(); }
+
+  TxRing::Stats ring_stats() const { return ring_.stats(); }
+
+  /// Flushes, poisons the ring and closes the socket (idempotent).
+  void shutdown() {
+    ring_.flush();
+    ring_.set_fd(-1);
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  std::uint16_t base_port_;
+  int fd_;
+  TxRing ring_;
+};
+
+UdpNetwork::UdpNetwork(std::uint16_t base_port)
+    : base_port_(base_port),
+      instance_id_(g_instance_ids.fetch_add(1, std::memory_order_relaxed)) {}
 
 std::uint16_t UdpNetwork::pick_free_base_port(std::uint16_t span) {
   static std::atomic<std::uint32_t> counter{0};
@@ -119,6 +180,8 @@ std::uint16_t UdpNetwork::pick_free_base_port(std::uint16_t span) {
     return z ^ (z >> 31);
   };
   const auto bindable = [](std::uint16_t port) {
+    // Probe WITHOUT SO_REUSEPORT: a port held by a live REUSEPORT group
+    // still reports as taken.
     const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
     if (fd < 0) return false;
     sockaddr_in addr = addr_for(port);
@@ -139,7 +202,13 @@ std::uint16_t UdpNetwork::pick_free_base_port(std::uint16_t span) {
   return 25000;  // last resort: the historical fixed base
 }
 
-UdpNetwork::~UdpNetwork() { stop(); }
+UdpNetwork::~UdpNetwork() {
+  stop();
+  std::lock_guard<std::mutex> lock(mu_);
+  nodes_.clear();
+  channels_.clear();
+  fallback_ring_.reset();
+}
 
 void UdpNetwork::attach(NodeId node, DatagramHandler handler) {
   // Re-attach after detach (crash-restart harness hook): the socket and its
@@ -153,7 +222,7 @@ void UdpNetwork::attach(NodeId node, DatagramHandler handler) {
   }
   if (existing != nullptr) {
     // handler_mu taken WITHOUT mu_ held: a receive thread holds handler_mu
-    // while its handler sends (which locks mu_) -- same order as detach().
+    // while its handler sends (which may lock mu_) -- same order as detach().
     std::lock_guard<std::mutex> hlock(existing->handler_mu);
     existing->handler = std::move(handler);
     return;
@@ -161,8 +230,19 @@ void UdpNetwork::attach(NodeId node, DatagramHandler handler) {
   auto n = std::make_unique<Node>();
   n->id = node;
   n->handler = std::move(handler);
-  n->fd = make_socket(static_cast<std::uint16_t>(base_port_ + node.value));
+  // The primary socket opens the node's SO_REUSEPORT group and installs the
+  // steering program, so open_sender() channels can later join the same port
+  // transmit-only. Kernels without SO_REUSEPORT fall back to a plain bind
+  // (channels then use ephemeral ports).
+  const auto port = static_cast<std::uint16_t>(base_port_ + node.value);
+  n->fd = make_socket(port, /*reuseport=*/true);
+  if (n->fd >= 0) {
+    n->steering_ok = steer_group_to_primary(n->fd);
+  } else {
+    n->fd = make_socket(port);
+  }
   assert(n->fd >= 0 && "UDP bind failed (port collision?)");
+  n->ring = std::make_unique<TxRing>(n->fd, next_msg_id_);
   Node* raw = n.get();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -173,73 +253,145 @@ void UdpNetwork::attach(NodeId node, DatagramHandler handler) {
 
 void UdpNetwork::detach(NodeId node) {
   Node* raw = nullptr;
+  std::vector<std::shared_ptr<TxChannel>> chans;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = nodes_.find(node);
     if (it == nodes_.end()) return;
     raw = it->second.get();
+    for (auto& [id, ch] : channels_) {
+      if (id == node) chans.push_back(ch);
+    }
   }
-  // Taken without mu_ held: the handler itself may send (which locks mu_).
-  std::lock_guard<std::mutex> lock(raw->handler_mu);
-  raw->handler = nullptr;
+  {
+    // Taken without mu_ held: the handler itself may send (which can lock
+    // mu_ on a cold lookup).
+    std::lock_guard<std::mutex> lock(raw->handler_mu);
+    raw->handler = nullptr;
+  }
+  // Deterministic send-side teardown: whatever the detached reactor left
+  // queued (corked replies, shard-channel batches) is on the wire -- or a
+  // counted drop -- before detach returns.
+  raw->ring->flush();
+  for (const auto& ch : chans) ch->flush();
 }
 
-int UdpNetwork::socket_for_send(NodeId from) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = nodes_.find(from);
-    if (it != nodes_.end()) return it->second->fd;
-    if (fallback_send_fd_ < 0) fallback_send_fd_ = make_socket(0);
-    return fallback_send_fd_;
+UdpNetwork::Node* UdpNetwork::node_for_send(NodeId from) {
+  SendCache& cache = t_send_cache;
+  if (cache.net == this && cache.instance == instance_id_ &&
+      cache.from == from.value) {
+    return static_cast<Node*>(cache.node);
   }
+  tx_lookup_locks_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = nodes_.find(from);
+  if (it == nodes_.end()) return nullptr;  // uncached: attach may follow
+  cache = SendCache{this, instance_id_, from.value, it->second.get()};
+  return it->second.get();
 }
 
 void UdpNetwork::send(NodeId from, NodeId to, PooledBuffer bytes) {
-  const int fd = socket_for_send(from);
-  if (fd < 0) {
-    send_errors_.fetch_add(1, std::memory_order_relaxed);
+  const sockaddr_in dst =
+      addr_for(static_cast<std::uint16_t>(base_port_ + to.value));
+  if (Node* node = node_for_send(from)) {
+    node->ring->enqueue(dst, std::move(bytes));
     return;
   }
-  sockaddr_in dst = addr_for(static_cast<std::uint16_t>(base_port_ + to.value));
-  const std::size_t total = bytes.size();
-  const std::size_t frag_count = (total + kMaxFragPayload - 1) / kMaxFragPayload;
-  const std::uint32_t msg_id = next_msg_id_.fetch_add(1, std::memory_order_relaxed);
-  std::uint8_t header[kFragHeader];
-  for (std::size_t i = 0; i < std::max<std::size_t>(frag_count, 1); ++i) {
-    const std::size_t off = i * kMaxFragPayload;
-    const std::size_t len = std::min(kMaxFragPayload, total - off);
-    put_u16(header, kFragMagic);
-    put_u32(header + 2, msg_id);
-    put_u16(header + 6, static_cast<std::uint16_t>(i));
-    put_u16(header + 8, static_cast<std::uint16_t>(frag_count));
-    // Scatter/gather write: header + payload slice straight from the pooled
-    // buffer, no per-fragment datagram assembly.
-    iovec iov[2];
-    iov[0] = {header, kFragHeader};
-    iov[1] = {const_cast<std::uint8_t*>(bytes.data()) + off, len};
-    msghdr msg{};
-    msg.msg_name = &dst;
-    msg.msg_namelen = sizeof dst;
-    msg.msg_iov = iov;
-    msg.msg_iovlen = len > 0 ? 2 : 1;
-    const ssize_t sent = ::sendmsg(fd, &msg, 0);
-    if (sent < 0) {
-      send_errors_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      datagrams_sent_.fetch_add(1, std::memory_order_relaxed);
+  // Never-attached sender (bare clients, tests): shared fallback socket +
+  // ring behind the transport mutex -- the documented cold path.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fallback_send_fd_ < 0) {
+    fallback_send_fd_ = make_socket(0);
+    if (fallback_send_fd_ < 0) return;
+    fallback_ring_ = std::make_unique<TxRing>(fallback_send_fd_, next_msg_id_);
+  }
+  fallback_ring_->enqueue(dst, std::move(bytes));
+}
+
+void UdpNetwork::cork(NodeId from) {
+  if (Node* node = node_for_send(from)) node->ring->cork();
+}
+
+void UdpNetwork::uncork(NodeId from) {
+  if (Node* node = node_for_send(from)) node->ring->uncork();
+}
+
+void UdpNetwork::flush(NodeId from) {
+  if (Node* node = node_for_send(from)) node->ring->flush();
+  std::vector<std::shared_ptr<TxChannel>> chans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, ch] : channels_) {
+      if (id == from) chans.push_back(ch);
     }
   }
-  // `bytes` is recycled into the pool on return.
+  for (const auto& ch : chans) ch->flush();
+}
+
+std::shared_ptr<Sender> UdpNetwork::open_sender(NodeId from) {
+  bool group_member = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = nodes_.find(from);
+    group_member = it != nodes_.end() && it->second->fd >= 0 &&
+                   it->second->steering_ok;
+  }
+  // Join the node's REUSEPORT group only when the primary socket exists AND
+  // carries the steering program -- otherwise a same-port bind could siphon
+  // inbound packets. Never-attached senders get an ephemeral-port socket:
+  // same semantics, different source port.
+  int fd = -1;
+  if (group_member) {
+    fd = make_socket(static_cast<std::uint16_t>(base_port_ + from.value),
+                     /*reuseport=*/true);
+  }
+  if (fd < 0) fd = make_socket(0);
+  if (fd < 0) return nullptr;
+  auto ch = std::make_shared<TxChannel>(*this, fd);
+  std::lock_guard<std::mutex> lock(mu_);
+  channels_.emplace_back(from, ch);
+  return ch;
+}
+
+UdpNetwork::TxStats UdpNetwork::tx_stats(NodeId node) const {
+  TxStats total;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = nodes_.find(node);
+  if (it != nodes_.end()) total.add(it->second->ring->stats());
+  for (const auto& [id, ch] : channels_) {
+    if (id == node) total.add(ch->ring_stats());
+  }
+  return total;
+}
+
+std::uint64_t UdpNetwork::datagrams_sent() const {
+  std::uint64_t n = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, node] : nodes_) {
+    n += node->ring->stats().datagrams_sent;
+  }
+  for (const auto& [id, ch] : channels_) n += ch->ring_stats().datagrams_sent;
+  if (fallback_ring_ != nullptr) n += fallback_ring_->stats().datagrams_sent;
+  return n;
+}
+
+std::uint64_t UdpNetwork::send_errors() const {
+  std::uint64_t n = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, node] : nodes_) n += node->ring->stats().dropped;
+  for (const auto& [id, ch] : channels_) n += ch->ring_stats().dropped;
+  if (fallback_ring_ != nullptr) n += fallback_ring_->stats().dropped;
+  return n;
 }
 
 void UdpNetwork::handle_datagram(Node& node, PooledBuffer& slot,
                                  std::size_t len) {
   const std::uint8_t* buf = slot->data();
   if (len < kFragHeader) return;
-  if (get_u16(buf) != kFragMagic) return;
-  const std::uint32_t msg_id = get_u32(buf + 2);
-  const std::uint16_t index = get_u16(buf + 6);
-  const std::uint16_t count = get_u16(buf + 8);
+  if (frag::get_u16(buf) != kFragMagic) return;
+  const std::uint32_t msg_id = frag::get_u32(buf + 2);
+  const std::uint16_t index = frag::get_u16(buf + 6);
+  const std::uint16_t count = frag::get_u16(buf + 8);
   const std::uint8_t* payload = buf + kFragHeader;
   const std::size_t payload_len = len - kFragHeader;
   if (count <= 1) {
@@ -302,7 +454,12 @@ void UdpNetwork::receive_loop(Node& node) {
   while (!stopping_.load(std::memory_order_acquire)) {
     pollfd pfd{node.fd, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
-    if (ready <= 0) continue;
+    if (ready <= 0) {
+      // Tick-deadline safety net: push out anything an overlapping cork
+      // window left queued on this node's ring.
+      node.ring->flush();
+      continue;
+    }
     for (std::size_t i = 0; i < kRecvBatch; ++i) {
       if (!slots[i].armed()) provision(slots[i]);
       iovs[i] = {slots[i]->data(), slots[i]->size()};
@@ -314,9 +471,14 @@ void UdpNetwork::receive_loop(Node& node) {
     // (under load the syscall cost amortizes across the whole batch).
     const int n = ::recvmmsg(node.fd, msgs, kRecvBatch, MSG_DONTWAIT, nullptr);
     if (n <= 0) continue;
+    // Cork the node's ring across the batch: every reply the handlers send
+    // coalesces into sendmmsg batches, flushed by the closing uncork -- the
+    // transmit dual of the recvmmsg amortization above.
+    node.ring->cork();
     for (int i = 0; i < n; ++i) {
       handle_datagram(node, slots[i], msgs[i].msg_len);
     }
+    node.ring->uncork();
   }
 }
 
@@ -326,9 +488,23 @@ void UdpNetwork::stop() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [id, node] : nodes_) {
     if (node->thread.joinable()) node->thread.join();
-    if (node->fd >= 0) ::close(node->fd);
   }
-  nodes_.clear();
+  // Sends have quiesced (reactors stop before their transport): drain what
+  // is left, then poison the ring fds so a stale thread-local cache entry
+  // turns a late send into a counted drop instead of a write to a recycled
+  // descriptor. Node/channel objects survive until destruction, keeping
+  // tx_stats() readable after stop().
+  for (auto& [id, node] : nodes_) {
+    node->ring->flush();
+    node->ring->set_fd(-1);
+    if (node->fd >= 0) ::close(node->fd);
+    node->fd = -1;
+  }
+  for (auto& [id, ch] : channels_) ch->shutdown();
+  if (fallback_ring_ != nullptr) {
+    fallback_ring_->flush();
+    fallback_ring_->set_fd(-1);
+  }
   if (fallback_send_fd_ >= 0) {
     ::close(fallback_send_fd_);
     fallback_send_fd_ = -1;

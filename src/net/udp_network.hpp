@@ -27,6 +27,30 @@
 //    allocates fresh buffers, and non-poolable delivery paths degrade to
 //    copy inside Datagram::take -- never to a dangling view.
 //
+// Send path (net/tx_ring.hpp): every attached node owns a TxRing on its
+// socket. send(from, ...) enqueues on the sender's ring -- located through a
+// thread-local cache, so the steady-state send path touches NO global lock
+// and NO hash lookup (tx_lookup_locks() counts the slow-path exceptions) --
+// and the ring writes sendmmsg batches. The receive loop corks the node's
+// ring around each recvmmsg batch, so all handler replies of one batch
+// leave in one syscall; uncorked sends (clients, tests) flush inline.
+// Backpressure (EAGAIN/ENOBUFS) waits for POLLOUT under a bounded budget and
+// is surfaced -- never silently swallowed -- via tx_stats(node):
+// {datagrams_sent, batches_flushed, eagain_retries, dropped}.
+//
+// SO_REUSEPORT per-sender channels (open_sender): each call hands out a
+// Sender backed by its own socket + private ring. When the node is already
+// attached the channel's socket joins the node's SO_REUSEPORT group bound to
+// the SAME port, and a classic-BPF steering program
+// (SO_ATTACH_REUSEPORT_CBPF, installed on the primary socket) pins ALL
+// inbound packets to group index 0 -- the receive socket -- so channel
+// sockets are transmit-only by construction. N shard reactors behind one
+// NodeId thus send concurrently with zero shared state (no lock, no ring
+// contention, distinct fds). If the node is not attached (bare clients) or
+// steering is unavailable, the channel degrades to an ephemeral-port socket
+// -- same semantics, different source port. The transport keeps every opened
+// channel (and its stats) alive until teardown.
+//
 // Datagrams larger than the safe UDP payload are fragmented and reassembled
 // with a small header (large range-query results can exceed 64 KiB).
 #pragma once
@@ -41,6 +65,7 @@
 #include <vector>
 
 #include "net/transport.hpp"
+#include "net/tx_ring.hpp"
 
 namespace locs::net {
 
@@ -60,15 +85,27 @@ class UdpNetwork : public Transport {
   using Transport::attach;
   void attach(NodeId node, DatagramHandler handler) override;
   /// Clears the node's handler; blocks until an in-flight callback on the
-  /// receive thread has returned. The socket keeps draining (and dropping)
-  /// datagrams until stop().
+  /// receive thread has returned, then flushes the node's transmit ring --
+  /// anything the dying reactor queued is on the wire (or a counted drop)
+  /// before detach returns, and the handler is never invoked again. The
+  /// socket keeps draining (and dropping) datagrams until stop().
   void detach(NodeId node) override;
   using Transport::send;
-  // Fragments are written with scatter/gather I/O (header + payload slice),
-  // so sending allocates nothing; the pooled buffer is recycled on return.
+  // Enqueues on the sender's transmit ring (fragmented with scatter/gather
+  // iovecs, zero copies); an uncorked ring flushes before returning.
   void send(NodeId from, NodeId to, PooledBuffer bytes) override;
 
-  /// Joins all receive threads and closes sockets. Called by the destructor.
+  /// Send-burst brackets and the explicit flush for `from`'s ring (see the
+  /// Transport contract; no-ops for unknown senders).
+  void cork(NodeId from) override;
+  void uncork(NodeId from) override;
+  void flush(NodeId from) override;
+
+  /// Opens a per-sender SO_REUSEPORT transmit channel (header comment).
+  std::shared_ptr<Sender> open_sender(NodeId from) override;
+
+  /// Joins all receive threads, flushes every transmit ring and closes
+  /// sockets. Called by the destructor. Stats remain readable afterwards.
   void stop();
 
   /// Best-effort free base port for a deployment whose node/client ids span
@@ -76,11 +113,27 @@ class UdpNetwork : public Transport {
   /// parallel test runners pick disjoint ranges) and probe-binds a few
   /// representative ports before settling. Collisions remain possible --
   /// another process can grab a port between probe and bind -- but ctest -j
-  /// runs no longer contend for one hardcoded pair.
+  /// runs no longer contend for one hardcoded pair. (The probe binds WITHOUT
+  /// SO_REUSEPORT, so it still reports ports held by a live REUSEPORT group
+  /// as taken.)
   static std::uint16_t pick_free_base_port(std::uint16_t span);
 
-  std::uint64_t datagrams_sent() const { return datagrams_sent_.load(); }
-  std::uint64_t send_errors() const { return send_errors_.load(); }
+  /// Per-node transmit stats: the node's own ring plus every channel opened
+  /// for it via open_sender. Unknown nodes read all-zero.
+  using TxStats = TxRing::Stats;
+  TxStats tx_stats(NodeId node) const;
+
+  /// Times a send had to take the transport mutex to locate its socket (the
+  /// slow path: first send from a thread, or a never-attached sender).
+  /// Steady-state sends from attached nodes hit a thread-local cache and
+  /// never touch it -- the regression tests pin that down.
+  std::uint64_t tx_lookup_locks() const {
+    return tx_lookup_locks_.load(std::memory_order_relaxed);
+  }
+
+  /// Aggregate transmit counters across all rings (legacy accessors).
+  std::uint64_t datagrams_sent() const;
+  std::uint64_t send_errors() const;
 
   /// Receive-side pool feeding the recvmmsg slot buffers and reassembly
   /// scratch (shared by all receive threads; see the header contract).
@@ -91,21 +144,28 @@ class UdpNetwork : public Transport {
 
  private:
   struct Node;
+  class TxChannel;
 
-  int socket_for_send(NodeId from);
+  /// Locates the sender's Node through the thread-local send cache; falls
+  /// back to one locked map lookup (counted in tx_lookup_locks_) and
+  /// re-primes the cache. Returns nullptr for never-attached senders.
+  Node* node_for_send(NodeId from);
   void receive_loop(Node& node);
   /// Parses one received datagram (frag header, reassembly) and invokes the
   /// node's handler with `slot` as the Datagram backing.
   void handle_datagram(Node& node, PooledBuffer& slot, std::size_t len);
 
   std::uint16_t base_port_;
+  const std::uint64_t instance_id_;  // guards the TLS cache across reuse
   BufferPool rx_pool_;  // receive-side buffers (recvmmsg slots + reassembly)
-  std::mutex mu_;  // guards nodes_ map mutation (setup/teardown only)
+  mutable std::mutex mu_;  // guards nodes_/channels_ (setup/teardown + the
+                           // cold send-lookup path)
   std::unordered_map<NodeId, std::unique_ptr<Node>> nodes_;
+  std::vector<std::pair<NodeId, std::shared_ptr<TxChannel>>> channels_;
   int fallback_send_fd_ = -1;
+  std::unique_ptr<TxRing> fallback_ring_;  // never-attached senders
   std::atomic<bool> stopping_{false};
-  std::atomic<std::uint64_t> datagrams_sent_{0};
-  std::atomic<std::uint64_t> send_errors_{0};
+  std::atomic<std::uint64_t> tx_lookup_locks_{0};
   std::atomic<std::uint32_t> next_msg_id_{1};
 };
 

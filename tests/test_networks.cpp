@@ -156,6 +156,10 @@ TEST(UdpNetwork, LargeMessageFragmentsAndReassembles) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   ASSERT_EQ(got.load(), 1);
+  // Per-node transmit accounting: 5 fragments on the wire, none dropped.
+  const UdpNetwork::TxStats tx = net.tx_stats(NodeId{2});
+  EXPECT_EQ(tx.datagrams_sent, 5u);
+  EXPECT_EQ(tx.dropped, 0u);
   std::lock_guard<std::mutex> lock(mu);
   EXPECT_EQ(received, big);
 }
@@ -176,6 +180,9 @@ TEST(UdpNetwork, ManySmallMessagesAllArrive) {
   }
   // Loopback UDP with 4 MB buffers should not drop at this rate.
   EXPECT_EQ(count.load(), kMessages);
+  const UdpNetwork::TxStats tx = net.tx_stats(NodeId{2});
+  EXPECT_EQ(tx.datagrams_sent, static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(tx.dropped, 0u);
 }
 
 }  // namespace
