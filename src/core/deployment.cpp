@@ -32,6 +32,7 @@ void Deployment::make_entry(const HierarchySpec::Node& node, Entry& entry) {
     sopts.shards = shards;
     sopts.threaded = cfg_.shard_threads;
     sopts.server = opts;
+    sopts.balance = cfg_.leaf_balance;
     ShardedLocationServer::ShardVisitorDbFactory vdb_factory;
     if (cfg_.sharded_visitor_db_factory) {
       vdb_factory = [factory = cfg_.sharded_visitor_db_factory,

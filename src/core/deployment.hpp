@@ -55,6 +55,10 @@ class Deployment {
     /// determinism tests: the single-shard wrapper must be pass-through
     /// (trace bit-identical to plain LocationServer leaves).
     bool force_leaf_sharding = false;
+    /// Skew-aware shard routing / bucket rebalancing knobs, forwarded to
+    /// every sharded leaf (ShardedLocationServer::Balance). Defaults keep
+    /// routing identical to the fixed hash and leave rebalancing off.
+    ShardedLocationServer::Balance leaf_balance;
   };
 
   Deployment(net::Transport& net, Clock& clock, HierarchySpec spec);

@@ -76,6 +76,9 @@ void LocationServer::Stats::add(const Stats& other) {
   sub_res_pinned += other.sub_res_pinned;
   sub_res_copied += other.sub_res_copied;
   merge_dedup_dropped += other.merge_dedup_dropped;
+  bucket_migrations += other.bucket_migrations;
+  objects_migrated_in += other.objects_migrated_in;
+  objects_migrated_out += other.objects_migrated_out;
 }
 
 void LocationServer::configure_shard(std::uint32_t shard_index,
@@ -188,6 +191,8 @@ void LocationServer::handle(const net::Datagram& dg) {
           on_recovery_hello(src, m);
         } else if constexpr (std::is_same_v<T, wm::BatchedRefreshReq>) {
           on_batched_refresh_req(src, m);
+        } else if constexpr (std::is_same_v<T, wm::BucketMigrate>) {
+          on_bucket_migrate(src, m);
         }
         // Other message types (responses to clients, RefreshReq, ...) are
         // not addressed to servers; ignore them defensively.
@@ -537,6 +542,55 @@ void LocationServer::drop_leaf_visitor(ObjectId oid, bool prune_path) {
   }
   visitor_db_.remove(oid);
   if (prune_path) send_path(false, oid);
+}
+
+// --------------------------------------------------------------------------
+// intra-leaf bucket migration (shard skew rebalancing)
+
+std::size_t LocationServer::extract_for_migration(
+    const std::function<bool(ObjectId)>& pred, wire::BucketMigrate& out) {
+  if (!sightings_ || !cfg_.is_leaf()) return 0;
+  // Collect-then-mutate: the SightingDb mutators take the slice lock
+  // themselves, so the iteration must not remove in place. Sorting makes the
+  // packed migration entries independent of hash-map layout.
+  std::vector<ObjectId> matched;
+  sightings_->for_each([&](ObjectId oid, const store::SightingDb::Record&) {
+    if (handover_in_flight_.count(oid) == 0 && pred(oid)) matched.push_back(oid);
+  });
+  std::sort(matched.begin(), matched.end(),
+            [](ObjectId a, ObjectId b) { return a.value < b.value; });
+  std::size_t moved = 0;
+  for (const ObjectId oid : matched) {
+    const store::SightingDb::Record* rec = sightings_->find(oid);
+    const store::VisitorRecord* vis = visitor_db_.find(oid);
+    if (rec == nullptr || vis == nullptr || !vis->leaf) continue;
+    out.append({rec->sighting, rec->offered_acc, rec->expiry,
+                vis->leaf->reg_info});
+    // Silent drop: no presence event (the object stays on this leaf) and no
+    // path prune (the forwarding path still targets this NodeId).
+    sightings_->remove(oid);
+    visitor_db_.remove(oid);
+    ++moved;
+  }
+  stats_.objects_migrated_out += moved;
+  return moved;
+}
+
+void LocationServer::on_bucket_migrate(NodeId src, const wire::BucketMigrate& m) {
+  // Intra-leaf only: the donor shard stamps the migration with the leaf's
+  // own NodeId. Anything else is a stray or forged datagram -- drop it.
+  if (!cfg_.is_leaf() || src != self_ || !sightings_) return;
+  wire::BucketMigrate::Cursor cur = m.entries();
+  wire::BucketMigrate::Entry e;
+  while (cur.next(e)) {
+    visitor_db_.insert_leaf(e.s.oid, e.offered_acc, e.reg);
+    if (sightings_->find(e.s.oid) != nullptr) sightings_->remove(e.s.oid);
+    // Install with the ORIGINAL expiry: migration must not extend the
+    // soft-state TTL (§5 -- only visitor contact does).
+    sightings_->insert(e.s, e.offered_acc, e.expiry);
+    ++stats_.objects_migrated_in;
+  }
+  ++stats_.bucket_migrations;
 }
 
 // --------------------------------------------------------------------------

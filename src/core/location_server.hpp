@@ -205,6 +205,9 @@ class LocationServer {
     std::uint64_t sub_res_pinned = 0;    // sub-results merged without a copy
     std::uint64_t sub_res_copied = 0;    // sub-results merged via copy fallback
     std::uint64_t merge_dedup_dropped = 0;  // duplicate results dropped on emit
+    std::uint64_t bucket_migrations = 0;    // BucketMigrate datagrams applied
+    std::uint64_t objects_migrated_in = 0;  // visitors installed by migration
+    std::uint64_t objects_migrated_out = 0;  // visitors extracted for migration
 
     /// Accumulates `other` into this record (deployment / shard aggregation).
     void add(const Stats& other);
@@ -288,6 +291,18 @@ class LocationServer {
   /// change (fan-in from sibling shards; no-op outside sharded setups).
   void apply_sighting_event(ObjectId oid, bool present, geo::Point pos);
 
+  /// Donor side of intra-leaf bucket migration (skew rebalancing): appends
+  /// one wire::BucketMigrate entry per leaf visitor matched by `pred` --
+  /// carrying the ORIGINAL soft-state expiry -- then drops the local
+  /// records WITHOUT firing presence events or pruning forwarding paths
+  /// (the object never leaves this leaf NodeId; only the owning shard
+  /// slice changes). Visitors with a handover in flight are skipped: their
+  /// state is about to leave the leaf through the handover protocol.
+  /// Returns the number of visitors extracted. Extraction order is sorted
+  /// by ObjectId so migration datagrams are bit-reproducible across runs.
+  std::size_t extract_for_migration(const std::function<bool(ObjectId)>& pred,
+                                    wire::BucketMigrate& out);
+
   /// Lock-free count of installed leaf predicates; sibling shards use it to
   /// skip the event fan-in entirely on the (hot) update path.
   std::size_t leaf_event_count() const {
@@ -358,6 +373,7 @@ class LocationServer {
   void on_heartbeat_ack(NodeId src, const wire::HeartbeatAck& m);
   void on_recovery_hello(NodeId src, const wire::RecoveryHello& m);
   void on_batched_refresh_req(NodeId src, const wire::BatchedRefreshReq& m);
+  void on_bucket_migrate(NodeId src, const wire::BucketMigrate& m);
 
   // -- helpers --
   /// Encodes into a pooled transport buffer (zero allocations in steady

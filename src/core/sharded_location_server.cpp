@@ -15,14 +15,26 @@ constexpr auto kSleepSlice = std::chrono::microseconds(200);
 constexpr int kPushRetries = 1024;
 }  // namespace
 
-std::uint32_t ShardedLocationServer::shard_of(ObjectId oid,
-                                              std::uint32_t shard_count) {
-  // splitmix64 finalizer: spreads sequential object ids uniformly.
-  std::uint64_t x = oid.value + 0x9e3779b97f4a7c15ULL;
+namespace {
+// splitmix64 finalizer: spreads sequential object ids uniformly.
+std::uint64_t mix_key(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   x ^= x >> 31;
-  return static_cast<std::uint32_t>(x % shard_count);
+  return x;
+}
+}  // namespace
+
+std::uint32_t ShardedLocationServer::shard_of(ObjectId oid,
+                                              std::uint32_t shard_count) {
+  return static_cast<std::uint32_t>(mix_key(oid.value) % shard_count);
+}
+
+std::uint32_t ShardedLocationServer::bucket_of(ObjectId oid) const {
+  const std::uint64_t key =
+      opts_.balance.mix_keys ? mix_key(oid.value) : oid.value;
+  return static_cast<std::uint32_t>(key % kRebalanceBuckets);
 }
 
 ShardedLocationServer::ShardedLocationServer(NodeId self, ConfigRecord cfg,
@@ -34,6 +46,13 @@ ShardedLocationServer::ShardedLocationServer(NodeId self, ConfigRecord cfg,
   assert(cfg.is_leaf() && "only leaf servers shard their object space");
   if (opts_.shards == 0) opts_.shards = 1;
   const std::uint32_t n = opts_.shards;
+
+  // Default bucket table: bucket % shards. For shard counts dividing the
+  // bucket count this routes identically to shard_of(), so the bucket layer
+  // is invisible until the rebalancer moves a bucket.
+  for (std::uint32_t b = 0; b < kRebalanceBuckets; ++b) {
+    bucket_to_shard_[b].store(b % n, std::memory_order_relaxed);
+  }
 
   for (std::uint32_t i = 0; i < n; ++i) {
     auto sh = std::make_unique<Shard>(opts_.inbox_capacity);
@@ -142,7 +161,7 @@ std::uint32_t ShardedLocationServer::route(const std::uint8_t* data,
   // Area-keyed and malformed datagrams run on the coordinator shard (the
   // latter so exactly one shard counts the decode error).
   if (!key) return 0;
-  return shard_of(*key, static_cast<std::uint32_t>(shards_.size()));
+  return shard_for(*key);
 }
 
 void ShardedLocationServer::handle(const net::Datagram& dg) {
@@ -198,7 +217,7 @@ bool ShardedLocationServer::split_batched_update(const std::uint8_t* data,
     std::uint32_t first = 0;
     bool have_first = false;
     while (const auto item = peek.next()) {
-      const std::uint32_t owner = shard_of(item->oid, n);
+      const std::uint32_t owner = shard_for(item->oid);
       if (!have_first) {
         first = owner;
         have_first = true;
@@ -221,7 +240,7 @@ bool ShardedLocationServer::split_batched_update(const std::uint8_t* data,
   for (auto& buf : split_packed_) buf.clear();
   wire::BatchedUpdateView view(data, len);
   while (const auto item = view.next()) {
-    const std::uint32_t owner = shard_of(item->oid, n);
+    const std::uint32_t owner = shard_for(item->oid);
     split_packed_[owner].insert(split_packed_[owner].end(), item->data,
                                 item->data + item->len);
     ++split_counts_[owner];
@@ -254,7 +273,7 @@ bool ShardedLocationServer::split_batched_refresh(const std::uint8_t* data,
     std::uint32_t first = 0;
     bool have_first = false;
     while (const auto item = peek.next()) {
-      const std::uint32_t owner = shard_of(item->oid, n);
+      const std::uint32_t owner = shard_for(item->oid);
       if (!have_first) {
         first = owner;
         have_first = true;
@@ -279,7 +298,7 @@ bool ShardedLocationServer::split_batched_refresh(const std::uint8_t* data,
   for (auto& buf : split_packed_) buf.clear();
   wire::BatchedRefreshView view(data, len);
   while (const auto item = view.next()) {
-    const std::uint32_t owner = shard_of(item->oid, n);
+    const std::uint32_t owner = shard_for(item->oid);
     split_packed_[owner].insert(split_packed_[owner].end(), item->data,
                                 item->data + item->len);
     ++split_counts_[owner];
@@ -373,6 +392,7 @@ void ShardedLocationServer::tick(TimePoint now) {
       sh->server->tick(now);
     }
   }
+  if (opts_.balance.rebalance && shards_.size() > 1) rebalance();
 }
 
 void ShardedLocationServer::request_refresh_all() {
@@ -422,6 +442,123 @@ LocationServer::Stats ShardedLocationServer::stats() const {
     }
   }
   return total;
+}
+
+std::vector<ShardedLocationServer::ShardLoad> ShardedLocationServer::shard_loads()
+    const {
+  std::vector<ShardLoad> loads;
+  loads.reserve(shards_.size());
+  for (const auto& sh : shards_) {
+    ShardLoad load;
+    load.shard = sh->index;
+    load.inbox_depth = sh->inbox.size();
+    const auto snapshot = [&] {
+      const store::SightingDb* slice = sh->server->sightings();
+      load.sightings = slice != nullptr ? slice->size() : 0;
+      load.visitors = sh->server->visitors().size();
+      load.msgs_handled = sh->server->stats().msgs_handled;
+    };
+    if (opts_.threaded) {
+      std::lock_guard<std::mutex> lock(sh->reactor_mu);
+      snapshot();
+    } else {
+      snapshot();
+    }
+    loads.push_back(load);
+  }
+  return loads;
+}
+
+void ShardedLocationServer::encode_load_stats(wire::Buffer& out) {
+  wire::ShardLoadStats msg;
+  msg.seq = ++load_seq_;
+  for (const ShardLoad& load : shard_loads()) {
+    msg.append({load.shard, load.sightings, load.visitors, load.msgs_handled,
+                load.inbox_depth});
+  }
+  wire::encode_envelope_into(out, self_, msg);
+}
+
+void ShardedLocationServer::rebalance() {
+  const std::uint32_t n = static_cast<std::uint32_t>(shards_.size());
+  for (std::uint32_t moves = 0; moves < opts_.balance.max_buckets_per_sweep;
+       ++moves) {
+    // Decision inputs: slice occupancy only. Queue depth is too noisy to act
+    // on (threaded inboxes drain in bursts) -- it is exported, not acted on.
+    const std::vector<ShardLoad> loads = shard_loads();
+    std::uint32_t donor = 0;
+    std::uint32_t recipient = 0;
+    std::size_t total = 0;
+    for (const ShardLoad& load : loads) {
+      total += load.sightings;
+      if (load.sightings > loads[donor].sightings) donor = load.shard;
+      if (load.sightings < loads[recipient].sightings) recipient = load.shard;
+    }
+    const std::size_t max_occ = loads[donor].sightings;
+    // Hysteresis: stop when inside the trigger band, or when the absolute
+    // gap is too small to matter.
+    if (max_occ < loads[recipient].sightings + opts_.balance.min_imbalance) {
+      return;
+    }
+    if (static_cast<double>(max_occ) * n <=
+        opts_.balance.trigger_ratio * static_cast<double>(total)) {
+      return;
+    }
+    // Fattest donor-owned bucket (ties: lowest bucket id, keeping the sweep
+    // deterministic). Recomputed each move: after a move the donor/recipient
+    // pair usually changes, so a one-shot plan would chase a stale argmax.
+    std::array<std::size_t, kRebalanceBuckets> bucket_occ{};
+    shards_[donor]->server->sightings()->for_each(
+        [&](ObjectId oid, const store::SightingDb::Record&) {
+          ++bucket_occ[bucket_of(oid)];
+        });
+    std::uint32_t best = kRebalanceBuckets;
+    std::size_t best_occ = 0;
+    for (std::uint32_t b = 0; b < kRebalanceBuckets; ++b) {
+      if (bucket_to_shard_[b].load(std::memory_order_relaxed) != donor) continue;
+      if (bucket_occ[b] > best_occ) {
+        best = b;
+        best_occ = bucket_occ[b];
+      }
+    }
+    if (best == kRebalanceBuckets || best_occ == 0) return;  // nothing movable
+    move_bucket(best, donor, recipient);
+  }
+}
+
+void ShardedLocationServer::move_bucket(std::uint32_t b, std::uint32_t donor,
+                                        std::uint32_t recipient) {
+  Shard& from = *shards_[donor];
+  Shard& to = *shards_[recipient];
+  // Both reactors pause for the move (ordered by index -- the only place two
+  // reactor locks nest). Inline mode needs no locks: tick() runs in the one
+  // delivery context.
+  std::unique_lock<std::mutex> first_lock;
+  std::unique_lock<std::mutex> second_lock;
+  if (opts_.threaded) {
+    Shard& first = donor < recipient ? from : to;
+    Shard& second = donor < recipient ? to : from;
+    first_lock = std::unique_lock<std::mutex>(first.reactor_mu);
+    second_lock = std::unique_lock<std::mutex>(second.reactor_mu);
+  }
+  migrate_scratch_.clear();
+  migrate_scratch_.bucket = b;
+  from.server->extract_for_migration(
+      [&](ObjectId oid) { return bucket_of(oid) == b; }, migrate_scratch_);
+  // Flip the table BEFORE installing: datagrams routed from here on land in
+  // the recipient's inbox and are processed after the install below (its
+  // reactor lock is held). Stale datagrams already queued on the donor
+  // degrade to unknown-object drops/nacks -- UDP semantics.
+  bucket_to_shard_[b].store(recipient, std::memory_order_release);
+  if (!migrate_scratch_.empty()) {
+    // Through the real codec on purpose: migration exercises the same
+    // validated framing whether the shards share an address space or not.
+    wire::encode_envelope_into(migrate_datagram_, self_, migrate_scratch_);
+    to.server->handle(migrate_datagram_.data(), migrate_datagram_.size());
+    objects_migrated_.fetch_add(migrate_scratch_.count,
+                                std::memory_order_relaxed);
+  }
+  buckets_migrated_.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace locs::core

@@ -45,6 +45,7 @@
 // so each shard refreshes only the visitors of its own slice.
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -59,6 +60,35 @@ namespace locs::core {
 
 class ShardedLocationServer {
  public:
+  /// ObjectId routing granularity: ids map to this many coarse buckets, and
+  /// buckets map to shards through a runtime table (initially bucket %
+  /// shards). Whenever the shard count divides the bucket count -- every
+  /// power of two up to 256 -- the default table routes IDENTICALLY to
+  /// hash(ObjectId) % shards, so enabling the bucket layer changes nothing
+  /// until the rebalancer actually moves a bucket.
+  static constexpr std::uint32_t kRebalanceBuckets = 256;
+
+  /// Skew-aware routing + incremental bucket re-assignment between shards.
+  struct Balance {
+    /// Run object ids through the splitmix64 finalizer before bucketing.
+    /// Disable to reproduce raw `oid % N` routing (skew control runs and
+    /// the distribution pin test) -- sequential/strided id allocations then
+    /// alias onto few shards.
+    bool mix_keys = true;
+    /// Re-assign buckets between shards when occupancy skews. Driven from
+    /// tick(): each sweep moves whole buckets -- soft state migrates through
+    /// wire::BucketMigrate datagrams applied under both shard locks.
+    bool rebalance = false;
+    /// Rebalance only while max shard occupancy exceeds trigger_ratio x
+    /// mean occupancy ...
+    double trigger_ratio = 1.25;
+    /// ... and the donor holds at least this many more sightings than the
+    /// recipient (hysteresis: near-empty leaves never shuffle).
+    std::size_t min_imbalance = 64;
+    /// Upper bound on bucket moves per tick sweep (bounds tick latency).
+    std::uint32_t max_buckets_per_sweep = 8;
+  };
+
   struct Options {
     /// Number of shard reactors (1 behaves exactly like a LocationServer).
     std::uint32_t shards = 1;
@@ -71,6 +101,8 @@ class ShardedLocationServer {
     std::size_t inbox_capacity = 4096;
     /// Options forwarded to every shard's LocationServer.
     LocationServer::Options server;
+    /// Skew-aware routing / rebalancing knobs (see Balance).
+    Balance balance;
   };
 
   /// Per-shard persistent visitorDB factory (default: in-memory).
@@ -124,9 +156,44 @@ class ShardedLocationServer {
   /// A root leaf sweeps every shard's persisted visitors locally instead.
   void announce_recovery();
 
-  /// The shard owning an object id; the same for every node, so a handover
-  /// re-routes the object to the owning shard of the new agent.
+  /// The shard owning an object id under the DEFAULT bucket table; the same
+  /// for every node, so a handover re-routes the object to the owning shard
+  /// of the new agent. Live routing goes through shard_for(), which also
+  /// honors rebalanced buckets.
   static std::uint32_t shard_of(ObjectId oid, std::uint32_t shard_count);
+
+  /// The coarse bucket an object id routes through (honors balance.mix_keys).
+  std::uint32_t bucket_of(ObjectId oid) const;
+
+  /// The shard currently owning an object id (bucket table lookup).
+  std::uint32_t shard_for(ObjectId oid) const {
+    return bucket_to_shard_[bucket_of(oid)].load(std::memory_order_relaxed);
+  }
+
+  /// Point-in-time per-shard load snapshot (queue depth + occupancy): the
+  /// rebalancer's decision inputs, also exported over the wire via
+  /// encode_load_stats. Serialized against the shard reactors in threaded
+  /// mode.
+  struct ShardLoad {
+    std::uint32_t shard = 0;
+    std::size_t sightings = 0;     // slice SightingDb records
+    std::size_t visitors = 0;      // slice visitorDB records
+    std::uint64_t msgs_handled = 0;  // reactor lifetime message count
+    std::size_t inbox_depth = 0;   // SPSC inbox backlog (threaded mode)
+  };
+  std::vector<ShardLoad> shard_loads() const;
+
+  /// Encodes the current shard loads as one wire::ShardLoadStats envelope
+  /// from this leaf's NodeId (monitoring export; sequence-stamped).
+  void encode_load_stats(wire::Buffer& out);
+
+  /// Buckets re-assigned / visitors migrated by the rebalancer so far.
+  std::uint64_t buckets_migrated() const {
+    return buckets_migrated_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t objects_migrated() const {
+    return objects_migrated_.load(std::memory_order_relaxed);
+  }
 
   NodeId id() const { return self_; }
   std::uint32_t shard_count() const {
@@ -204,6 +271,14 @@ class ShardedLocationServer {
   void wake(Shard& sh);
   /// Applies queued sibling-shard sighting deltas on the coordinator shard.
   bool drain_sighting_deltas();
+  /// One tick-driven rebalance sweep: repeatedly moves the fattest bucket
+  /// from the most- to the least-loaded shard until occupancy is inside the
+  /// trigger band or max_buckets_per_sweep is spent.
+  void rebalance();
+  /// Moves bucket `b` from shard `donor` to `recipient`: extracts the soft
+  /// state under BOTH reactor locks (ordered by index), flips the bucket
+  /// table, and applies the BucketMigrate on the recipient directly.
+  void move_bucket(std::uint32_t b, std::uint32_t donor, std::uint32_t recipient);
 
   NodeId self_;
   net::Transport& net_;
@@ -230,6 +305,22 @@ class ShardedLocationServer {
   std::vector<wire::Buffer> split_packed_;
   std::vector<std::uint64_t> split_counts_;
   wire::Buffer split_datagram_;
+
+  // Bucket -> shard routing table. route() reads it from the node's receive
+  // context while the tick thread's rebalancer flips entries, hence atomics;
+  // a datagram routed over a just-flipped entry lands in the new owner's
+  // inbox AFTER the migration applied (the mover holds the recipient's
+  // reactor lock), and a stale in-flight datagram degrades to an
+  // unknown-object drop/nack -- UDP semantics, like any lost update.
+  std::array<std::atomic<std::uint32_t>, kRebalanceBuckets> bucket_to_shard_;
+
+  // Rebalancer scratch + counters (tick-thread only; counters are read by
+  // stats/monitoring threads).
+  wire::BucketMigrate migrate_scratch_;
+  wire::Buffer migrate_datagram_;
+  std::uint64_t load_seq_ = 0;  // ShardLoadStats sequence stamp
+  std::atomic<std::uint64_t> buckets_migrated_{0};
+  std::atomic<std::uint64_t> objects_migrated_{0};
 
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> inbox_dropped_{0};

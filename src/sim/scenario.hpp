@@ -1,0 +1,171 @@
+// City-scale macro scenarios (§7/§8: "the density of the tracked objects or
+// their moving patterns"): deterministic, seed-parameterized object
+// populations whose CORRELATED motion stresses exactly the load patterns a
+// hierarchical location service must absorb.
+//
+//  * kUniform      -- random-waypoint wanderers, the no-skew control.
+//  * kCommuterRush -- zone-to-zone flows: every commuter travels from a home
+//                     cluster to a work cluster on its own schedule, so the
+//                     leaves holding the work zones see a correlated inbound
+//                     wave (spatial skew building up over rounds).
+//  * kFlashCrowd   -- a stadium event: a crowd fraction converges on ONE
+//                     point inside one leaf, AND crowd members carry strided
+//                     ObjectIds -- the worst case for modulo shard routing
+//                     (every crowd id lands on one shard unless the shard
+//                     key is mixed; see ShardedLocationServer::Balance).
+//  * kConvoys      -- vehicle fleets crossing the grid in formation: whole
+//                     convoys hit leaf boundaries together, producing
+//                     correlated handover storms.
+//  * kDayNight     -- a sinusoidal active fraction (night floor -> full day
+//                     load) with BurstModel gateway bursts: load cycles that
+//                     exercise expiry sweeps and batch coalescing.
+//
+// Replay contract: a Scenario is a pure function of (params, seed). All rng
+// draws happen in ascending object order, so two instances with equal
+// params emit bit-identical update streams -- driven over SimNetwork (see
+// drive_scenario) whole runs replay bit-identically (trace CRC equality,
+// pinned by tests/test_macro_scenarios.cpp). A scenario-authoring guide
+// lives in sim/workload.hpp next to the BurstModel it builds on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/sharded_location_server.hpp"
+#include "geo/point.hpp"
+#include "geo/rect.hpp"
+#include "sim/mobility.hpp"
+#include "sim/workload.hpp"
+#include "util/clock.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+namespace locs::sim {
+
+enum class ScenarioKind { kUniform, kCommuterRush, kFlashCrowd, kConvoys, kDayNight };
+
+const char* scenario_name(ScenarioKind kind);
+
+struct ScenarioParams {
+  ScenarioKind kind = ScenarioKind::kUniform;
+  std::uint64_t seed = 1;
+  /// Population size; the suite runs 100k by default and scales to 1M.
+  std::size_t objects = 100000;
+  /// Update rounds driven through the deployment (one emit sweep each).
+  int rounds = 8;
+  /// Model-time step per round (mobility distance = speed * round_dt).
+  Duration round_dt = seconds(10);
+  geo::Rect area{{0.0, 0.0}, {6000.0, 6000.0}};
+
+  // -- kCommuterRush --
+  std::size_t zones = 8;          // home/work cluster count (each)
+  double zone_sigma = 180.0;      // Gaussian cluster radius, metres
+  // -- kFlashCrowd --
+  double crowd_fraction = 0.6;    // fraction of objects in the crowd
+  /// Crowd ObjectIds are `1 + j * stride`: with stride % shards == 0 a raw
+  /// modulo shard key puts the WHOLE crowd on one shard (satellite pin:
+  /// tests/test_macro_scenarios.cpp ShardKeyMixing*).
+  std::uint64_t crowd_id_stride = 64;
+  geo::Point stadium{750.0, 750.0};  // inside one leaf of the default grid
+  int crowd_ramp_rounds = 4;         // rounds until the crowd has arrived
+  // -- kConvoys --
+  std::size_t convoys = 32;
+  double convoy_speed = 30.0;     // leader speed, m/s (eastbound)
+  double convoy_spread = 40.0;    // member offset sigma, metres
+  // -- kDayNight --
+  BurstModel burst;               // per-active-object gateway bursts
+  double night_floor = 0.15;      // minimum active fraction
+};
+
+/// One deterministic scenario instance. Emission API: oid(i) names object
+/// `i` on the wire, initial_position(i) seeds registration, and
+/// step_round(round, emit) advances every object by round_dt and invokes
+/// `emit(i, new_pos)` once per update (ascending i; day/night bursts emit
+/// several per active object, inactive objects emit none).
+class Scenario {
+ public:
+  explicit Scenario(ScenarioParams params);
+  ~Scenario();
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  const ScenarioParams& params() const { return p_; }
+  std::size_t object_count() const { return p_.objects; }
+
+  ObjectId oid(std::size_t i) const;
+  geo::Point initial_position(std::size_t i) const { return start_[i]; }
+
+  using EmitFn = std::function<void(std::size_t index, geo::Point pos)>;
+  void step_round(int round, const EmitFn& emit);
+
+ private:
+  struct Commuter {
+    geo::Point home, work;
+    int depart = 0, arrive = 1;
+  };
+
+  geo::Point clamped(geo::Point p) const;
+
+  ScenarioParams p_;
+  Rng rng_;
+  std::vector<geo::Point> start_;
+  // Model-driven kinds (uniform, flash-crowd wanderers, day/night); entries
+  // for closed-form objects stay null.
+  std::vector<std::unique_ptr<MobilityModel>> models_;
+  std::vector<Commuter> commuters_;         // kCommuterRush
+  std::size_t crowd_size_ = 0;              // kFlashCrowd
+  std::vector<geo::Point> crowd_target_;    // per-member stadium offset
+  std::vector<double> convoy_speed_;        // per-convoy leader speed
+  std::vector<geo::Point> convoy_origin_;   // per-convoy start point
+  std::vector<geo::Point> member_offset_;   // kConvoys, per object
+  std::vector<double> activity_u_;          // kDayNight, per object
+};
+
+// --- Deterministic macro driver ---------------------------------------------
+
+/// Topology / deployment knobs for one drive_scenario run. Defaults build a
+/// 4x4 leaf grid over the scenario area with unsharded leaves; the
+/// macro-balancing experiments turn on leaf_shards + balance.rebalance and
+/// compare against a control run with rebalancing off.
+struct DriveOptions {
+  int grid_fanout_x = 4;
+  int grid_fanout_y = 4;
+  int grid_levels = 1;
+  std::uint32_t leaf_shards = 1;
+  bool force_leaf_sharding = false;
+  core::ShardedLocationServer::Balance balance;
+  std::uint64_t net_seed = 42;  // SimNetwork latency stream
+  /// Position-query probes folded into answer_crc after the run (plus one
+  /// whole-leaf range query per leaf).
+  std::size_t pos_probes = 256;
+};
+
+struct DriveResult {
+  /// CRC over every delivered datagram (time, endpoints, payload): equal
+  /// CRCs mean bit-identical replay.
+  std::uint32_t trace_crc = 0;
+  /// CRC over canonicalized query answers (pos probes in probe order, range
+  /// results sorted by oid): equal CRCs mean the deployments are
+  /// answer-equivalent even when their traces differ (sharded vs unsharded,
+  /// balanced vs control).
+  std::uint32_t answer_crc = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t round_messages = 0;  // delivered during the update rounds
+  std::uint64_t sightings_emitted = 0;
+  std::vector<std::uint64_t> per_leaf_updates;  // update datagrams per leaf
+  std::vector<std::size_t> leaf_occupancy;      // final sightings per leaf
+  std::vector<std::size_t> shard_occupancy;     // flattened leaf-major slices
+  std::uint64_t buckets_migrated = 0;
+  std::uint64_t objects_migrated = 0;
+  double virtual_ms = 0.0;
+  double wall_seconds = 0.0;        // whole run (setup + rounds + probes)
+  double rounds_wall_seconds = 0.0; // update rounds only (throughput basis)
+};
+
+DriveResult drive_scenario(const ScenarioParams& sp, const DriveOptions& opts);
+
+}  // namespace locs::sim

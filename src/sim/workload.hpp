@@ -1,5 +1,36 @@
 // Query workload generation: "the concrete mix of different types of
 // queries and their degree of locality" (§8).
+//
+// --- Authoring a macro scenario (sim/scenario.hpp) ---------------------------
+//
+// The city-scale suite composes three layers; a new scenario only ever adds
+// to the first one:
+//
+//  1. Population model -- a ScenarioKind case in Scenario. Contract:
+//     * ALL rng draws happen in the constructor and step_round() in
+//       ascending object order, from the Scenario's single seeded Rng.
+//       Never draw conditionally on anything except (params, round, i):
+//       same params must mean the same draw schedule, or replay breaks.
+//     * oid(i) defines the wire identity. Keep ids dense (1 + i) unless the
+//       scenario is ABOUT id skew -- the flash crowd hands out strided ids
+//       precisely to alias a raw modulo shard key.
+//     * step_round(round, emit) calls emit(i, pos) once per update,
+//       ascending i. Motion may be closed-form (commuters, convoys: cheap,
+//       1M-object friendly) or per-object MobilityModels (wanderers).
+//       Correlation is the point: move GROUPS together (a zone flow, a
+//       convoy, a converging crowd), because correlated load is what the
+//       hierarchy, the coalescer and the shard balancer must absorb.
+//       Bursty arrival (day/night) draws per-active-object burst lengths
+//       from the BurstModel below.
+//  2. Deterministic driver -- drive_scenario() registers the population
+//     through one gateway UpdateCoalescer, replays the rounds over
+//     SimNetwork, and folds two CRCs: trace_crc (bit-identical replay) and
+//     answer_crc (query-answer equivalence across shard layouts). New
+//     scenarios get both for free; never add wall-clock-dependent logic to
+//     the driven path.
+//  3. Gates -- tests/test_macro_scenarios.cpp pins replay + equivalence;
+//     bench/bench_macro.cpp emits BENCH_macro.json, gated by
+//     bench/baselines/macro.json via scripts/check_bench.py.
 #pragma once
 
 #include <vector>

@@ -379,6 +379,20 @@ void encode(Writer& w, const BatchedPathUpdate& m) {
   w.bytes(m.packed.data(), m.packed.size());
 }
 
+void encode(Writer& w, const ShardLoadStats& m) {
+  w.u64(m.seq);
+  w.u64(m.count);
+  w.u64(m.packed.size());
+  w.bytes(m.packed.data(), m.packed.size());
+}
+
+void encode(Writer& w, const BucketMigrate& m) {
+  w.u32(m.bucket);
+  w.u64(m.count);
+  w.u64(m.packed.size());
+  w.bytes(m.packed.data(), m.packed.size());
+}
+
 // --- per-message decode ------------------------------------------------------
 //
 // decode_into fills an existing message in place: vectors/polygons/strings
@@ -619,6 +633,16 @@ void decode_into(Reader& r, BatchedPathUpdate& m) {
   get_packed_into(r, m.count, m.packed);
 }
 
+void decode_into(Reader& r, ShardLoadStats& m) {
+  m.seq = r.u64();
+  get_packed_into(r, m.count, m.packed);
+}
+
+void decode_into(Reader& r, BucketMigrate& m) {
+  m.bucket = r.u32();
+  get_packed_into(r, m.count, m.packed);
+}
+
 /// Uniform decode entry used by the envelope switch: most messages require a
 /// version-1 envelope; the packed query result types dispatch on the version
 /// byte (and so keep the legacy framing decodable).
@@ -711,6 +735,12 @@ std::size_t size_hint(const BatchedRefreshReq& m) {
 std::size_t size_hint(const BatchedPathUpdate& m) {
   return kEnvelopeBase + m.packed.size();
 }
+std::size_t size_hint(const ShardLoadStats& m) {
+  return kEnvelopeBase + m.packed.size();
+}
+std::size_t size_hint(const BucketMigrate& m) {
+  return kEnvelopeBase + m.packed.size();
+}
 
 /// Envelope version stamp, keyed off the one shared predicate (header).
 template <typename M>
@@ -771,6 +801,8 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kRecoveryHello: return "RecoveryHello";
     case MsgType::kBatchedRefreshReq: return "BatchedRefreshReq";
     case MsgType::kBatchedPathUpdate: return "BatchedPathUpdate";
+    case MsgType::kShardLoadStats: return "ShardLoadStats";
+    case MsgType::kBucketMigrate: return "BucketMigrate";
   }
   return "Unknown";
 }
@@ -912,6 +944,46 @@ void BatchedRefreshReq::append(ObjectId oid) {
 bool BatchedRefreshReq::Cursor::next(ObjectId& out) {
   if (r_.remaining() == 0) return false;
   out = get_oid(r_);
+  return r_.ok();
+}
+
+// --- shard load / bucket migration: packing / lazy unpacking -----------------
+
+void ShardLoadStats::append(const Entry& e) {
+  Writer w(packed);
+  w.u32(e.shard);
+  w.u64(e.sightings);
+  w.u64(e.visitors);
+  w.u64(e.msgs_handled);
+  w.u64(e.inbox_depth);
+  ++count;
+}
+
+bool ShardLoadStats::Cursor::next(Entry& out) {
+  if (r_.remaining() == 0) return false;
+  out.shard = r_.u32();
+  out.sightings = r_.u64();
+  out.visitors = r_.u64();
+  out.msgs_handled = r_.u64();
+  out.inbox_depth = r_.u64();
+  return r_.ok();
+}
+
+void BucketMigrate::append(const Entry& e) {
+  Writer w(packed);
+  put(w, e.s);
+  w.f64(e.offered_acc);
+  w.i64(e.expiry);
+  put(w, e.reg);
+  ++count;
+}
+
+bool BucketMigrate::Cursor::next(Entry& out) {
+  if (r_.remaining() == 0) return false;
+  out.s = get_sighting(r_);
+  out.offered_acc = r_.f64();
+  out.expiry = r_.i64();
+  out.reg = get_reg_info(r_);
   return r_.ok();
 }
 

@@ -132,6 +132,8 @@ enum class MsgType : std::uint8_t {
   kRecoveryHello,
   kBatchedRefreshReq,
   kBatchedPathUpdate,
+  kShardLoadStats,
+  kBucketMigrate,
 };
 
 const char* msg_type_name(MsgType t);
@@ -586,6 +588,99 @@ struct BatchedPathUpdate {
   Cursor entries() const { return Cursor(packed); }
 };
 
+// --- Sharded-leaf skew balancing (core/sharded_location_server) --------------
+//
+// Balancing invariants:
+//  * Both messages reuse the batched framing discipline -- the payload ends
+//    with [count u64][packed_len u64][packed entries]; `count` is advisory,
+//    consumers iterate the packed bytes lazily (Cursor) and stop at the
+//    first malformed entry; a truncated datagram sticky-fails the envelope
+//    decode via the packed_len prefix.
+//  * BucketMigrate never leaves its leaf NodeId: the donor shard reactor
+//    encodes it and a recipient shard reactor of the SAME sharded leaf
+//    consumes it (envelope src == the leaf itself; other sources are
+//    ignored), so soft state moves between slices with wire-validated
+//    framing but no network hop.
+
+/// Per-shard load snapshot of a sharded leaf (queue depth + occupancy),
+/// published for monitors and rebalancer decision logs. Entry layout:
+/// [shard u32][sightings u64][visitors u64][msgs_handled u64][inbox_depth u64].
+struct ShardLoadStats {
+  static constexpr MsgType kType = MsgType::kShardLoadStats;
+  std::uint64_t seq = 0;    // snapshot sequence number
+  std::uint64_t count = 0;  // entries in `packed` (advisory; see framing note)
+  Buffer packed;            // concatenated per-shard entries
+
+  struct Entry {
+    std::uint32_t shard = 0;
+    std::uint64_t sightings = 0;     // slice occupancy (SightingDb records)
+    std::uint64_t visitors = 0;      // slice visitorDB records
+    std::uint64_t msgs_handled = 0;  // reactor lifetime message count
+    std::uint64_t inbox_depth = 0;   // SPSC inbox backlog (threaded mode)
+  };
+
+  void clear() {
+    seq = 0;
+    count = 0;
+    packed.clear();
+  }
+  bool empty() const { return count == 0; }
+
+  void append(const Entry& e);
+
+  /// Lazy unpacker: one per-shard entry per next() call, stopping at the end
+  /// of the packed region or the first malformed entry.
+  class Cursor {
+   public:
+    explicit Cursor(const Buffer& packed) : r_(packed) {}
+    bool next(Entry& out);
+
+   private:
+    Reader r_;
+  };
+  Cursor entries() const { return Cursor(packed); }
+};
+
+/// One ObjectId bucket's soft state moving between two shard reactors of the
+/// same leaf (incremental skew rebalancing). Entries carry everything a leaf
+/// slice stores per visitor -- the sighting, the offered accuracy, the
+/// ABSOLUTE expiry (migration must not extend the soft-state TTL) and the
+/// registration info: [sighting][offered_acc f64][expiry i64][reg_info].
+struct BucketMigrate {
+  static constexpr MsgType kType = MsgType::kBucketMigrate;
+  std::uint32_t bucket = 0;  // ObjectId bucket being re-assigned
+  std::uint64_t count = 0;   // entries in `packed` (advisory; see framing note)
+  Buffer packed;             // concatenated visitor entries
+
+  struct Entry {
+    core::Sighting s;
+    double offered_acc = 0.0;
+    TimePoint expiry = 0;
+    core::RegInfo reg;
+  };
+
+  void clear() {
+    bucket = 0;
+    count = 0;
+    packed.clear();
+  }
+  bool empty() const { return count == 0; }
+
+  void append(const Entry& e);
+
+  /// Lazy unpacker: one visitor entry per next() call, stopping at the end
+  /// of the packed region or the first malformed entry.
+  class Cursor {
+   public:
+    explicit Cursor(const Buffer& packed) : r_(packed) {}
+    bool next(Entry& out);
+
+   private:
+    Reader r_;
+  };
+  Cursor entries() const { return Cursor(packed); }
+};
+
 // --- Event mechanism (extension; §1 / §8 future work) ------------------------
 
 enum class PredicateKind : std::uint8_t {
@@ -678,7 +773,9 @@ struct EventUnsubscribe {
   X(HeartbeatAck)                                                              \
   X(RecoveryHello)                                                             \
   X(BatchedRefreshReq)                                                         \
-  X(BatchedPathUpdate)
+  X(BatchedPathUpdate)                                                         \
+  X(ShardLoadStats)                                                            \
+  X(BucketMigrate)
 
 using Message = std::variant<
     RegisterReq, RegisterRes, RegisterFailed, CreatePath, RemovePath, UpdateReq,
@@ -687,7 +784,8 @@ using Message = std::variant<
     NNQueryReq, NNProbeFwd, NNProbeSubRes, NNQueryRes, ChangeAccReq, ChangeAccRes,
     NotifyAvailAcc, DeregisterReq, RefreshReq, EventSubscribe, EventInstall,
     EventDelta, EventNotify, EventUnsubscribe, BatchedUpdateReq, BatchedUpdateAck,
-    Heartbeat, HeartbeatAck, RecoveryHello, BatchedRefreshReq, BatchedPathUpdate>;
+    Heartbeat, HeartbeatAck, RecoveryHello, BatchedRefreshReq, BatchedPathUpdate,
+    ShardLoadStats, BucketMigrate>;
 
 struct Envelope {
   NodeId src;

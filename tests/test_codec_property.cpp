@@ -105,6 +105,28 @@ BatchedPathUpdate rand_path_batch(Rng& rng) {
   return b;
 }
 
+ShardLoadStats rand_load_stats(Rng& rng) {
+  ShardLoadStats m;
+  m.seq = rng.next_u64();
+  const std::size_t n = rng.next_below(6);  // including empty snapshots
+  for (std::size_t i = 0; i < n; ++i) {
+    m.append({static_cast<std::uint32_t>(rng.next_below(64)), rng.next_u64() >> 8,
+              rng.next_u64() >> 8, rng.next_u64() >> 8, rng.next_below(100000)});
+  }
+  return m;
+}
+
+BucketMigrate rand_bucket_migrate(Rng& rng) {
+  BucketMigrate m;
+  m.bucket = static_cast<std::uint32_t>(rng.next_below(256));
+  const std::size_t n = rng.next_below(5);  // including empty migrations
+  for (std::size_t i = 0; i < n; ++i) {
+    m.append({rand_sighting(rng), rng.uniform(0, 500),
+              static_cast<TimePoint>(rng.next_u64() >> 20), rand_reg_info(rng)});
+  }
+  return m;
+}
+
 /// One randomized instance of every protocol message type.
 std::vector<Message> random_messages(Rng& rng) {
   std::vector<Message> msgs;
@@ -174,6 +196,8 @@ std::vector<Message> random_messages(Rng& rng) {
   msgs.push_back(RecoveryHello{rng.next_u64()});
   msgs.push_back(rand_refresh_batch(rng));
   msgs.push_back(rand_path_batch(rng));
+  msgs.push_back(rand_load_stats(rng));
+  msgs.push_back(rand_bucket_migrate(rng));
   return msgs;
 }
 
@@ -531,6 +555,137 @@ TEST(CodecProperty, RefreshBatchBitFlipsNeverCrashCursorOrView) {
         }
         encode_envelope(NodeId{8}, *m);  // and re-encode cleanly
       }
+    }
+  }
+}
+
+// --- shard load stats + bucket migration (skew-rebalancing framing) ----------
+
+TEST(CodecProperty, ShardLoadStatsCursorRoundTripsEveryEntry) {
+  Rng rng(96);
+  for (int iter = 0; iter < 64; ++iter) {
+    std::vector<ShardLoadStats::Entry> in(rng.next_below(8));
+    ShardLoadStats stats;
+    stats.seq = rng.next_u64();
+    for (auto& e : in) {
+      e = {static_cast<std::uint32_t>(rng.next_below(64)), rng.next_u64() >> 8,
+           rng.next_u64() >> 8, rng.next_u64() >> 8, rng.next_below(100000)};
+      stats.append(e);
+    }
+    EXPECT_EQ(stats.count, in.size());
+    const Buffer wire = encode_envelope(NodeId{4}, stats);
+    const auto decoded = decode_envelope(wire);
+    ASSERT_TRUE(decoded.ok());
+    const auto& out = std::get<ShardLoadStats>(decoded.value().msg);
+    EXPECT_EQ(out.seq, stats.seq);
+    EXPECT_EQ(out.count, in.size());
+    ShardLoadStats::Cursor cur = out.entries();
+    ShardLoadStats::Entry e;
+    std::size_t i = 0;
+    while (cur.next(e)) {
+      ASSERT_LT(i, in.size());
+      EXPECT_EQ(e.shard, in[i].shard);
+      EXPECT_EQ(e.sightings, in[i].sightings);
+      EXPECT_EQ(e.visitors, in[i].visitors);
+      EXPECT_EQ(e.msgs_handled, in[i].msgs_handled);
+      EXPECT_EQ(e.inbox_depth, in[i].inbox_depth);
+      ++i;
+    }
+    EXPECT_EQ(i, in.size());
+  }
+}
+
+TEST(CodecProperty, BucketMigrateCursorRoundTripsEveryEntry) {
+  Rng rng(97);
+  for (int iter = 0; iter < 64; ++iter) {
+    std::vector<BucketMigrate::Entry> in(rng.next_below(6));
+    BucketMigrate mig;
+    mig.bucket = static_cast<std::uint32_t>(rng.next_below(256));
+    for (auto& e : in) {
+      e = {rand_sighting(rng), rng.uniform(0, 500),
+           static_cast<TimePoint>(rng.next_u64() >> 20), rand_reg_info(rng)};
+      mig.append(e);
+    }
+    EXPECT_EQ(mig.count, in.size());
+    const Buffer wire = encode_envelope(NodeId{4}, mig);
+    const auto decoded = decode_envelope(wire);
+    ASSERT_TRUE(decoded.ok());
+    const auto& out = std::get<BucketMigrate>(decoded.value().msg);
+    EXPECT_EQ(out.bucket, mig.bucket);
+    EXPECT_EQ(out.count, in.size());
+    BucketMigrate::Cursor cur = out.entries();
+    BucketMigrate::Entry e;
+    std::size_t i = 0;
+    while (cur.next(e)) {
+      ASSERT_LT(i, in.size());
+      EXPECT_EQ(e.s.oid, in[i].s.oid);
+      EXPECT_EQ(e.s.t, in[i].s.t);
+      EXPECT_EQ(e.s.pos, in[i].s.pos);
+      EXPECT_EQ(e.s.acc_sens, in[i].s.acc_sens);
+      EXPECT_EQ(e.offered_acc, in[i].offered_acc);
+      EXPECT_EQ(e.expiry, in[i].expiry);
+      EXPECT_EQ(e.reg, in[i].reg);
+      ++i;
+    }
+    EXPECT_EQ(i, in.size());
+  }
+}
+
+TEST(CodecProperty, TruncatedMigrateStickyFailsAndStopsIteration) {
+  Rng rng(98);
+  BucketMigrate mig;
+  mig.bucket = 17;
+  for (int i = 0; i < 4; ++i) {
+    mig.append({rand_sighting(rng), rng.uniform(0, 500),
+                static_cast<TimePoint>(rng.next_u64() >> 20), rand_reg_info(rng)});
+  }
+  // Cutting the datagram breaks the packed_len prefix: envelope sticky-fails.
+  const Buffer wire = encode_envelope(NodeId{3}, mig);
+  for (std::size_t cut = 1; cut < 40; ++cut) {
+    EXPECT_FALSE(decode_envelope(wire.data(), wire.size() - cut).ok());
+  }
+  // A migration whose OWNED packed region is damaged mid-entry stops lazy
+  // iteration at the damage instead of overrunning.
+  BucketMigrate damaged = mig;
+  damaged.packed.resize(damaged.packed.size() - 5);
+  BucketMigrate::Cursor cur = damaged.entries();
+  BucketMigrate::Entry e;
+  std::size_t complete = 0;
+  while (cur.next(e)) ++complete;
+  EXPECT_EQ(complete, 3u);
+}
+
+TEST(CodecProperty, MigrateAndLoadStatsBitFlipsNeverCrashTheCursors) {
+  Rng rng(100);
+  for (int iter = 0; iter < 200; ++iter) {
+    Buffer wire;
+    if (iter % 2 == 0) {
+      BucketMigrate mig = rand_bucket_migrate(rng);
+      mig.append({rand_sighting(rng), 1.0, 2, rand_reg_info(rng)});
+      wire = encode_envelope(NodeId{8}, mig);
+    } else {
+      ShardLoadStats stats = rand_load_stats(rng);
+      stats.append({1, 2, 3, 4, 5});
+      wire = encode_envelope(NodeId{8}, stats);
+    }
+    const std::size_t byte = rng.next_below(wire.size());
+    wire[byte] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    // If the envelope still decodes, lazy iteration must stay in bounds and
+    // the result must re-encode cleanly.
+    const auto decoded = decode_envelope(wire);
+    if (!decoded.ok()) continue;
+    if (const auto* m = std::get_if<BucketMigrate>(&decoded.value().msg)) {
+      BucketMigrate::Cursor cur = m->entries();
+      BucketMigrate::Entry e;
+      while (cur.next(e)) {
+      }
+      encode_envelope(NodeId{8}, *m);
+    } else if (const auto* s = std::get_if<ShardLoadStats>(&decoded.value().msg)) {
+      ShardLoadStats::Cursor cur = s->entries();
+      ShardLoadStats::Entry e;
+      while (cur.next(e)) {
+      }
+      encode_envelope(NodeId{8}, *s);
     }
   }
 }

@@ -1,0 +1,247 @@
+// City-scale macro-scenario suite (sim/scenario.hpp) + skew-aware shard
+// balancing (ShardedLocationServer::Balance):
+//
+//  * every scenario kind replays bit-identically (same seed => same trace
+//    CRC, the ISSUE's determinism bar; population via LOCS_MACRO_OBJECTS,
+//    default 100k -- the suite carries the `macro`/`slow` ctest labels),
+//  * sharded leaves answer exactly like unsharded ones at N in {1, 4}, with
+//    the bucket rebalancer on or off (answer-CRC equivalence),
+//  * the balancer never loses or duplicates a visitor: after a skewed run
+//    every object lives in EXACTLY one shard slice, at its last position,
+//  * the shard-key fix is pinned: raw modulo routing aliases a strided-id
+//    crowd onto ONE shard (the old behavior, kept under mix_keys = false
+//    for control runs), the splitmix64-mixed key spreads it evenly.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+#include "core/update_coalescer.hpp"
+#include "sim/scenario.hpp"
+#include "test_support.hpp"
+
+namespace locs::test {
+namespace {
+
+using core::ShardedLocationServer;
+
+std::size_t macro_objects() {
+  const char* v = std::getenv("LOCS_MACRO_OBJECTS");
+  if (v == nullptr || *v == '\0') return 100000;
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+sim::ScenarioParams macro_params(sim::ScenarioKind kind, std::size_t objects,
+                                 int rounds) {
+  sim::ScenarioParams p;
+  p.kind = kind;
+  p.seed = 23;
+  p.objects = objects;
+  p.rounds = rounds;
+  return p;
+}
+
+TEST(MacroScenarios, EveryKindReplaysBitIdentically) {
+  const std::size_t objects = macro_objects();
+  const sim::ScenarioKind kinds[] = {
+      sim::ScenarioKind::kCommuterRush, sim::ScenarioKind::kFlashCrowd,
+      sim::ScenarioKind::kConvoys, sim::ScenarioKind::kDayNight};
+  for (const sim::ScenarioKind kind : kinds) {
+    SCOPED_TRACE(sim::scenario_name(kind));
+    const sim::ScenarioParams p = macro_params(kind, objects, 3);
+    sim::DriveOptions opts;
+    opts.pos_probes = 64;
+    const sim::DriveResult a = sim::drive_scenario(p, opts);
+    const sim::DriveResult b = sim::drive_scenario(p, opts);
+    EXPECT_EQ(a.trace_crc, b.trace_crc);
+    EXPECT_EQ(a.answer_crc, b.answer_crc);
+    EXPECT_EQ(a.messages, b.messages);
+    EXPECT_EQ(a.bytes, b.bytes);
+    EXPECT_EQ(a.sightings_emitted, b.sightings_emitted);
+    EXPECT_GT(a.sightings_emitted, 0u);
+  }
+}
+
+TEST(MacroScenarios, DifferentSeedsDiverge) {
+  sim::ScenarioParams p = macro_params(sim::ScenarioKind::kCommuterRush, 2000, 2);
+  sim::DriveOptions opts;
+  opts.pos_probes = 32;
+  const sim::DriveResult a = sim::drive_scenario(p, opts);
+  p.seed = 24;
+  const sim::DriveResult b = sim::drive_scenario(p, opts);
+  EXPECT_NE(a.trace_crc, b.trace_crc);
+}
+
+// Sharding is an implementation detail of a leaf: for N in {1, 4}, with and
+// without the rebalancer, the flash-crowd run must produce the same query
+// answers as plain LocationServer leaves (the trace differs -- batches are
+// split per shard -- but the soft state and the answers must not).
+TEST(MacroScenarios, ShardedAnswersMatchUnshardedAtN1AndN4) {
+  const sim::ScenarioParams p =
+      macro_params(sim::ScenarioKind::kFlashCrowd, 4000, 3);
+  sim::DriveOptions unsharded;
+  unsharded.pos_probes = 64;
+  const sim::DriveResult base = sim::drive_scenario(p, unsharded);
+  ASSERT_GT(base.sightings_emitted, 0u);
+
+  sim::DriveOptions n1 = unsharded;
+  n1.leaf_shards = 1;
+  n1.force_leaf_sharding = true;
+  const sim::DriveResult one = sim::drive_scenario(p, n1);
+  EXPECT_EQ(one.answer_crc, base.answer_crc);
+  // The single-shard wrapper is pass-through: even the trace is identical.
+  EXPECT_EQ(one.trace_crc, base.trace_crc);
+
+  sim::DriveOptions n4 = unsharded;
+  n4.leaf_shards = 4;
+  const sim::DriveResult four = sim::drive_scenario(p, n4);
+  EXPECT_EQ(four.answer_crc, base.answer_crc);
+
+  sim::DriveOptions balanced = n4;
+  balanced.balance.mix_keys = false;  // alias the crowd onto one shard...
+  balanced.balance.rebalance = true;  // ...and make the sweep repair it
+  balanced.balance.min_imbalance = 16;
+  const sim::DriveResult rebal = sim::drive_scenario(p, balanced);
+  EXPECT_EQ(rebal.answer_crc, base.answer_crc);
+  EXPECT_GT(rebal.buckets_migrated, 0u);
+  EXPECT_GT(rebal.objects_migrated, 0u);
+}
+
+// Drives a skewed population directly (strided ids, one hot leaf) and then
+// audits every shard slice: a migrated visitor must exist in EXACTLY one
+// slice, at its last reported position -- the balancer moves soft state, it
+// never forks or drops it.
+TEST(MacroScenarios, BalancerNeverLosesOrDuplicatesAVisitor) {
+  constexpr double kArea = 2000.0;
+  constexpr std::size_t kObjects = 2000;
+  constexpr std::uint64_t kStride = 64;
+
+  core::Deployment::Config cfg;
+  cfg.leaf_shards = 4;
+  cfg.leaf_balance.mix_keys = false;
+  cfg.leaf_balance.rebalance = true;
+  cfg.leaf_balance.min_imbalance = 16;
+  SimWorld w(core::HierarchyBuilder::grid(geo::Rect{{0, 0}, {kArea, kArea}}, 2, 2, 1),
+             cfg);
+  const NodeId gateway{901};
+
+  std::unordered_map<ObjectId, geo::Point> last;
+  core::UpdateCoalescer coalescer(gateway, w.net, w.net.clock(), {});
+
+  Rng rng(5);
+  std::vector<ObjectId> oids;
+  for (std::size_t j = 0; j < kObjects; ++j) {
+    const ObjectId oid{1 + j * kStride};
+    // Everything in the lower-left leaf: one hot leaf, one hot shard.
+    const geo::Point p{rng.uniform(1.0, kArea / 2 - 1),
+                       rng.uniform(1.0, kArea / 2 - 1)};
+    wire::RegisterReq req;
+    req.s = core::Sighting{oid, 0, p, 5.0};
+    req.acc_range = {10.0, 100.0};
+    req.reg_inst = gateway;
+    req.req_id = oid.value;
+    const NodeId leaf = w.deployment->entry_leaf_for(p);
+    w.net.send(gateway, leaf, wire::encode_envelope(gateway, req));
+    last[oid] = p;
+    oids.push_back(oid);
+  }
+  w.run();
+
+  const NodeId hot_leaf = w.deployment->entry_leaf_for({1.0, 1.0});
+  for (int round = 0; round < 4; ++round) {
+    for (const ObjectId oid : oids) {
+      const geo::Point p{rng.uniform(1.0, kArea / 2 - 1),
+                         rng.uniform(1.0, kArea / 2 - 1)};
+      coalescer.enqueue(hot_leaf, core::Sighting{oid, 0, p, 5.0});
+      last[oid] = p;
+    }
+    coalescer.flush_all();
+    w.run();
+    w.tick();  // rebalance sweep
+    w.run();
+  }
+  for (int k = 0; k < 8; ++k) {  // let the sweep converge
+    w.tick();
+    w.run();
+  }
+
+  ShardedLocationServer* sharded = w.deployment->sharded(hot_leaf);
+  ASSERT_NE(sharded, nullptr);
+  EXPECT_GT(sharded->buckets_migrated(), 0u);
+  EXPECT_GT(sharded->objects_migrated(), 0u);
+
+  std::size_t total = 0;
+  for (std::uint32_t s = 0; s < sharded->shard_count(); ++s) {
+    total += sharded->shard(s).sightings()->size();
+  }
+  EXPECT_EQ(total, kObjects);
+  for (const ObjectId oid : oids) {
+    int copies = 0;
+    const store::SightingDb::Record* found = nullptr;
+    for (std::uint32_t s = 0; s < sharded->shard_count(); ++s) {
+      const store::SightingDb::Record* rec = sharded->shard(s).sightings()->find(oid);
+      if (rec != nullptr) {
+        ++copies;
+        found = rec;
+      }
+    }
+    ASSERT_EQ(copies, 1) << "oid " << oid.value;
+    EXPECT_EQ(found->sighting.pos, last[oid]) << "oid " << oid.value;
+  }
+  // Post-sweep routing agrees with where the objects actually live.
+  for (const ObjectId oid : oids) {
+    const std::uint32_t s = sharded->shard_for(oid);
+    EXPECT_NE(sharded->shard(s).sightings()->find(oid), nullptr);
+  }
+}
+
+// Pin the shard-key distributions: raw modulo (mix_keys = false, the
+// pre-fix key) sends EVERY strided id to one shard; the splitmix64
+// finalizer spreads them -- and with rebalancing off its bucket table must
+// route exactly like the static mixed hash (the existing sharded-trace
+// fingerprints depend on this).
+TEST(MacroScenarios, ShardKeyMixingFixesStridedAliasing) {
+  constexpr double kArea = 1000.0;
+  constexpr std::uint32_t kShards = 4;
+  constexpr std::size_t kIds = 512;
+  constexpr std::uint64_t kStride = 64;
+
+  const auto make_world = [&](bool mix) {
+    core::Deployment::Config cfg;
+    cfg.leaf_shards = kShards;
+    cfg.leaf_balance.mix_keys = mix;
+    return std::make_unique<SimWorld>(
+        core::HierarchyBuilder::grid(geo::Rect{{0, 0}, {kArea, kArea}}, 2, 2, 1),
+        cfg);
+  };
+
+  const auto raw = make_world(false);
+  const auto mixed = make_world(true);
+  const NodeId leaf = raw->deployment->leaf_ids().front();
+  ShardedLocationServer* raw_sh = raw->deployment->sharded(leaf);
+  ShardedLocationServer* mix_sh = mixed->deployment->sharded(leaf);
+  ASSERT_NE(raw_sh, nullptr);
+  ASSERT_NE(mix_sh, nullptr);
+
+  std::vector<std::size_t> raw_counts(kShards, 0), mix_counts(kShards, 0);
+  for (std::size_t j = 0; j < kIds; ++j) {
+    const ObjectId oid{1 + j * kStride};
+    ++raw_counts[raw_sh->shard_for(oid)];
+    ++mix_counts[mix_sh->shard_for(oid)];
+    // Default table == static mixed hash (bucket indirection is invisible
+    // until a rebalance actually moves something).
+    EXPECT_EQ(mix_sh->shard_for(oid),
+              ShardedLocationServer::shard_of(oid, kShards));
+  }
+  // Old behavior, kept as the control knob: total aliasing onto one shard.
+  EXPECT_EQ(*std::max_element(raw_counts.begin(), raw_counts.end()), kIds);
+  // Fixed key: no shard holds more than ~35% of a worst-case strided set.
+  for (const std::size_t c : mix_counts) {
+    EXPECT_LT(c, static_cast<std::size_t>(0.35 * kIds));
+    EXPECT_GT(c, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace locs::test
