@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Docs gate: keep README.md and docs/ consistent with the code.
+
+Usage:
+    scripts/check_docs.py [--repo-root .]
+
+Checks, in order:
+
+  links     -- every relative markdown link in README.md and docs/*.md
+               resolves to an existing file or directory (anchors are
+               stripped; http(s)/mailto links are skipped).
+  msgtypes  -- docs/WIRE_PROTOCOL.md names every MsgType enumerator
+               declared in src/wire/messages.hpp (completeness), and
+               every `kSomething` identifier the doc mentions exists
+               somewhere in src/wire/*.hpp (no stale names after a
+               rename).
+
+Exit status: 0 when every check passes, 1 otherwise; one line per
+failure on stdout. Wired through ctest as test_check_docs and run by
+the CI docs job, so a message-type rename or a moved file fails the
+build instead of silently rotting the documentation.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# [text](target) -- excluding images; target may carry a #fragment.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+# Lowercase-k constants as written in code and docs: kRegisterReq, kType...
+KCONST_RE = re.compile(r"\bk[A-Z][A-Za-z0-9]*\b")
+ENUM_RE = re.compile(r"enum\s+class\s+MsgType[^{]*\{(.*?)\};", re.DOTALL)
+
+
+def iter_doc_files(root):
+    yield root / "README.md"
+    docs = root / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.glob("*.md"))
+
+
+def check_links(root):
+    failures = []
+    for doc in iter_doc_files(root):
+        if not doc.is_file():
+            failures.append(f"{doc.relative_to(root)}: file missing")
+            continue
+        text = doc.read_text(encoding="utf-8")
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                failures.append(
+                    f"{doc.relative_to(root)}: broken link -> {target}")
+    return failures
+
+
+def msg_type_enumerators(messages_hpp):
+    """The MsgType enumerator names declared in src/wire/messages.hpp."""
+    text = messages_hpp.read_text(encoding="utf-8")
+    m = ENUM_RE.search(text)
+    if m is None:
+        return None
+    body = re.sub(r"//[^\n]*", "", m.group(1))  # strip comments
+    names = set()
+    for entry in body.split(","):
+        entry = entry.split("=")[0].strip()
+        if entry:
+            names.add(entry)
+    return names
+
+
+def check_msg_types(root):
+    failures = []
+    messages_hpp = root / "src" / "wire" / "messages.hpp"
+    protocol_md = root / "docs" / "WIRE_PROTOCOL.md"
+    if not messages_hpp.is_file():
+        return [f"{messages_hpp.relative_to(root)}: file missing"]
+    if not protocol_md.is_file():
+        return [f"{protocol_md.relative_to(root)}: file missing"]
+
+    enums = msg_type_enumerators(messages_hpp)
+    if enums is None:
+        return ["src/wire/messages.hpp: could not parse enum class MsgType"]
+
+    # Every k-identifier declared anywhere in the wire headers is a valid
+    # name for the doc to mention (MsgType values, version constants,
+    # nested enum values like ReplicaTee::Op::kUpsert, kType members...).
+    known = set()
+    for header in sorted((root / "src" / "wire").glob("*.hpp")):
+        known.update(KCONST_RE.findall(header.read_text(encoding="utf-8")))
+
+    doc_names = set(KCONST_RE.findall(protocol_md.read_text(encoding="utf-8")))
+
+    for missing in sorted(enums - doc_names):
+        failures.append(
+            f"docs/WIRE_PROTOCOL.md: MsgType::{missing} is not documented")
+    for stale in sorted(doc_names - known):
+        failures.append(
+            f"docs/WIRE_PROTOCOL.md: names {stale}, which no longer exists "
+            "in src/wire/*.hpp")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo-root", default=None,
+                        help="repository root (default: this script's parent)")
+    args = parser.parse_args()
+
+    root = (pathlib.Path(args.repo_root).resolve() if args.repo_root
+            else pathlib.Path(__file__).resolve().parent.parent)
+
+    failures = check_links(root) + check_msg_types(root)
+    for failure in failures:
+        print(f"FAIL {failure}")
+    if failures:
+        print(f"check_docs: {len(failures)} failure(s)")
+        return 1
+    print("check_docs: all links resolve, all message types documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

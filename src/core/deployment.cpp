@@ -13,6 +13,46 @@ Deployment::Deployment(net::Transport& net, Clock& clock, HierarchySpec spec,
     make_entry(node, entry);
     servers_.emplace(node.id, std::move(entry));
   }
+  // Hot standbys are EXTRA servers outside the spec: each replica reuses its
+  // primary's ConfigRecord (same service area and parent, so a promoted
+  // standby answers exactly the primary's slice of the query space) under
+  // its own NodeId.
+  for (const auto& [primary, standby] : cfg_.leaf_standby) {
+    const HierarchySpec::Node* node = spec_.find(primary);
+    if (node == nullptr || !node->cfg.is_leaf()) continue;
+    if (servers_.count(standby) > 0) continue;  // id collision: skip
+    HierarchySpec::Node replica = *node;
+    replica.id = standby;
+    Entry entry;
+    make_entry(replica, entry);
+    servers_.emplace(standby, std::move(entry));
+    wire_standby(primary, standby);
+  }
+}
+
+void Deployment::wire_standby(NodeId primary, NodeId standby) {
+  const auto pit = servers_.find(primary);
+  const auto sit = servers_.find(standby);
+  if (pit == servers_.end() || sit == servers_.end()) return;
+  if (sit->second.up()) {
+    if (sit->second.sharded != nullptr) {
+      sit->second.sharded->set_standby_role(primary);
+    } else {
+      sit->second.server->set_standby_role(primary);
+    }
+  }
+  if (pit->second.up()) {
+    if (pit->second.sharded != nullptr) {
+      pit->second.sharded->set_standby(standby);
+    } else {
+      pit->second.server->set_standby(standby);
+    }
+  }
+  const HierarchySpec::Node* node = spec_.find(primary);
+  if (node == nullptr || !node->cfg.parent.valid()) return;
+  const auto parent_it = servers_.find(node->cfg.parent);
+  if (parent_it == servers_.end() || parent_it->second.server == nullptr) return;
+  parent_it->second.server->set_child_standby(primary, standby);
 }
 
 void Deployment::make_entry(const HierarchySpec::Node& node, Entry& entry) {
@@ -111,6 +151,16 @@ void Deployment::restart(NodeId id, bool announce) {
   const HierarchySpec::Node* node = spec_.find(id);
   if (node == nullptr) return;
   make_entry(*node, entry);
+  // Rebuilt reactors lost their replication wiring; re-apply every pair the
+  // restarted node participates in (as primary, as the parent of one, or --
+  // for completeness -- as a standby brought back by hand).
+  for (const auto& [primary, standby] : cfg_.leaf_standby) {
+    const HierarchySpec::Node* pnode = spec_.find(primary);
+    if (id == primary || id == standby ||
+        (pnode != nullptr && pnode->cfg.parent == id)) {
+      wire_standby(primary, standby);
+    }
+  }
   if (!announce || !node->cfg.is_leaf()) return;
   if (entry.sharded != nullptr) {
     entry.sharded->announce_recovery();

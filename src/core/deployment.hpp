@@ -59,6 +59,14 @@ class Deployment {
     /// every sharded leaf (ShardedLocationServer::Balance). Defaults keep
     /// routing identical to the fixed hash and leave rebalancing off.
     ShardedLocationServer::Balance leaf_balance;
+    /// Hot-standby replication: primary leaf NodeId -> standby NodeId. For
+    /// each entry the deployment builds an EXTRA replica server (same
+    /// service area and parent as the primary; not part of the
+    /// HierarchySpec), tees the primary's accepted sightings to it, and
+    /// registers it with the primary's parent as the failover target
+    /// (promotion on miss-threshold suspicion, demotion on recovery).
+    /// Empty (the default) changes nothing -- traces stay bit-identical.
+    std::unordered_map<NodeId, NodeId> leaf_standby;
   };
 
   Deployment(net::Transport& net, Clock& clock, HierarchySpec spec);
@@ -127,6 +135,12 @@ class Deployment {
   /// Builds (or rebuilds, on restart) the reactor(s) of one node and
   /// attaches them to the transport.
   void make_entry(const HierarchySpec::Node& node, Entry& entry);
+
+  /// (Re-)applies the hot-standby wiring of one leaf_standby pair: the
+  /// primary tees to the standby, the standby mirrors the primary, and the
+  /// primary's parent learns the failover target. Skips crashed entries, so
+  /// it is safe to re-run after any restart().
+  void wire_standby(NodeId primary, NodeId standby);
 
   net::Transport& net_;
   HierarchySpec spec_;

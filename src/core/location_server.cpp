@@ -79,6 +79,12 @@ void LocationServer::Stats::add(const Stats& other) {
   bucket_migrations += other.bucket_migrations;
   objects_migrated_in += other.objects_migrated_in;
   objects_migrated_out += other.objects_migrated_out;
+  tee_datagrams_sent += other.tee_datagrams_sent;
+  tee_entries_applied += other.tee_entries_applied;
+  standby_promotions += other.standby_promotions;
+  standby_demotions += other.standby_demotions;
+  standbys_engaged += other.standbys_engaged;
+  standby_routed_queries += other.standby_routed_queries;
 }
 
 void LocationServer::configure_shard(std::uint32_t shard_index,
@@ -193,11 +199,21 @@ void LocationServer::handle(const net::Datagram& dg) {
           on_batched_refresh_req(src, m);
         } else if constexpr (std::is_same_v<T, wm::BucketMigrate>) {
           on_bucket_migrate(src, m);
+        } else if constexpr (std::is_same_v<T, wm::ReplicaTee>) {
+          on_replica_tee(src, m);
+        } else if constexpr (std::is_same_v<T, wm::StandbyPromote>) {
+          on_standby_promote(src, m);
+        } else if constexpr (std::is_same_v<T, wm::StandbyDemote>) {
+          on_standby_demote(src, m);
         }
         // Other message types (responses to clients, RefreshReq, ...) are
         // not addressed to servers; ignore them defensively.
       },
       msg);
+  // One tee datagram per handled datagram: every sighting the message above
+  // accepted travels to the standby in the SAME apply order, so the replica's
+  // index undergoes an identical mutation sequence (byte-equal answers).
+  flush_tee();
 }
 
 // --------------------------------------------------------------------------
@@ -238,6 +254,13 @@ void LocationServer::on_register_req(NodeId src, const wm::RegisterReq& m) {
   (void)src;
   if (cfg_.covers(m.s.pos)) {
     if (cfg_.is_leaf()) {
+      if (standby_passive()) {
+        // Stray registration at a passive replica: the primary owns
+        // admission. RegisterReq carries reg_inst, so a plain forward keeps
+        // the response path intact.
+        send_msg(standby_primary_, m);
+        return;
+      }
       const double acc = opts_.min_supported_acc;
       if (acc <= m.acc_range.minimum) {
         // Registration successful: create the leaf records and the
@@ -247,6 +270,7 @@ void LocationServer::on_register_req(NodeId src, const wm::RegisterReq& m) {
         visitor_db_.insert_leaf(m.s.oid, offered,
                                 RegInfo{m.reg_inst, m.acc_range});
         put_sighting(m.s, offered);
+        tee_upsert(m.s, offered, RegInfo{m.reg_inst, m.acc_range});
         ++stats_.registrations;
         send_msg(m.reg_inst, wm::RegisterRes{self_, offered, m.req_id});
       } else {
@@ -337,6 +361,11 @@ void LocationServer::on_batched_path_update(NodeId src,
 
 void LocationServer::on_update_req(NodeId src, const wm::UpdateReq& m) {
   if (!cfg_.is_leaf()) return;  // updates always go to the agent (a leaf)
+  if (standby_passive()) {
+    bounce_sighting(m.s);
+    flush_bounce();
+    return;
+  }
   const store::VisitorRecord* rec = visitor_db_.find(m.s.oid);
   if (rec == nullptr || !rec->leaf) {
     ++stats_.updates_unknown;  // stale agent; the object relearns via timeout
@@ -352,6 +381,7 @@ void LocationServer::on_update_req(NodeId src, const wm::UpdateReq& m) {
     return;
   }
   put_sighting(m.s, rec->leaf->offered_acc);
+  tee_upsert(m.s, rec->leaf->offered_acc, rec->leaf->reg_info);
   ++stats_.updates_applied;
   send_msg(src, wm::UpdateAck{m.s.oid, rec->leaf->offered_acc});
   flush_awaiting_refresh(m.s.oid);
@@ -359,6 +389,13 @@ void LocationServer::on_update_req(NodeId src, const wm::UpdateReq& m) {
 
 void LocationServer::on_batched_update_req(NodeId src, const wm::BatchedUpdateReq& m) {
   if (!cfg_.is_leaf()) return;  // updates always go to the agent (a leaf)
+  if (standby_passive()) {
+    wm::BatchedUpdateReq::Cursor bcur = m.sightings();
+    Sighting bs;
+    while (bcur.next(bs)) bounce_sighting(bs);
+    flush_bounce();
+    return;
+  }
   ++stats_.update_batches;
   // Single lazy pass over the packed sightings (wire framing note): each one
   // runs the exact per-sighting checks of on_update_req; accepted sightings
@@ -383,6 +420,7 @@ void LocationServer::on_batched_update_req(NodeId src, const wm::BatchedUpdateRe
       continue;
     }
     batch_apply_scratch_.push_back({s, rec->leaf->offered_acc});
+    tee_upsert(s, rec->leaf->offered_acc, rec->leaf->reg_info);
     ack.append(s.oid, rec->leaf->offered_acc);
     ++stats_.updates_applied;
   }
@@ -447,6 +485,7 @@ void LocationServer::accept_handover(NodeId src, const wm::HandoverReq& m) {
   const double offered = negotiate_offered_acc(m.reg_info.acc_range);
   visitor_db_.insert_leaf(m.s.oid, offered, m.reg_info);
   put_sighting(m.s, offered);
+  tee_upsert(m.s, offered, m.reg_info);
   ++stats_.handovers_accepted;
   // Direct handover bypassed the hierarchy: build the new path ourselves.
   if (m.direct) send_path(true, m.s.oid);
@@ -541,6 +580,7 @@ void LocationServer::drop_leaf_visitor(ObjectId oid, bool prune_path) {
     }
   }
   visitor_db_.remove(oid);
+  tee_remove(oid);
   if (prune_path) send_path(false, oid);
 }
 
@@ -591,6 +631,204 @@ void LocationServer::on_bucket_migrate(NodeId src, const wire::BucketMigrate& m)
     ++stats_.objects_migrated_in;
   }
   ++stats_.bucket_migrations;
+}
+
+// --------------------------------------------------------------------------
+// leaf hot-standby replication (answer-complete failover)
+
+void LocationServer::tee_upsert(const Sighting& s, double offered_acc,
+                                const RegInfo& reg) {
+  if (!standby_.valid()) return;
+  wire::ReplicaTee::Entry e;
+  e.op = wire::ReplicaTee::Op::kUpsert;
+  e.s = s;
+  e.offered_acc = offered_acc;
+  // The ORIGINAL absolute expiry: the replica must not extend the soft-state
+  // TTL (§5) beyond what the primary granted.
+  e.expiry = sighting_expiry();
+  e.reg = reg;
+  tee_scratch_.append(e);
+}
+
+void LocationServer::tee_set_acc(ObjectId oid, double offered_acc,
+                                 const RegInfo& reg) {
+  if (!standby_.valid()) return;
+  wire::ReplicaTee::Entry e;
+  e.op = wire::ReplicaTee::Op::kSetAcc;
+  e.s.oid = oid;
+  e.offered_acc = offered_acc;
+  e.reg = reg;
+  tee_scratch_.append(e);
+}
+
+void LocationServer::tee_remove(ObjectId oid) {
+  if (!standby_.valid()) return;
+  wire::ReplicaTee::Entry e;
+  e.op = wire::ReplicaTee::Op::kRemove;
+  e.s.oid = oid;
+  tee_scratch_.append(e);
+}
+
+void LocationServer::flush_tee() {
+  if (!standby_.valid() || tee_scratch_.empty()) return;
+  ++stats_.tee_datagrams_sent;
+  send_msg(standby_, tee_scratch_);
+  tee_scratch_.clear();
+}
+
+void LocationServer::bounce_sighting(const Sighting& s) {
+  // A client refresh can race the demote fan-out and land on the passive
+  // replica (the parent's BatchedRefreshReq reaches the client one hop
+  // before the AgentChanged that re-points it). Dropping the update would
+  // lose the freshest sighting until the next feed; applying it here would
+  // shadow the recovered primary. Bounce it over the tee channel instead.
+  wire::ReplicaTee::Entry e{};
+  e.op = wire::ReplicaTee::Op::kUpsert;
+  e.s = s;
+  tee_scratch_.append(e);  // unused in the replica role outside bounces
+}
+
+void LocationServer::flush_bounce() {
+  if (tee_scratch_.empty()) return;
+  ++stats_.tee_datagrams_sent;
+  send_msg(standby_primary_, tee_scratch_);
+  tee_scratch_.clear();
+}
+
+void LocationServer::on_replica_tee(NodeId src, const wm::ReplicaTee& m) {
+  if (!cfg_.is_leaf() || !sightings_) return;
+  if (standby_.valid() && src == standby_) {
+    // Reconciliation return traffic: sightings a straggler client delivered
+    // to the demoted replica (see bounce_sighting). Apply each against OUR
+    // registration record -- the primary is authoritative for admission
+    // state -- and re-tee it so the rebuilding mirror sees it too.
+    wire::ReplicaTee::Cursor cur = m.entries();
+    wire::ReplicaTee::Entry e;
+    while (cur.next(e)) {
+      if (e.op != wire::ReplicaTee::Op::kUpsert) continue;
+      const store::VisitorRecord* rec = visitor_db_.find(e.s.oid);
+      if (rec == nullptr || !rec->leaf) continue;
+      ++stats_.tee_entries_applied;
+      put_sighting(e.s, rec->leaf->offered_acc);
+      tee_upsert(e.s, rec->leaf->offered_acc, rec->leaf->reg_info);
+      flush_awaiting_refresh(e.s.oid);
+    }
+    return;  // the end-of-handle() flush_tee sends the re-tee batch
+  }
+  // Replica role: accept only from the one primary this server mirrors.
+  if (!standby_primary_.valid() || src != standby_primary_) return;
+  wire::ReplicaTee::Cursor cur = m.entries();
+  wire::ReplicaTee::Entry e;
+  while (cur.next(e)) {
+    ++stats_.tee_entries_applied;
+    switch (e.op) {
+      case wire::ReplicaTee::Op::kRemove:
+        if (sightings_->find(e.s.oid) != nullptr) sightings_->remove(e.s.oid);
+        visitor_db_.remove(e.s.oid);
+        break;
+      case wire::ReplicaTee::Op::kSetAcc:
+        // Mirror of on_change_acc_req's store effect: record + offered acc
+        // change WITHOUT any spatial-index operation (the primary performs
+        // none, and byte-equal answers require identical index op sequences).
+        visitor_db_.insert_leaf(e.s.oid, e.offered_acc, e.reg);
+        sightings_->set_offered_acc(e.s.oid, e.offered_acc);
+        break;
+      case wire::ReplicaTee::Op::kUpsert:
+        visitor_db_.insert_leaf(e.s.oid, e.offered_acc, e.reg);
+        // Insert-or-update exactly like put_sighting / apply_batch on the
+        // primary -- NOT remove+reinsert -- so the index mutation sequence
+        // matches the primary's and packed query emission is byte-identical.
+        if (sightings_->find(e.s.oid) != nullptr) {
+          sightings_->update(e.s, e.expiry);
+          sightings_->set_offered_acc(e.s.oid, e.offered_acc);
+        } else {
+          sightings_->insert(e.s, e.offered_acc, e.expiry);
+        }
+        break;
+    }
+  }
+}
+
+void LocationServer::on_standby_promote(NodeId src, const wm::StandbyPromote& m) {
+  // Only our parent may promote us, and only for the primary we mirror.
+  if (src != cfg_.parent || !standby_primary_.valid() ||
+      m.primary != standby_primary_ || standby_active_) {
+    return;
+  }
+  standby_active_ = true;
+  ++stats_.standby_promotions;
+  // Clients keep sending updates to the dead primary until told otherwise;
+  // the AgentChanged fan-out re-points every mirrored visitor at us NOW
+  // instead of waiting for per-update nacks.
+  standby_fan_agent_changed(self_);
+}
+
+void LocationServer::on_standby_demote(NodeId src, const wm::StandbyDemote& m) {
+  if (src != cfg_.parent || !standby_primary_.valid() ||
+      m.primary != standby_primary_) {
+    return;
+  }
+  if (!standby_active_) return;
+  standby_active_ = false;
+  ++stats_.standby_demotions;
+  // Point the clients back at the recovered primary FIRST (while the mirror
+  // still knows every visitor), then drop the mirrored state: the returning
+  // primary rebuilds its volatile sightings via the RecoveryHello +
+  // BatchedRefreshReq sweep, and a stale mirror here would shadow it.
+  standby_fan_agent_changed(standby_primary_);
+  std::vector<ObjectId> drop;
+  visitor_db_.for_each([&](const store::VisitorRecord& rec) {
+    if (rec.leaf) drop.push_back(rec.oid);
+  });
+  for (const ObjectId oid : drop) {
+    if (sightings_ && sightings_->find(oid) != nullptr) sightings_->remove(oid);
+  }
+  visitor_db_.remove_batch(drop);
+}
+
+void LocationServer::standby_fan_agent_changed(NodeId agent) {
+  // Deterministic fan-out: the visitorDB map iterates in hash order, so sort
+  // (reg_inst, oid) before emitting -- reruns produce identical traces.
+  refresh_targets_scratch_.clear();
+  visitor_db_.for_each([&](const store::VisitorRecord& rec) {
+    if (rec.leaf) {
+      refresh_targets_scratch_.emplace_back(rec.leaf->reg_info.reg_inst, rec.oid);
+    }
+  });
+  std::sort(refresh_targets_scratch_.begin(), refresh_targets_scratch_.end());
+  for (const auto& [client, oid] : refresh_targets_scratch_) {
+    const store::VisitorRecord* rec = visitor_db_.find(oid);
+    if (rec == nullptr || !rec->leaf) continue;
+    send_msg(client, wm::AgentChanged{oid, agent, rec->leaf->offered_acc});
+  }
+}
+
+void LocationServer::set_child_standby(NodeId child, NodeId standby) {
+  if (!child.valid() || !standby.valid()) return;
+  // Keep `engaged` as-is for a re-registration: restart-time re-wiring must
+  // not mask a pending demotion of an engaged standby.
+  child_standbys_[child].standby = standby;
+}
+
+NodeId LocationServer::standby_for(NodeId child) const {
+  const auto it = child_standbys_.find(child);
+  if (it == child_standbys_.end() || !it->second.engaged) return kNoNode;
+  return it->second.standby;
+}
+
+void LocationServer::engage_standby(NodeId child) {
+  const auto it = child_standbys_.find(child);
+  if (it == child_standbys_.end() || it->second.engaged) return;
+  it->second.engaged = true;
+  ++stats_.standbys_engaged;
+  send_msg(it->second.standby, wm::StandbyPromote{child, ++standby_incarnation_});
+}
+
+void LocationServer::disengage_standby(NodeId child) {
+  const auto it = child_standbys_.find(child);
+  if (it == child_standbys_.end() || !it->second.engaged) return;
+  it->second.engaged = false;
+  send_msg(it->second.standby, wm::StandbyDemote{child, ++standby_incarnation_});
 }
 
 // --------------------------------------------------------------------------
@@ -653,6 +891,17 @@ void LocationServer::on_pos_query_req(NodeId src, const wm::PosQueryReq& m) {
   } else if (!cfg_.is_root()) {
     next = cfg_.parent;  // Alg 6-4 line 6: forward query upwards
   }
+  if (next.valid() && child_suspect(next)) {
+    const NodeId standby = standby_for(next);
+    if (standby.valid()) {
+      // The crashed leaf has a promoted hot standby: route there and keep
+      // the answer complete instead of short-circuiting to not-found.
+      ++stats_.standby_routed_queries;
+      pending_pos_.emplace(internal_id, pending);
+      send_msg(standby, wm::PosQueryFwd{m.oid, self_, internal_id});
+      return;
+    }
+  }
   if (!next.valid() || child_suspect(next)) {
     // No route -- or the route leads into a crashed subtree: answer fast
     // instead of letting the client wait out the pending timeout.
@@ -691,6 +940,14 @@ void LocationServer::on_pos_query_fwd(NodeId src, const wm::PosQueryFwd& m) {
   }
   if (rec != nullptr && !rec->leaf && rec->forward_ref.valid()) {
     if (child_suspect(rec->forward_ref)) {
+      const NodeId standby = standby_for(rec->forward_ref);
+      if (standby.valid()) {
+        // Promoted hot standby: the mirrored leaf state answers in place of
+        // the crashed child -- the query stays answer-complete.
+        ++stats_.standby_routed_queries;
+        send_msg(standby, m);
+        return;
+      }
       // The forwarding path leads into a crashed subtree: answer for it
       // (not found) instead of letting the entry time out per query.
       ++stats_.suspect_short_circuits;
@@ -821,6 +1078,16 @@ void LocationServer::route_range(const geo::Polygon& area,
     if (child.id == from) continue;
     if (!enlarged.intersects(child.sa)) continue;
     if (child_suspect(child.id)) {
+      const NodeId standby = standby_for(child.id);
+      if (standby.valid()) {
+        // Promoted hot standby: forward the query there -- the mirror holds
+        // the crashed leaf's full sighting set, so the sub-result (and thus
+        // the merged answer) is identical to the unfaulted run.
+        ++stats_.standby_routed_queries;
+        send_msg(standby, wm::RangeQueryFwd{area, req_acc, req_overlap, entry,
+                                            req_id, /*direct=*/true});
+        continue;
+      }
       // Answer FOR the crashed subtree: credit its covered portion with no
       // results so the entry completes promptly (availability over
       // completeness -- the soft state below the crash is being rebuilt by
@@ -1092,6 +1359,14 @@ void LocationServer::route_nn_probe(const wm::NNProbeFwd& probe, NodeId from) {
     if (child.id == from) continue;
     if (!probe_poly.intersects(child.sa)) continue;
     if (child_suspect(child.id)) {
+      const NodeId standby = standby_for(child.id);
+      if (standby.valid()) {
+        // Promoted hot standby: probe the mirror instead of crediting empty
+        // coverage -- the expanding ring sees the crashed leaf's candidates.
+        ++stats_.standby_routed_queries;
+        send_msg(standby, probe);
+        continue;
+      }
       // Mirror of the range-query fast path: credit the suspect child's
       // probe coverage so the expanding ring closes without a timeout.
       ++stats_.suspect_short_circuits;
@@ -1265,6 +1540,7 @@ void LocationServer::on_change_acc_req(NodeId src, const wm::ChangeAccReq& m) {
   const NodeId reg_inst = rec->leaf->reg_info.reg_inst;
   visitor_db_.insert_leaf(m.oid, offered, RegInfo{reg_inst, m.acc_range});
   if (sightings_) sightings_->set_offered_acc(m.oid, offered);
+  tee_set_acc(m.oid, offered, RegInfo{reg_inst, m.acc_range});
   send_msg(src, wm::ChangeAccRes{m.req_id, true, offered});
   if (offered != old_offered && reg_inst != src) {
     send_msg(reg_inst, wm::NotifyAvailAcc{m.oid, offered});
@@ -1359,6 +1635,7 @@ void LocationServer::on_heartbeat_ack(NodeId src, const wm::HeartbeatAck& m) {
   // ANY ack is liveness evidence (even one reordered behind newer probes):
   // clear the miss counter and un-suspect without waiting for a hello.
   h.last_seq_acked = std::max(h.last_seq_acked, m.seq);
+  if (h.suspect) disengage_standby(src);
   h.misses = 0;
   h.suspect = false;
 }
@@ -1366,6 +1643,7 @@ void LocationServer::on_heartbeat_ack(NodeId src, const wm::HeartbeatAck& m) {
 void LocationServer::on_recovery_hello(NodeId src, const wm::RecoveryHello& m) {
   (void)m;  // the incarnation disambiguates log lines; protocol is idempotent
   ++stats_.recovery_hellos;
+  disengage_standby(src);
   const auto it = child_health_.find(src);
   if (it != child_health_.end()) {
     it->second.suspect = false;
@@ -1620,6 +1898,7 @@ void LocationServer::tick_body(TimePoint t) {
         if (++h.misses >= opts_.heartbeat_miss_threshold && !h.suspect) {
           h.suspect = true;
           ++stats_.children_suspected;
+          engage_standby(child.id);
         }
       }
       h.last_seq_sent = ++heartbeat_seq_;
@@ -1642,12 +1921,16 @@ void LocationServer::tick_body(TimePoint t) {
   // Soft-state expiry (§5): deregister objects whose sightings lapsed. The
   // visitor records are dropped in one bulk pass (remove_batch groups the
   // persistent-log appends); the per-object messages keep their order.
-  if (sightings_) {
+  // A PASSIVE replica never expires on its own clock: the primary owns the
+  // TTL decision and tees the removal, so the mirror stays byte-identical
+  // instead of racing the primary's sweep.
+  if (sightings_ && !standby_passive()) {
     const std::vector<ObjectId> expired = sightings_->expire_until(t);
     for (const ObjectId oid : expired) {
       ++stats_.sightings_expired;
       events_on_sighting(oid, false, {});
       send_path(false, oid);
+      tee_remove(oid);
     }
     visitor_db_.remove_batch(expired);
   }
@@ -1721,6 +2004,8 @@ void LocationServer::tick_body(TimePoint t) {
                   waiters.end());
     it = waiters.empty() ? awaiting_refresh_.erase(it) : std::next(it);
   }
+  // Anything the tick teed (expiry removals) rides out in one datagram.
+  flush_tee();
 }
 
 }  // namespace locs::core

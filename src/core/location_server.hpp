@@ -208,6 +208,12 @@ class LocationServer {
     std::uint64_t bucket_migrations = 0;    // BucketMigrate datagrams applied
     std::uint64_t objects_migrated_in = 0;  // visitors installed by migration
     std::uint64_t objects_migrated_out = 0;  // visitors extracted for migration
+    std::uint64_t tee_datagrams_sent = 0;   // ReplicaTee datagrams to standby
+    std::uint64_t tee_entries_applied = 0;  // tee entries mirrored (replica)
+    std::uint64_t standby_promotions = 0;   // StandbyPromote handled (replica)
+    std::uint64_t standby_demotions = 0;    // StandbyDemote handled (replica)
+    std::uint64_t standbys_engaged = 0;     // suspicions routed to a standby
+    std::uint64_t standby_routed_queries = 0;  // queries re-routed to standbys
 
     /// Accumulates `other` into this record (deployment / shard aggregation).
     void add(const Stats& other);
@@ -257,6 +263,40 @@ class LocationServer {
 
   /// True while the failure detector considers `child` crashed/unreachable.
   bool child_suspect(NodeId child) const;
+
+  // -- hot-standby replication wiring (Deployment::Config::leaf_standby) --
+  //
+  // Replication invariants (wire/messages.hpp has the framing side):
+  //  * primary role -- a leaf with a standby tees every accepted sighting
+  //    mutation (upsert / remove / accuracy change, with the ORIGINAL
+  //    absolute expiry) into one wire::ReplicaTee per handled datagram/tick
+  //    (flush_tee), so replication costs ~1 extra datagram per update batch.
+  //  * replica role -- tee entries apply with insert-or-update semantics IN
+  //    BATCH ORDER, reproducing the primary's exact spatial-index mutation
+  //    sequence; that is what makes a promoted standby's range/NN answers
+  //    byte-equal to the unfaulted primary's. The passive replica never
+  //    fires events, sends paths/acks, or expires its mirror (removals
+  //    arrive via the tee).
+  //  * parent routing -- when the failure detector trips for a child with a
+  //    registered standby, the parent engages it: queries that would hit the
+  //    PR 4 zero-result short-circuit are forwarded to the standby instead,
+  //    and a StandbyPromote tells the replica to fan AgentChanged at its
+  //    mirrored visitors. Liveness evidence (ack / RecoveryHello) disengages
+  //    and demotes; the primary rebuilds via the RecoveryHello sweep and the
+  //    tee re-mirrors the standby. All of this is inert by default -- with
+  //    no standby registered, traces stay bit-identical.
+
+  /// Primary role: tee accepted sighting mutations to this replica NodeId.
+  void set_standby(NodeId standby) { standby_ = standby; }
+  /// Replica role: mirror tee datagrams arriving from this primary NodeId.
+  void set_standby_role(NodeId primary) { standby_primary_ = primary; }
+  /// Replica role: promoted and answering for the primary right now.
+  bool standby_active() const { return standby_active_; }
+  /// Parent routing: remember `standby` as the failover target for `child`.
+  void set_child_standby(NodeId child, NodeId standby);
+  /// Parent routing: the engaged standby for a suspect child (kNoNode when
+  /// the child has no standby or the standby is not engaged).
+  NodeId standby_for(NodeId child) const;
 
   /// Wires this server as one shard of a ShardedLocationServer (see the
   /// header comment for the routing invariant). `send_pool` replaces the
@@ -374,6 +414,9 @@ class LocationServer {
   void on_recovery_hello(NodeId src, const wire::RecoveryHello& m);
   void on_batched_refresh_req(NodeId src, const wire::BatchedRefreshReq& m);
   void on_bucket_migrate(NodeId src, const wire::BucketMigrate& m);
+  void on_replica_tee(NodeId src, const wire::ReplicaTee& m);
+  void on_standby_promote(NodeId src, const wire::StandbyPromote& m);
+  void on_standby_demote(NodeId src, const wire::StandbyDemote& m);
 
   // -- helpers --
   /// Encodes into a pooled transport buffer (zero allocations in steady
@@ -466,6 +509,30 @@ class LocationServer {
   /// (suppressed for objects this server dropped deliberately just now).
   bool should_nack_unknown(ObjectId oid);
 
+  // -- hot-standby replication helpers (no-ops without a standby wired) --
+  /// Stages one tee entry; flush_tee (end of handle()/tick_body) sends the
+  /// whole batch as ONE ReplicaTee datagram.
+  void tee_upsert(const Sighting& s, double offered_acc, const RegInfo& reg);
+  void tee_set_acc(ObjectId oid, double offered_acc, const RegInfo& reg);
+  void tee_remove(ObjectId oid);
+  void flush_tee();
+  /// True in the replica role while NOT promoted: the primary owns the
+  /// visitor state, this server only mirrors it.
+  bool standby_passive() const {
+    return standby_primary_.valid() && !standby_active_;
+  }
+  /// Demote-race redirect: stages/sends straggler client sightings back to
+  /// the primary over the tee channel (see on_replica_tee's primary branch).
+  void bounce_sighting(const Sighting& s);
+  void flush_bounce();
+  /// Parent routing: engage/disengage the standby registered for `child`
+  /// (suspicion trip -> StandbyPromote; liveness evidence -> StandbyDemote).
+  void engage_standby(NodeId child);
+  void disengage_standby(NodeId child);
+  /// Replica role: fan AgentChanged{agent} at every mirrored leaf visitor,
+  /// sorted by (client, oid) for deterministic traces.
+  void standby_fan_agent_changed(NodeId agent);
+
   // -- leaf-side event predicate maintenance --
   void events_on_sighting(ObjectId oid, bool present, geo::Point pos);
   void install_event(const wire::EventInstall& inst);
@@ -529,6 +596,19 @@ class LocationServer {
   // Recovery-sweep scratch (sorted targets + the batch under construction).
   std::vector<std::pair<NodeId, ObjectId>> refresh_targets_scratch_;
   wire::BatchedRefreshReq refresh_batch_scratch_;
+
+  // -- hot-standby replication state (all inert while the NodeIds are
+  //    invalid / the maps are empty; see the replication invariants above) --
+  NodeId standby_;              // primary role: tee target
+  NodeId standby_primary_;      // replica role: the primary being mirrored
+  bool standby_active_ = false; // replica role: promoted, answering queries
+  struct ChildStandby {
+    NodeId standby;
+    bool engaged = false;       // authoritative for query re-routing
+  };
+  std::unordered_map<NodeId, ChildStandby> child_standbys_;  // parent routing
+  std::uint64_t standby_incarnation_ = 0;  // stamps promote/demote datagrams
+  wire::ReplicaTee tee_scratch_;  // tee batch under construction (flush_tee)
 
   // -- hot-path scratch state, reused across operations --
   // Receive-side scratch envelope for handle(); see decode_envelope_into.

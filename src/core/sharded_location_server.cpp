@@ -180,6 +180,23 @@ void ShardedLocationServer::handle(const net::Datagram& dg) {
       static_cast<wire::MsgType>(data[1]) == wire::MsgType::kBatchedRefreshReq) {
     if (split_batched_refresh(data, len)) return;
   }
+  if (len > 1 &&
+      static_cast<wire::MsgType>(data[1]) == wire::MsgType::kReplicaTee) {
+    // Mirror stream from the primary: each packed entry routes to the shard
+    // owning its ObjectId, so every standby shard mirrors its own slice.
+    if (shards_.size() > 1 && split_replica_tee(data, len)) return;
+    deliver(*shards_[0], dg);
+    return;
+  }
+  if (len > 1 &&
+      (static_cast<wire::MsgType>(data[1]) == wire::MsgType::kStandbyPromote ||
+       static_cast<wire::MsgType>(data[1]) == wire::MsgType::kStandbyDemote)) {
+    // Promotion flips every shard of the replica leaf (ascending index order
+    // keeps inline SimNetwork execution deterministic): each shard fans
+    // AgentChanged for -- or drops -- exactly its own mirrored slice.
+    for (auto& sh : shards_) deliver(*sh, dg);
+    return;
+  }
   deliver(*shards_[route(data, len)], dg);
 }
 
@@ -318,6 +335,84 @@ bool ShardedLocationServer::split_batched_refresh(const std::uint8_t* data,
             net::Datagram(split_datagram_.data(), split_datagram_.size()));
   }
   return true;
+}
+
+bool ShardedLocationServer::split_replica_tee(const std::uint8_t* data,
+                                              std::size_t len) {
+  const std::uint32_t n = static_cast<std::uint32_t>(shards_.size());
+  // Pass 1: a tee whose entries all belong to one shard forwards unchanged.
+  {
+    wire::ReplicaTeeView peek(data, len);
+    if (!peek.valid()) return false;
+    bool mixed = false;
+    std::uint32_t first = 0;
+    bool have_first = false;
+    while (const auto item = peek.next()) {
+      const std::uint32_t owner = shard_for(item->oid);
+      if (!have_first) {
+        first = owner;
+        have_first = true;
+      } else if (owner != first) {
+        mixed = true;
+        break;
+      }
+    }
+    if (!mixed) {
+      deliver(*shards_[have_first ? first : 0], net::Datagram(data, len));
+      return true;
+    }
+  }
+  // Pass 2: re-frame per owning shard under the ORIGINAL header bytes (the
+  // source stays the primary NodeId, which the replica shards verify against
+  // their standby_primary_). Entry byte ranges are copied verbatim; ascending
+  // shard order keeps inline SimNetwork execution deterministic.
+  split_packed_.resize(n);
+  split_counts_.assign(n, 0);
+  for (auto& buf : split_packed_) buf.clear();
+  wire::ReplicaTeeView view(data, len);
+  while (const auto item = view.next()) {
+    const std::uint32_t owner = shard_for(item->oid);
+    split_packed_[owner].insert(split_packed_[owner].end(), item->data,
+                                item->data + item->len);
+    ++split_counts_[owner];
+  }
+  constexpr std::size_t kHeaderLen = 6;  // [version][type][src u32_fixed]
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (split_counts_[s] == 0) continue;
+    split_datagram_.clear();
+    wire::Writer w(split_datagram_);
+    w.reserve(kHeaderLen + 20 + split_packed_[s].size());
+    w.bytes(data, kHeaderLen);
+    w.u64(split_counts_[s]);
+    w.u64(split_packed_[s].size());
+    w.bytes(split_packed_[s].data(), split_packed_[s].size());
+    w.flush();
+    deliver(*shards_[s],
+            net::Datagram(split_datagram_.data(), split_datagram_.size()));
+  }
+  return true;
+}
+
+void ShardedLocationServer::set_standby(NodeId standby) {
+  for (auto& sh : shards_) {
+    if (opts_.threaded) {
+      std::lock_guard<std::mutex> lock(sh->reactor_mu);
+      sh->server->set_standby(standby);
+    } else {
+      sh->server->set_standby(standby);
+    }
+  }
+}
+
+void ShardedLocationServer::set_standby_role(NodeId primary) {
+  for (auto& sh : shards_) {
+    if (opts_.threaded) {
+      std::lock_guard<std::mutex> lock(sh->reactor_mu);
+      sh->server->set_standby_role(primary);
+    } else {
+      sh->server->set_standby_role(primary);
+    }
+  }
 }
 
 void ShardedLocationServer::wake(Shard& sh) {

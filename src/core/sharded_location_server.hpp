@@ -156,6 +156,15 @@ class ShardedLocationServer {
   /// A root leaf sweeps every shard's persisted visitors locally instead.
   void announce_recovery();
 
+  /// Hot-standby wiring (Deployment::Config::leaf_standby): every shard tees
+  /// its accepted sightings to `standby`; the replica side splits the tee per
+  /// owning shard (handle()), so each standby shard mirrors exactly its own
+  /// slice and promotion happens per-shard.
+  void set_standby(NodeId standby);
+  /// Replica role: every shard mirrors `primary` (ReplicaTee entries route to
+  /// the shard owning each ObjectId; StandbyPromote/Demote broadcast to all).
+  void set_standby_role(NodeId primary);
+
   /// The shard owning an object id under the DEFAULT bucket table; the same
   /// for every node, so a handover re-routes the object to the owning shard
   /// of the new agent. Live routing goes through shard_for(), which also
@@ -267,6 +276,11 @@ class ShardedLocationServer {
   /// packed oids without a full decode). Returns false if the datagram is
   /// not a well-formed refresh batch (caller falls back to shard 0).
   bool split_batched_refresh(const std::uint8_t* data, std::size_t len);
+  /// Replication analogue: splits a ReplicaTee mirror stream per owning shard
+  /// (wire::ReplicaTeeView delimits each packed entry; the entry's leading
+  /// ObjectId picks the shard). Returns false if the datagram is not a
+  /// well-formed tee (caller falls back to shard 0).
+  bool split_replica_tee(const std::uint8_t* data, std::size_t len);
   void shard_loop(Shard& sh);
   void wake(Shard& sh);
   /// Applies queued sibling-shard sighting deltas on the coordinator shard.

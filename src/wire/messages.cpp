@@ -393,6 +393,22 @@ void encode(Writer& w, const BucketMigrate& m) {
   w.bytes(m.packed.data(), m.packed.size());
 }
 
+void encode(Writer& w, const ReplicaTee& m) {
+  w.u64(m.count);
+  w.u64(m.packed.size());
+  w.bytes(m.packed.data(), m.packed.size());
+}
+
+void encode(Writer& w, const StandbyPromote& m) {
+  put(w, m.primary);
+  w.u64(m.incarnation);
+}
+
+void encode(Writer& w, const StandbyDemote& m) {
+  put(w, m.primary);
+  w.u64(m.incarnation);
+}
+
 // --- per-message decode ------------------------------------------------------
 //
 // decode_into fills an existing message in place: vectors/polygons/strings
@@ -643,6 +659,20 @@ void decode_into(Reader& r, BucketMigrate& m) {
   get_packed_into(r, m.count, m.packed);
 }
 
+void decode_into(Reader& r, ReplicaTee& m) {
+  get_packed_into(r, m.count, m.packed);
+}
+
+void decode_into(Reader& r, StandbyPromote& m) {
+  m.primary = get_node(r);
+  m.incarnation = r.u64();
+}
+
+void decode_into(Reader& r, StandbyDemote& m) {
+  m.primary = get_node(r);
+  m.incarnation = r.u64();
+}
+
 /// Uniform decode entry used by the envelope switch: most messages require a
 /// version-1 envelope; the packed query result types dispatch on the version
 /// byte (and so keep the legacy framing decodable).
@@ -741,6 +771,9 @@ std::size_t size_hint(const ShardLoadStats& m) {
 std::size_t size_hint(const BucketMigrate& m) {
   return kEnvelopeBase + m.packed.size();
 }
+std::size_t size_hint(const ReplicaTee& m) {
+  return kEnvelopeBase + m.packed.size();
+}
 
 /// Envelope version stamp, keyed off the one shared predicate (header).
 template <typename M>
@@ -803,6 +836,9 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kBatchedPathUpdate: return "BatchedPathUpdate";
     case MsgType::kShardLoadStats: return "ShardLoadStats";
     case MsgType::kBucketMigrate: return "BucketMigrate";
+    case MsgType::kReplicaTee: return "ReplicaTee";
+    case MsgType::kStandbyPromote: return "StandbyPromote";
+    case MsgType::kStandbyDemote: return "StandbyDemote";
   }
   return "Unknown";
 }
@@ -985,6 +1021,66 @@ bool BucketMigrate::Cursor::next(Entry& out) {
   out.expiry = r_.i64();
   out.reg = get_reg_info(r_);
   return r_.ok();
+}
+
+// --- replica tee: packing / lazy unpacking -----------------------------------
+
+void ReplicaTee::append(const Entry& e) {
+  Writer w(packed);
+  w.u8(static_cast<std::uint8_t>(e.op));
+  put(w, e.s);
+  w.f64(e.offered_acc);
+  w.i64(e.expiry);
+  put(w, e.reg);
+  ++count;
+}
+
+bool ReplicaTee::Cursor::next(Entry& out) {
+  if (r_.remaining() == 0) return false;
+  const std::uint8_t op = r_.u8();
+  if (op > static_cast<std::uint8_t>(Op::kSetAcc)) {
+    r_.fail();
+    return false;
+  }
+  out.op = static_cast<Op>(op);
+  out.s = get_sighting(r_);
+  out.offered_acc = r_.f64();
+  out.expiry = r_.i64();
+  out.reg = get_reg_info(r_);
+  return r_.ok();
+}
+
+ReplicaTeeView::ReplicaTeeView(const std::uint8_t* data, std::size_t len)
+    : r_(data, len) {
+  // Envelope prefix: [version u8][type u8][src u32_fixed].
+  if (r_.u8() != kWireVersion) return;
+  if (static_cast<MsgType>(r_.u8()) != MsgType::kReplicaTee) return;
+  (void)r_.u32_fixed();
+  count_ = r_.u64();
+  packed_len_ = static_cast<std::size_t>(r_.u64());
+  if (!r_.ok() || packed_len_ > r_.remaining()) return;
+  packed_base_ = data + (len - r_.remaining());
+  // Re-anchor the reader on exactly the packed region, so iteration cannot
+  // run into trailing bytes.
+  r_ = Reader(packed_base_, packed_len_);
+  valid_ = true;
+}
+
+std::optional<ReplicaTeeView::Item> ReplicaTeeView::next() {
+  if (!valid_ || r_.remaining() == 0) return std::nullopt;
+  const std::size_t start = packed_len_ - r_.remaining();
+  // Delimit the item with the one true entry decoder layout: op byte, then
+  // the BucketMigrate-style visitor fields. The sighting's leading ObjectId
+  // is the shard-routing key.
+  const std::uint8_t op = r_.u8();
+  if (op > static_cast<std::uint8_t>(ReplicaTee::Op::kSetAcc)) return std::nullopt;
+  const Sighting s = get_sighting(r_);
+  (void)r_.f64();
+  (void)r_.i64();
+  (void)get_reg_info(r_);
+  if (!r_.ok()) return std::nullopt;  // malformed tail: stop iterating
+  const std::size_t end = packed_len_ - r_.remaining();
+  return Item{s.oid, packed_base_ + start, end - start};
 }
 
 BatchedRefreshView::BatchedRefreshView(const std::uint8_t* data, std::size_t len)

@@ -134,6 +134,9 @@ enum class MsgType : std::uint8_t {
   kBatchedPathUpdate,
   kShardLoadStats,
   kBucketMigrate,
+  kReplicaTee,
+  kStandbyPromote,
+  kStandbyDemote,
 };
 
 const char* msg_type_name(MsgType t);
@@ -681,6 +684,86 @@ struct BucketMigrate {
   Cursor entries() const { return Cursor(packed); }
 };
 
+// --- Leaf hot-standby replication (answer-complete failover) -----------------
+//
+// Replication invariants:
+//  * ReplicaTee reuses the batched framing discipline -- payload
+//    [count u64][packed_len u64][packed entries]; `count` is advisory,
+//    consumers iterate the packed bytes lazily (Cursor) and stop at the
+//    first malformed entry; a truncated datagram sticky-fails the envelope
+//    decode via the packed_len prefix.
+//  * Entries carry the ABSOLUTE expiry the primary stored, so the replica's
+//    soft-state TTLs match the primary's exactly (teeing must not extend a
+//    TTL). The replica applies entries with insert-or-update semantics in
+//    batch order -- the identical spatial-index mutation sequence the
+//    primary performed -- which is what makes promoted-replica range/NN
+//    answers byte-equal to the primary's.
+//  * The tee is one datagram per handled inbound datagram/tick at most
+//    (LocationServer::flush_tee), so the replication overhead is ~1 extra
+//    datagram per update batch, never one per sighting.
+//  * StandbyPromote/StandbyDemote travel parent -> standby only; the
+//    incarnation counter makes reordered promote/demote pairs detectable in
+//    traces (the parent's engaged flag is authoritative for routing).
+
+/// Primary leaf -> standby replica: the accepted-sighting stream of one
+/// handled datagram/tick, teed with original expiries (see the replication
+/// invariants above). Entry ops: upsert (apply a sighting), remove (visitor
+/// departed/expired), set_acc (accuracy change without an index mutation).
+struct ReplicaTee {
+  static constexpr MsgType kType = MsgType::kReplicaTee;
+
+  enum class Op : std::uint8_t { kUpsert = 0, kRemove = 1, kSetAcc = 2 };
+
+  std::uint64_t count = 0;  // entries in `packed` (advisory; see framing note)
+  Buffer packed;            // concatenated [op u8][sighting][acc f64][expiry i64][reg]
+
+  struct Entry {
+    Op op = Op::kUpsert;
+    core::Sighting s;          // kRemove: only s.oid is meaningful
+    double offered_acc = 0.0;
+    TimePoint expiry = 0;      // absolute, as stored by the primary
+    core::RegInfo reg;
+  };
+
+  void clear() {
+    count = 0;
+    packed.clear();
+  }
+  bool empty() const { return count == 0; }
+  std::size_t payload_bytes() const { return packed.size(); }
+
+  void append(const Entry& e);
+
+  /// Lazy unpacker: one entry per next() call, stopping at the end of the
+  /// packed region or the first malformed entry.
+  class Cursor {
+   public:
+    explicit Cursor(const Buffer& packed) : r_(packed) {}
+    bool next(Entry& out);
+
+   private:
+    Reader r_;
+  };
+  Cursor entries() const { return Cursor(packed); }
+};
+
+/// Parent -> standby replica: "your primary is suspect; answer for it". The
+/// standby fans AgentChanged to its mirrored visitors so clients re-point.
+struct StandbyPromote {
+  static constexpr MsgType kType = MsgType::kStandbyPromote;
+  NodeId primary;
+  std::uint64_t incarnation = 0;
+};
+
+/// Parent -> standby replica: "your primary is back; stand down". The standby
+/// re-points clients at the primary and clears its mirror (the primary's
+/// recovery sweep rebuilds it via the tee).
+struct StandbyDemote {
+  static constexpr MsgType kType = MsgType::kStandbyDemote;
+  NodeId primary;
+  std::uint64_t incarnation = 0;
+};
+
 // --- Event mechanism (extension; §1 / §8 future work) ------------------------
 
 enum class PredicateKind : std::uint8_t {
@@ -775,7 +858,10 @@ struct EventUnsubscribe {
   X(BatchedRefreshReq)                                                         \
   X(BatchedPathUpdate)                                                         \
   X(ShardLoadStats)                                                            \
-  X(BucketMigrate)
+  X(BucketMigrate)                                                             \
+  X(ReplicaTee)                                                                \
+  X(StandbyPromote)                                                            \
+  X(StandbyDemote)
 
 using Message = std::variant<
     RegisterReq, RegisterRes, RegisterFailed, CreatePath, RemovePath, UpdateReq,
@@ -785,7 +871,7 @@ using Message = std::variant<
     NotifyAvailAcc, DeregisterReq, RefreshReq, EventSubscribe, EventInstall,
     EventDelta, EventNotify, EventUnsubscribe, BatchedUpdateReq, BatchedUpdateAck,
     Heartbeat, HeartbeatAck, RecoveryHello, BatchedRefreshReq, BatchedPathUpdate,
-    ShardLoadStats, BucketMigrate>;
+    ShardLoadStats, BucketMigrate, ReplicaTee, StandbyPromote, StandbyDemote>;
 
 struct Envelope {
   NodeId src;
@@ -878,6 +964,35 @@ class BatchedRefreshView {
   struct Item {
     ObjectId oid;
     const std::uint8_t* data;
+    std::size_t len;
+  };
+  std::optional<Item> next();
+
+ private:
+  Reader r_;
+  const std::uint8_t* packed_base_ = nullptr;
+  std::size_t packed_len_ = 0;
+  std::uint64_t count_ = 0;
+  bool valid_ = false;
+};
+
+/// Shard-routing view over an ENCODED ReplicaTee datagram: yields each
+/// entry's leading ObjectId plus the raw byte range of its packed encoding,
+/// without a full envelope decode, so a sharded standby splits one tee into
+/// per-shard sub-tees by memcpy of the item ranges (the replication analogue
+/// of BatchedUpdateView; core/sharded_location_server). Iteration stops at
+/// the end of the packed region or the first malformed entry; a datagram
+/// that is not a well-formed tee envelope yields valid() == false.
+class ReplicaTeeView {
+ public:
+  ReplicaTeeView(const std::uint8_t* data, std::size_t len);
+
+  bool valid() const { return valid_; }
+  std::uint64_t count() const { return count_; }  // advisory (see framing note)
+
+  struct Item {
+    ObjectId oid;
+    const std::uint8_t* data;  // raw packed encoding of this entry
     std::size_t len;
   };
   std::optional<Item> next();

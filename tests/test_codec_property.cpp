@@ -127,6 +127,17 @@ BucketMigrate rand_bucket_migrate(Rng& rng) {
   return m;
 }
 
+ReplicaTee rand_replica_tee(Rng& rng) {
+  ReplicaTee m;
+  const std::size_t n = rng.next_below(5);  // including empty tees
+  for (std::size_t i = 0; i < n; ++i) {
+    m.append({static_cast<ReplicaTee::Op>(rng.next_below(3)), rand_sighting(rng),
+              rng.uniform(0, 500), static_cast<TimePoint>(rng.next_u64() >> 20),
+              rand_reg_info(rng)});
+  }
+  return m;
+}
+
 /// One randomized instance of every protocol message type.
 std::vector<Message> random_messages(Rng& rng) {
   std::vector<Message> msgs;
@@ -198,6 +209,9 @@ std::vector<Message> random_messages(Rng& rng) {
   msgs.push_back(rand_path_batch(rng));
   msgs.push_back(rand_load_stats(rng));
   msgs.push_back(rand_bucket_migrate(rng));
+  msgs.push_back(rand_replica_tee(rng));
+  msgs.push_back(StandbyPromote{rand_node(rng), rng.next_u64()});
+  msgs.push_back(StandbyDemote{rand_node(rng), rng.next_u64()});
   return msgs;
 }
 
@@ -686,6 +700,135 @@ TEST(CodecProperty, MigrateAndLoadStatsBitFlipsNeverCrashTheCursors) {
       while (cur.next(e)) {
       }
       encode_envelope(NodeId{8}, *s);
+    }
+  }
+}
+
+// --- replica tee (hot-standby replication framing) ---------------------------
+
+TEST(CodecProperty, ReplicaTeeCursorRoundTripsEveryEntry) {
+  Rng rng(101);
+  for (int iter = 0; iter < 64; ++iter) {
+    std::vector<ReplicaTee::Entry> in(rng.next_below(6));
+    ReplicaTee tee;
+    for (auto& e : in) {
+      e = {static_cast<ReplicaTee::Op>(rng.next_below(3)), rand_sighting(rng),
+           rng.uniform(0, 500), static_cast<TimePoint>(rng.next_u64() >> 20),
+           rand_reg_info(rng)};
+      tee.append(e);
+    }
+    EXPECT_EQ(tee.count, in.size());
+    const Buffer wire = encode_envelope(NodeId{4}, tee);
+    const auto decoded = decode_envelope(wire);
+    ASSERT_TRUE(decoded.ok());
+    const auto& out = std::get<ReplicaTee>(decoded.value().msg);
+    EXPECT_EQ(out.count, in.size());
+    ReplicaTee::Cursor cur = out.entries();
+    ReplicaTee::Entry e;
+    std::size_t i = 0;
+    while (cur.next(e)) {
+      ASSERT_LT(i, in.size());
+      EXPECT_EQ(e.op, in[i].op);
+      EXPECT_EQ(e.s.oid, in[i].s.oid);
+      EXPECT_EQ(e.s.t, in[i].s.t);
+      EXPECT_EQ(e.s.pos, in[i].s.pos);
+      EXPECT_EQ(e.s.acc_sens, in[i].s.acc_sens);
+      EXPECT_EQ(e.offered_acc, in[i].offered_acc);
+      EXPECT_EQ(e.expiry, in[i].expiry);
+      EXPECT_EQ(e.reg, in[i].reg);
+      ++i;
+    }
+    EXPECT_EQ(i, in.size());
+  }
+}
+
+TEST(CodecProperty, ReplicaTeeViewAgreesWithCursorAndReencodesItems) {
+  Rng rng(102);
+  for (int iter = 0; iter < 64; ++iter) {
+    ReplicaTee tee = rand_replica_tee(rng);
+    const Buffer wire = encode_envelope(NodeId{6}, tee);
+    ReplicaTeeView view(wire.data(), wire.size());
+    ASSERT_TRUE(view.valid());
+    EXPECT_EQ(view.count(), tee.count);
+    ReplicaTee::Cursor cur = tee.entries();
+    ReplicaTee::Entry e;
+    Buffer reassembled;
+    std::size_t items = 0;
+    while (const auto item = view.next()) {
+      ASSERT_TRUE(cur.next(e));
+      EXPECT_EQ(item->oid, e.s.oid);  // the routing peek sees the same key
+      reassembled.insert(reassembled.end(), item->data, item->data + item->len);
+      ++items;
+    }
+    EXPECT_FALSE(cur.next(e));
+    EXPECT_EQ(items, tee.count);
+    // The concatenated item ranges ARE the packed region (shard splitting
+    // re-frames tees by memcpy of these ranges).
+    EXPECT_EQ(reassembled, tee.packed);
+  }
+  // Non-tee datagrams are rejected (incl. the look-alike batch framings).
+  const Buffer update = encode_envelope(NodeId{6}, UpdateReq{{}});
+  EXPECT_FALSE(ReplicaTeeView(update.data(), update.size()).valid());
+  const Buffer batch = encode_envelope(NodeId{6}, BatchedUpdateReq{});
+  EXPECT_FALSE(ReplicaTeeView(batch.data(), batch.size()).valid());
+  EXPECT_FALSE(ReplicaTeeView(nullptr, 0).valid());
+}
+
+TEST(CodecProperty, TruncatedReplicaTeeStickyFailsAndStopsIteration) {
+  Rng rng(103);
+  ReplicaTee tee;
+  for (int i = 0; i < 4; ++i) {
+    tee.append({ReplicaTee::Op::kUpsert, rand_sighting(rng), rng.uniform(0, 500),
+                static_cast<TimePoint>(rng.next_u64() >> 20), rand_reg_info(rng)});
+  }
+  // Cutting the datagram breaks the packed_len prefix: envelope sticky-fails.
+  const Buffer wire = encode_envelope(NodeId{3}, tee);
+  for (std::size_t cut = 1; cut < 40; ++cut) {
+    EXPECT_FALSE(decode_envelope(wire.data(), wire.size() - cut).ok());
+  }
+  // A tee whose OWNED packed region is damaged mid-entry stops lazy iteration
+  // at the damage instead of overrunning.
+  ReplicaTee damaged = tee;
+  damaged.packed.resize(damaged.packed.size() - 5);
+  ReplicaTee::Cursor cur = damaged.entries();
+  ReplicaTee::Entry e;
+  std::size_t complete = 0;
+  while (cur.next(e)) ++complete;
+  EXPECT_EQ(complete, 3u);
+  // An out-of-range op byte stops both the cursor and the view.
+  ReplicaTee bad_op = tee;
+  bad_op.packed[0] = 0x7F;
+  ReplicaTee::Cursor bad_cur = bad_op.entries();
+  EXPECT_FALSE(bad_cur.next(e));
+  const Buffer bad_wire = encode_envelope(NodeId{3}, bad_op);
+  ReplicaTeeView bad_view(bad_wire.data(), bad_wire.size());
+  ASSERT_TRUE(bad_view.valid());
+  EXPECT_FALSE(bad_view.next().has_value());
+}
+
+TEST(CodecProperty, ReplicaTeeBitFlipsNeverCrashCursorOrView) {
+  Rng rng(104);
+  for (int iter = 0; iter < 200; ++iter) {
+    ReplicaTee tee = rand_replica_tee(rng);
+    tee.append({ReplicaTee::Op::kRemove, rand_sighting(rng), 1.0, 2,
+                rand_reg_info(rng)});
+    Buffer wire = encode_envelope(NodeId{8}, tee);
+    const std::size_t byte = rng.next_below(wire.size());
+    wire[byte] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    // The view never crashes, whatever the flip hit.
+    ReplicaTeeView view(wire.data(), wire.size());
+    while (view.next()) {
+    }
+    // If the envelope still decodes, lazy iteration must stay in bounds.
+    const auto decoded = decode_envelope(wire);
+    if (decoded.ok()) {
+      if (const auto* m = std::get_if<ReplicaTee>(&decoded.value().msg)) {
+        ReplicaTee::Cursor cur = m->entries();
+        ReplicaTee::Entry e;
+        while (cur.next(e)) {
+        }
+        encode_envelope(NodeId{8}, *m);  // and re-encode cleanly
+      }
     }
   }
 }

@@ -420,6 +420,276 @@ TEST(FaultTolerance, LinkFaultsDropDuplicateAndJitterStillConverge) {
   EXPECT_EQ(a, b);          // and did so deterministically
 }
 
+// --------------------------------------------------------------------------
+// Hot-standby replication (Deployment::Config::leaf_standby): the primary
+// tees every accepted sighting to a replica; on miss-threshold suspicion the
+// parent promotes it (StandbyPromote) and queries route there instead of the
+// suspect short-circuit -- the acceptance bar is ANSWERS EQUAL TO AN
+// UNFAULTED CONTROL during the blackout, not mere completion.
+
+const NodeId kStandby{12};  // outside table2's NodeId range
+
+/// Everything externally observable about one replicated scenario run.
+struct RepObservation {
+  std::vector<std::string> blackout_answers;  // while the primary is down
+  std::vector<std::string> final_answers;     // after reconciliation
+  std::vector<ObjectId> final_range_ids;      // full-area range, sorted
+  std::size_t final_found = 0;                // position hits at the end
+  std::uint32_t trace_crc = 0;
+  std::uint64_t messages = 0;
+  core::LocationServer::Stats stats;
+};
+
+/// The run_scenario workload over a deployment whose crash leaf has a hot
+/// standby. The schedule keeps the blackout feed rounds AFTER the promotion
+/// fan-out (clients re-pointed), so the standby sees the same per-object
+/// update order the control's primary sees -- the answers must match.
+RepObservation run_replicated_scenario(bool fault, const std::string& tag) {
+  LogDir logs(tag);
+  core::Deployment::Config cfg;
+  cfg.server = fault_opts();
+  cfg.visitor_db_factory = logs.factory();
+  cfg.leaf_standby = {{kCrashLeaf, kStandby}};
+  SimWorld w(core::HierarchyBuilder::table2(geo::Rect{{0, 0}, {kArea, kArea}}),
+             cfg);
+
+  RepObservation obs;
+  w.net.set_tracer([&](TimePoint at, NodeId from, NodeId to, const wire::Buffer& b) {
+    obs.trace_crc = crc32(&at, sizeof at, obs.trace_crc);
+    obs.trace_crc = crc32(&from.value, sizeof from.value, obs.trace_crc);
+    obs.trace_crc = crc32(&to.value, sizeof to.value, obs.trace_crc);
+    obs.trace_crc = crc32(b.data(), b.size(), obs.trace_crc);
+  });
+
+  Rng rng(0xFA01);
+  std::vector<std::unique_ptr<TrackedObject>> objs;
+  std::vector<geo::Point> pos(kObjects + 1);
+  std::vector<geo::Rect> rects(kObjects + 1);
+  for (std::uint64_t i = 1; i <= kObjects; ++i) {
+    pos[i] = {rng.uniform(10, kArea - 10), rng.uniform(10, kArea - 10)};
+    objs.push_back(w.register_object(ObjectId{i}, pos[i]));
+    EXPECT_TRUE(objs.back()->tracked()) << "object " << i;
+    rects[i] = w.deployment->server(objs.back()->agent())
+                   .config().sa.bounding_box();
+  }
+
+  sim::FaultPlan plan;
+  sim::FaultPlan::Hooks hooks;
+  hooks.tick = [&](TimePoint t) { w.deployment->tick_all(t); };
+  hooks.tick_every = milliseconds(500);
+  hooks.crash = [&](NodeId node) {
+    w.deployment->crash(node);
+    w.net.set_node_down(node, true);
+  };
+  hooks.restart = [&](NodeId node) {
+    w.net.set_node_down(node, false);
+    w.deployment->restart(node, /*announce=*/true);
+  };
+
+  const TimePoint t0 = w.net.now();
+  const TimePoint crash_at = t0 + seconds(2);
+  const TimePoint restart_at = crash_at + seconds(10);
+  if (fault) plan.crash_at(crash_at, kCrashLeaf).restart_at(restart_at, kCrashLeaf);
+
+  const auto feed_round = [&](int round) {
+    for (std::uint64_t i = 1; i <= kObjects; ++i) {
+      if ((i + static_cast<std::uint64_t>(round)) % 3 == 0) continue;
+      const geo::Rect& r = rects[i];
+      pos[i] = {std::clamp(pos[i].x + rng.uniform(-60, 60), r.min.x + 5, r.max.x - 5),
+                std::clamp(pos[i].y + rng.uniform(-60, 60), r.min.y + 5, r.max.y - 5)};
+      objs[i - 1]->feed_position(pos[i]);
+    }
+  };
+
+  // Phase 1: healthy workload, crash mid-schedule; then the failover window
+  // (3 missed 1s heartbeats trip the detector, StandbyPromote fans
+  // AgentChanged at every mirrored client) BEFORE the blackout feeds.
+  feed_round(0);
+  plan.run(w.net, hooks, crash_at + seconds(1));
+  plan.run(w.net, hooks, crash_at + seconds(5));
+  if (fault) {
+    EXPECT_TRUE(w.deployment->server(kRoot).child_suspect(kCrashLeaf));
+    EXPECT_TRUE(w.deployment->server(kStandby).standby_active());
+  }
+  // Phase 2: blackout workload -- the promoted standby is the agent now.
+  feed_round(1);
+  plan.run(w.net, hooks, crash_at + seconds(6));
+  feed_round(2);
+  plan.run(w.net, hooks, crash_at + seconds(7));
+
+  // Blackout answers, collected in BOTH runs for the equality bar.
+  auto qc = w.make_query_client(NodeId{5});
+  for (std::uint64_t i = 1; i <= kObjects; ++i) {
+    const auto res = w.pos_query(*qc, ObjectId{i});
+    obs.blackout_answers.push_back("pos:" + std::to_string(i) + ":" +
+                                   (res.found ? fmt_ld(res.ld) : "miss"));
+  }
+  {
+    auto range = w.range_query(
+        *qc, geo::Polygon::from_rect(geo::Rect{{0, 0}, {kArea, kArea}}), 50.0, 0.1);
+    obs.blackout_answers.push_back("range:" + std::to_string(range.complete) +
+                                   ":" + fmt_results(std::move(range.objects)));
+    auto nn = w.nn_query(*qc, {kArea / 2, kArea / 2}, 60.0, 30.0);
+    obs.blackout_answers.push_back(
+        "nn:" + (nn.found ? std::to_string(nn.nearest.oid.value) +
+                                fmt_ld(nn.nearest.ld) + "|" +
+                                fmt_results(std::move(nn.near_set))
+                          : std::string("miss")));
+  }
+
+  // Phase 3: primary returns -- RecoveryHello demotes the standby, whose
+  // fan-out points the clients back while the refresh sweep (plus the
+  // demote-race bounce path) rebuilds the primary's volatile state.
+  plan.run(w.net, hooks, restart_at + seconds(4));
+  if (fault) {
+    EXPECT_FALSE(w.deployment->server(kRoot).child_suspect(kCrashLeaf));
+    EXPECT_FALSE(w.deployment->is_down(kCrashLeaf));
+    EXPECT_FALSE(w.deployment->server(kStandby).standby_active());
+  }
+  feed_round(3);
+  pos[1] = {kArea - 40, kArea - 40};
+  objs[0]->feed_position(pos[1]);
+  pos[2] = {40, kArea - 40};
+  objs[1]->feed_position(pos[2]);
+  plan.run(w.net, hooks, restart_at + seconds(6));
+  w.net.run_until_idle();
+
+  for (std::uint64_t i = 1; i <= kObjects; ++i) {
+    const auto res = w.pos_query(*qc, ObjectId{i});
+    obs.final_answers.push_back("pos:" + std::to_string(i) + ":" +
+                                (res.found ? fmt_ld(res.ld) : "miss"));
+    if (res.found) ++obs.final_found;
+    EXPECT_TRUE(res.found) << "object " << i << " lost after reconciliation";
+  }
+  auto range = w.range_query(
+      *qc, geo::Polygon::from_rect(geo::Rect{{0, 0}, {kArea, kArea}}), 50.0, 0.1);
+  obs.final_range_ids = sorted_ids(range.objects);
+  obs.final_answers.push_back("range:" + fmt_results(std::move(range.objects)));
+  auto nn = w.nn_query(*qc, {kArea / 2, kArea / 2}, 60.0, 30.0);
+  obs.final_answers.push_back(
+      "nn:" + (nn.found ? std::to_string(nn.nearest.oid.value) +
+                              fmt_ld(nn.nearest.ld) + "|" +
+                              fmt_results(std::move(nn.near_set))
+                        : std::string("miss")));
+
+  obs.messages = w.net.messages_sent();
+  obs.stats = w.deployment->total_stats();
+  return obs;
+}
+
+TEST(FaultTolerance, ReplicatedBlackoutAnswersEqualUnfaultedControl) {
+  const RepObservation faulted = run_replicated_scenario(/*fault=*/true, "rep_f");
+  const RepObservation control = run_replicated_scenario(/*fault=*/false, "rep_c");
+  // Answer-complete failover: the SAME query schedule, answered by the
+  // promoted standby, returns exactly the control run's answers -- during
+  // the blackout and after reconciliation.
+  EXPECT_EQ(faulted.blackout_answers, control.blackout_answers);
+  EXPECT_EQ(faulted.final_answers, control.final_answers);
+  EXPECT_GE(faulted.stats.standbys_engaged, 1u);
+  EXPECT_GE(faulted.stats.standby_promotions, 1u);
+  EXPECT_GE(faulted.stats.standby_routed_queries, 1u);
+  EXPECT_GT(faulted.stats.tee_entries_applied, 0u);
+  // The control never promotes, but its tee flows all the same.
+  EXPECT_EQ(control.stats.standby_promotions, 0u);
+  EXPECT_EQ(control.stats.standby_routed_queries, 0u);
+  EXPECT_GT(control.stats.tee_datagrams_sent, 0u);
+}
+
+TEST(FaultTolerance, ReplicatedPromotionIsDeterministicAcrossReruns) {
+  const RepObservation a = run_replicated_scenario(/*fault=*/true, "rep_det_a");
+  const RepObservation b = run_replicated_scenario(/*fault=*/true, "rep_det_b");
+  EXPECT_EQ(a.trace_crc, b.trace_crc);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.blackout_answers, b.blackout_answers);
+  EXPECT_EQ(a.final_answers, b.final_answers);
+}
+
+TEST(FaultTolerance, ReplicatedReconciliationNeitherLosesNorDuplicatesVisitors) {
+  const RepObservation obs = run_replicated_scenario(/*fault=*/true, "rep_reconc");
+  // The primary returned: demotion fired, every object is answerable again
+  // (no visitor lost -- also asserted per object inside the run), and the
+  // full-area range lists no object twice (no visitor duplicated between
+  // the recovered primary and the demoted mirror).
+  EXPECT_GE(obs.stats.standby_demotions, 1u);
+  EXPECT_EQ(obs.final_found, kObjects);
+  EXPECT_EQ(std::adjacent_find(obs.final_range_ids.begin(),
+                               obs.final_range_ids.end()),
+            obs.final_range_ids.end());
+}
+
+TEST(FaultTolerance, ReplicatedShardedLeafPromotesPerShard) {
+  LogDir logs("rep_sharded");
+  core::Deployment::Config cfg;
+  cfg.server = fault_opts();
+  cfg.leaf_shards = 2;
+  cfg.sharded_visitor_db_factory = logs.sharded_factory();
+  cfg.leaf_standby = {{kCrashLeaf, kStandby}};
+  SimWorld w(core::HierarchyBuilder::table2(geo::Rect{{0, 0}, {kArea, kArea}}),
+             cfg);
+
+  Rng rng(0xFA03);
+  std::vector<std::unique_ptr<TrackedObject>> objs;
+  std::vector<geo::Point> pos(17);
+  for (std::uint64_t i = 1; i <= 16; ++i) {
+    // All on the crash leaf's quadrant, so both shard slices are exercised.
+    pos[i] = {rng.uniform(10, kArea / 2 - 10), rng.uniform(10, kArea / 2 - 10)};
+    objs.push_back(w.register_object(ObjectId{i}, pos[i]));
+    ASSERT_TRUE(objs.back()->tracked());
+    ASSERT_EQ(objs.back()->agent(), kCrashLeaf);
+  }
+
+  w.deployment->crash(kCrashLeaf);
+  w.net.set_node_down(kCrashLeaf, true);
+  w.advance(seconds(5), 10);  // detector window + promotion fan-out
+
+  // The standby mirrors the primary's shard layout: the promote broadcast
+  // reached every shard reactor, and each slice mirrors its own objects.
+  core::ShardedLocationServer* standby = w.deployment->sharded(kStandby);
+  ASSERT_NE(standby, nullptr);
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    EXPECT_TRUE(standby->shard(s).standby_active()) << "shard " << s;
+    EXPECT_EQ(standby->shard(s).stats().standby_promotions, 1u) << "shard " << s;
+  }
+  for (std::uint64_t i = 1; i <= 16; ++i) {
+    EXPECT_EQ(objs[i - 1]->agent(), kStandby) << "object " << i;
+    const std::uint32_t owner = core::ShardedLocationServer::shard_of(ObjectId{i}, 2);
+    EXPECT_NE(standby->shard(owner).sightings()->find(ObjectId{i}), nullptr)
+        << "object " << i << " missing from its owning standby slice";
+  }
+
+  // Blackout feeds land in the owning slice; queries answer from it.
+  for (std::uint64_t i = 1; i <= 16; ++i) {
+    pos[i] = {std::clamp(pos[i].x + 40.0, 10.0, kArea / 2 - 10),
+              std::clamp(pos[i].y + 40.0, 10.0, kArea / 2 - 10)};
+    objs[i - 1]->feed_position(pos[i]);
+  }
+  w.run();
+  auto qc = w.make_query_client(NodeId{4});
+  for (std::uint64_t i = 1; i <= 16; ++i) {
+    const auto res = w.pos_query(*qc, ObjectId{i});
+    EXPECT_TRUE(res.found) << "object " << i;
+    if (res.found) {
+      EXPECT_EQ(res.ld.pos, pos[i]) << "object " << i;
+    }
+  }
+
+  // Primary returns: every shard demotes, clients re-point, nothing lost.
+  w.net.set_node_down(kCrashLeaf, false);
+  w.deployment->restart(kCrashLeaf, /*announce=*/true);
+  w.advance(seconds(5), 10);
+  for (std::uint32_t s = 0; s < 2; ++s) {
+    EXPECT_FALSE(standby->shard(s).standby_active()) << "shard " << s;
+  }
+  for (std::uint64_t i = 1; i <= 16; ++i) {
+    EXPECT_EQ(objs[i - 1]->agent(), kCrashLeaf) << "object " << i;
+    const auto res = w.pos_query(*qc, ObjectId{i});
+    EXPECT_TRUE(res.found) << "object " << i;
+    if (res.found) {
+      EXPECT_EQ(res.ld.pos, pos[i]) << "object " << i;
+    }
+  }
+}
+
 TEST(FaultTolerance, HeartbeatAcksKeepHealthyChildrenUnsuspected) {
   core::Deployment::Config cfg;
   cfg.server = fault_opts();
