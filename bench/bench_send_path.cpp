@@ -8,6 +8,15 @@
 // byte-identical answers (order-independent payload checksum); the gated
 // metric is the per-datagram syscall reduction, >= 8x at batch factor 16.
 //
+// Phase 1b (--backend=uring, deterministic): the SAME corked blast again
+// over the io_uring transmit backend, plain and SQPOLL tiers. Gated on the
+// payload checksum matching the sendmmsg runs (byte-identical answers per
+// backend) and -- via bench/baselines/send_path.json -- on the SQPOLL tier
+// needing <= 0.01 send syscalls per datagram (the kernel thread drains the
+// SQ, enters happen only to wake it). Skipped cleanly (JSON records
+// uring_ran=false) when the kernel lacks io_uring; `--probe` just reports
+// support (exit 0 supported / 2 not) for CI feature detection.
+//
 // Phase 2 (wall-clock): the bench_sharded_update closed-loop workload at 1
 // and 4 shards, now riding the per-shard transmit channels -- floors only,
 // absolute numbers vary with runner cores.
@@ -19,6 +28,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstring>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -26,6 +36,7 @@
 #include "core/deployment.hpp"
 #include "core/hierarchy_builder.hpp"
 #include "net/udp_network.hpp"
+#include "net/uring_backend.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -49,6 +60,18 @@ struct SyscallResult {
   SyscallRun ring;      // corked: sendmmsg batches
 };
 
+/// Deterministic 21-byte blast payload: run tag + body. The body depends
+/// only on `seq`, so every backend's run delivers the same multiset of
+/// body bytes and the commutative checksums must agree across backends.
+wire::Buffer blast_payload(std::uint8_t run_tag, int seq) {
+  wire::Buffer b;
+  b.push_back(run_tag);
+  for (int i = 0; i < 20; ++i) {
+    b.push_back(static_cast<std::uint8_t>((seq * 31 + i * 7) & 0xff));
+  }
+  return b;
+}
+
 SyscallResult run_syscall_phase() {
   net::UdpNetwork net(net::UdpNetwork::pick_free_base_port(/*span=*/10));
   // Order-independent tally per run (keyed by the payload's run tag): count
@@ -70,14 +93,7 @@ SyscallResult run_syscall_phase() {
   net.attach(NodeId{2}, [](const std::uint8_t*, std::size_t) {});
   net.attach(NodeId{3}, [](const std::uint8_t*, std::size_t) {});
 
-  const auto payload = [](std::uint8_t run_tag, int seq) {
-    wire::Buffer b;
-    b.push_back(run_tag);
-    for (int i = 0; i < 20; ++i) {
-      b.push_back(static_cast<std::uint8_t>((seq * 31 + i * 7) & 0xff));
-    }
-    return b;
-  };
+  const auto payload = blast_payload;
   const auto wait_delivered = [&](std::uint8_t run_tag) {
     for (int i = 0; i < 1000; ++i) {
       if (tallies[run_tag].count.load() >= kDatagrams) break;
@@ -117,6 +133,55 @@ SyscallResult run_syscall_phase() {
   res.baseline = run_of(NodeId{2}, 0);
   res.ring = run_of(NodeId{3}, 1);
   return res;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1b: the same corked blast over the io_uring transmit backend.
+
+/// Corked kDatagrams blast under `opts`, fresh UdpNetwork. Uses run tag 1
+/// (the corked tag), so the checksum is directly comparable with the
+/// sendmmsg ring run from phase 1.
+SyscallRun run_corked_blast(net::UdpNetwork::Options opts, bool* engaged) {
+  net::UdpNetwork net(net::UdpNetwork::pick_free_base_port(/*span=*/10), opts);
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> checksum{0};
+  net.attach(NodeId{1}, [&](const std::uint8_t* d, std::size_t n) {
+    if (n < 2 || d[0] != 1) return;
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::size_t i = 1; i < n; ++i) h = (h ^ d[i]) * 1099511628211ull;
+    count.fetch_add(1, std::memory_order_relaxed);
+    checksum.fetch_add(h, std::memory_order_relaxed);
+  });
+  net.attach(NodeId{3}, [](const std::uint8_t*, std::size_t) {});
+  if (engaged != nullptr) *engaged = net.uring_active(NodeId{3});
+  net.cork(NodeId{3});
+  for (int i = 0; i < kDatagrams; ++i) {
+    net.send(NodeId{3}, NodeId{1}, blast_payload(1, i));
+  }
+  net.uncork(NodeId{3});
+  // Wait for delivery AND settled completion accounting: under SQPOLL the
+  // kernel thread drains the SQ asynchronously, so keep flushing (a flush
+  // with nothing queued reaps the CQ) until every datagram's CQE landed.
+  for (int i = 0; i < 1000; ++i) {
+    net.flush(NodeId{3});
+    const net::UdpNetwork::TxStats tx = net.tx_stats(NodeId{3});
+    if (count.load() >= kDatagrams &&
+        tx.datagrams_sent + tx.dropped >= kDatagrams) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const net::UdpNetwork::TxStats tx = net.tx_stats(NodeId{3});
+  SyscallRun run;
+  run.syscalls_per_datagram =
+      tx.datagrams_sent > 0
+          ? static_cast<double>(tx.batches_flushed) /
+                static_cast<double>(tx.datagrams_sent)
+          : 0.0;
+  run.delivered = count.load();
+  run.checksum = checksum.load();
+  run.dropped = tx.dropped;
+  return run;
 }
 
 // ---------------------------------------------------------------------------
@@ -266,7 +331,33 @@ double run_hot_leaf(std::uint32_t shards) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool want_uring = false;
+  bool probe_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--backend=uring") == 0) {
+      want_uring = true;
+    } else if (std::strcmp(argv[i], "--probe") == 0) {
+      probe_only = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--backend=uring] [--probe]\n"
+                   "  --backend=uring  also run the io_uring transmit phases\n"
+                   "  --probe          report backend support and exit "
+                   "(0 = io_uring usable, 2 = not)\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  const bool uring_supported = net::UringBackend::kernel_supported();
+  const bool sqpoll_supported = net::UringBackend::sqpoll_supported();
+  if (probe_only) {
+    std::printf("io_uring: %s, SQPOLL: %s\n",
+                uring_supported ? "supported" : "unsupported",
+                sqpoll_supported ? "supported" : "unsupported");
+    return uring_supported ? 0 : 2;
+  }
+
   const unsigned cores = std::thread::hardware_concurrency();
   std::printf("bench_send_path: transmit-ring syscall amortization, %u cores\n",
               cores);
@@ -290,6 +381,42 @@ int main() {
   std::printf("  reduction: %.2fx, payload checksums %s\n", reduction,
               checksums_equal ? "equal" : "DIFFER");
 
+  // Phase 1b: io_uring backend matrix (opt-in; clean skip when the kernel
+  // has no usable io_uring so default runs and locked-down CI stay green).
+  bool uring_ran = false;
+  bool uring_checksums_equal = false;
+  SyscallRun uring_run, sqpoll_run;
+  if (want_uring && uring_supported) {
+    bool engaged = false;
+    uring_run = run_corked_blast({.use_io_uring = true}, &engaged);
+    uring_ran = engaged;
+    std::printf("  uring:    %.4f syscalls/datagram (%llu delivered, "
+                "%llu dropped)\n",
+                uring_run.syscalls_per_datagram,
+                static_cast<unsigned long long>(uring_run.delivered),
+                static_cast<unsigned long long>(uring_run.dropped));
+    if (sqpoll_supported) {
+      sqpoll_run =
+          run_corked_blast({.use_io_uring = true, .sqpoll = true}, nullptr);
+      std::printf("  sqpoll:   %.4f syscalls/datagram (%llu delivered, "
+                  "%llu dropped)\n",
+                  sqpoll_run.syscalls_per_datagram,
+                  static_cast<unsigned long long>(sqpoll_run.delivered),
+                  static_cast<unsigned long long>(sqpoll_run.dropped));
+    }
+    uring_checksums_equal =
+        uring_run.delivered == static_cast<std::uint64_t>(kDatagrams) &&
+        uring_run.checksum == sys.ring.checksum && uring_run.dropped == 0 &&
+        (!sqpoll_supported ||
+         (sqpoll_run.delivered == static_cast<std::uint64_t>(kDatagrams) &&
+          sqpoll_run.checksum == sys.ring.checksum &&
+          sqpoll_run.dropped == 0));
+    std::printf("  uring payload checksums %s sendmmsg\n",
+                uring_checksums_equal ? "match" : "DIFFER from");
+  } else if (want_uring) {
+    std::printf("  uring:    skipped (kernel lacks usable io_uring)\n");
+  }
+
   const double sharded1 = run_hot_leaf(1);
   std::printf("  hot leaf, 1 shard:  %10.0f acked updates/s\n", sharded1);
   const double sharded4 = run_hot_leaf(4);
@@ -309,6 +436,14 @@ int main() {
                "  \"payload_checksums_equal\": %s,\n"
                "  \"baseline_delivered\": %llu,\n"
                "  \"ring_delivered\": %llu,\n"
+               "  \"uring_supported\": %s,\n"
+               "  \"sqpoll_supported\": %s,\n"
+               "  \"uring_ran\": %s,\n"
+               "  \"uring_syscalls_per_datagram\": %.4f,\n"
+               "  \"sqpoll_syscalls_per_datagram\": %.4f,\n"
+               "  \"uring_dropped\": %llu,\n"
+               "  \"sqpoll_dropped\": %llu,\n"
+               "  \"uring_checksums_equal\": %s,\n"
                "  \"sharded1_updates_per_sec\": %.1f,\n"
                "  \"sharded4_updates_per_sec\": %.1f\n"
                "}\n",
@@ -317,9 +452,18 @@ int main() {
                checksums_equal ? "true" : "false",
                static_cast<unsigned long long>(sys.baseline.delivered),
                static_cast<unsigned long long>(sys.ring.delivered),
-               sharded1, sharded4);
+               uring_supported ? "true" : "false",
+               sqpoll_supported ? "true" : "false",
+               uring_ran ? "true" : "false",
+               uring_run.syscalls_per_datagram,
+               sqpoll_run.syscalls_per_datagram,
+               static_cast<unsigned long long>(uring_run.dropped),
+               static_cast<unsigned long long>(sqpoll_run.dropped),
+               uring_checksums_equal ? "true" : "false", sharded1, sharded4);
   std::fclose(f);
-  // Self-gate the deterministic half so a local run fails loudly even
-  // without the baseline script.
-  return (reduction >= 8.0 && checksums_equal) ? 0 : 1;
+  // Self-gate the deterministic halves so a local run fails loudly even
+  // without the baseline script. The SQPOLL syscalls/datagram band itself
+  // lives in bench/baselines/send_path.json (requires-guarded).
+  const bool uring_ok = !uring_ran || uring_checksums_equal;
+  return (reduction >= 8.0 && checksums_equal && uring_ok) ? 0 : 1;
 }

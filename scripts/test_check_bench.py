@@ -3,8 +3,10 @@
 
 Covers run_check() band boundaries for every check kind (min_ratio
 tolerance bars, min collapse floors, max ceilings, equals invariants),
-missing-metric and unknown-kind failure paths, and dotted-path lookup()
-nesting. Run directly or via ctest (test_check_bench).
+missing-metric and unknown-kind failure paths, dotted-path lookup()
+nesting, and the conditional-check skip logic (min_cores core gates with
+nproc/host_cores resolution, `requires` backend gates). Run directly or
+via ctest (test_check_bench).
 """
 
 import importlib.util
@@ -97,6 +99,71 @@ class EqualsTest(unittest.TestCase):
     def test_exact_counts(self):
         self.assertTrue(self.check(48, 48))
         self.assertFalse(self.check(47, 48))
+
+
+class HostCoresTest(unittest.TestCase):
+    def test_nproc_preferred_over_host_cores(self):
+        self.assertEqual(
+            check_bench.host_cores({"nproc": 8, "host_cores": 4}), 8)
+
+    def test_host_cores_fallback(self):
+        self.assertEqual(check_bench.host_cores({"host_cores": 4}), 4)
+
+    def test_machine_fallback_when_doc_silent(self):
+        self.assertEqual(check_bench.host_cores({}), os.cpu_count() or 1)
+
+    def test_bogus_values_ignored(self):
+        self.assertEqual(
+            check_bench.host_cores({"nproc": 0, "host_cores": 2}), 2)
+
+
+class SkipReasonTest(unittest.TestCase):
+    def test_unconditional_check_runs(self):
+        spec = {"metric": "m", "kind": "min", "floor": 1}
+        self.assertIsNone(check_bench.skip_reason(spec, {"m": 5}))
+
+    def test_min_cores_skips_small_hosts(self):
+        spec = {"metric": "speedup", "kind": "min", "floor": 1.2,
+                "min_cores": 4}
+        reason = check_bench.skip_reason(spec, {"host_cores": 1})
+        self.assertIsNotNone(reason)
+        self.assertIn("4 cores", reason)
+        self.assertIn("had 1", reason)
+
+    def test_min_cores_runs_on_big_hosts(self):
+        spec = {"metric": "speedup", "kind": "min", "floor": 1.2,
+                "min_cores": 4}
+        self.assertIsNone(check_bench.skip_reason(spec, {"host_cores": 4}))
+
+    def test_requires_single_field(self):
+        spec = {"metric": "m", "kind": "max", "ceiling": 0.01,
+                "requires": "uring_ran"}
+        self.assertIsNotNone(
+            check_bench.skip_reason(spec, {"uring_ran": False}))
+        self.assertIsNone(check_bench.skip_reason(spec, {"uring_ran": True}))
+
+    def test_requires_missing_field_skips(self):
+        spec = {"metric": "m", "kind": "max", "ceiling": 0.01,
+                "requires": "uring_ran"}
+        reason = check_bench.skip_reason(spec, {})
+        self.assertIsNotNone(reason)
+        self.assertIn("uring_ran", reason)
+
+    def test_requires_list_needs_every_field(self):
+        spec = {"metric": "m", "kind": "max", "ceiling": 0.01,
+                "requires": ["uring_ran", "sqpoll_supported"]}
+        doc = {"uring_ran": True, "sqpoll_supported": False}
+        self.assertIsNotNone(check_bench.skip_reason(spec, doc))
+        doc["sqpoll_supported"] = True
+        self.assertIsNone(check_bench.skip_reason(spec, doc))
+
+    def test_min_cores_and_requires_compose(self):
+        spec = {"metric": "m", "kind": "min", "floor": 1, "min_cores": 2,
+                "requires": "flag"}
+        doc = {"nproc": 4, "flag": True}
+        self.assertIsNone(check_bench.skip_reason(spec, doc))
+        self.assertIsNotNone(
+            check_bench.skip_reason(spec, {"nproc": 1, "flag": True}))
 
 
 class FailurePathTest(unittest.TestCase):

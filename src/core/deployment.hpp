@@ -51,6 +51,10 @@ class Deployment {
     /// Run one reactor thread per shard (UdpNetwork). Leave false over
     /// SimNetwork: inline shard execution keeps delivery deterministic.
     bool shard_threads = false;
+    /// Adaptive busy-poll window for threaded shard reactors, in
+    /// microseconds (ShardedLocationServer::Options::busy_poll_us; 0 = off,
+    /// the default -- idle reactors sleep/wake exactly as before).
+    std::uint32_t shard_busy_poll_us = 0;
     /// Build ShardedLocationServer leaves even at shards == 1. Used by the
     /// determinism tests: the single-shard wrapper must be pass-through
     /// (trace bit-identical to plain LocationServer leaves).

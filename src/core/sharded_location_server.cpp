@@ -452,6 +452,39 @@ void ShardedLocationServer::shard_loop(Shard& sh) {
       std::this_thread::yield();
       continue;
     }
+    // Adaptive busy-poll (Options::busy_poll_us): spin on the inbox for a
+    // bounded window before paying the sleep/wake path. The periodic
+    // channel flush reaps transmit completions along the way -- over an
+    // io_uring backend that is a CQ sweep with no syscall -- so a loaded
+    // shard can run drain -> handle -> flush cycles entirely in user space.
+    if (opts_.busy_poll_us > 0) {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(opts_.busy_poll_us);
+      bool caught = false;
+      std::uint32_t spin = 0;
+      while (std::chrono::steady_clock::now() < deadline) {
+        sh.busy_spins.fetch_add(1, std::memory_order_relaxed);
+        if (stop_.load(std::memory_order_acquire)) break;
+        if (!sh.inbox.empty()) {
+          caught = true;
+          break;
+        }
+        if (tx != nullptr && (++spin & 31u) == 0) tx->flush();
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#else
+        std::this_thread::yield();
+#endif
+      }
+      if (caught) {
+        // A sleep (and the producer's notify_one) just got skipped.
+        sh.wakeups_avoided.fetch_add(1, std::memory_order_relaxed);
+        idle_rounds = 0;
+        continue;
+      }
+      if (stop_.load(std::memory_order_acquire)) continue;  // drain + exit
+    }
+    sh.busy_sleeps.fetch_add(1, std::memory_order_relaxed);
     std::unique_lock<std::mutex> lock(sh.wake_mu);
     sh.sleeping.store(true, std::memory_order_release);
     sh.wake_cv.wait_for(lock, kSleepSlice, [&] {

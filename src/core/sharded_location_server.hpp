@@ -99,6 +99,14 @@ class ShardedLocationServer {
     /// Per-shard inbox capacity (threaded mode); overflow drops datagrams
     /// after a brief retry (UDP semantics -- senders own retries).
     std::size_t inbox_capacity = 4096;
+    /// Adaptive busy-poll window (threaded mode; 0 = off). An idle reactor
+    /// that has exhausted its yield rounds spins on the SPSC inbox for up
+    /// to this many microseconds -- flushing its transmit channel along the
+    /// way, which over an io_uring backend reaps the CQ without a syscall
+    /// -- before falling back to the sleep/wake path. Work arriving inside
+    /// the window skips a full sleep+wakeup round trip (and the producer's
+    /// notify syscall); see busy_poll_stats().
+    std::uint32_t busy_poll_us = 0;
     /// Options forwarded to every shard's LocationServer.
     LocationServer::Options server;
     /// Skew-aware routing / rebalancing knobs (see Balance).
@@ -230,6 +238,26 @@ class ShardedLocationServer {
     return inbox_dropped_.load(std::memory_order_relaxed);
   }
 
+  /// Idle-path counters, summed across shard reactors (threaded mode;
+  /// all-zero inline). `sleeps` counts entries into the sleep/wake path and
+  /// ticks with busy-poll off too, so the same counter shows the before /
+  /// after of enabling Options::busy_poll_us.
+  struct BusyPollStats {
+    std::uint64_t spins = 0;    // busy-poll window iterations
+    std::uint64_t sleeps = 0;   // falls into the wake_cv sleep path
+    std::uint64_t wakeups_avoided = 0;  // work caught inside a spin window
+  };
+  BusyPollStats busy_poll_stats() const {
+    BusyPollStats total;
+    for (const auto& sh : shards_) {
+      total.spins += sh->busy_spins.load(std::memory_order_relaxed);
+      total.sleeps += sh->busy_sleeps.load(std::memory_order_relaxed);
+      total.wakeups_avoided +=
+          sh->wakeups_avoided.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
  private:
   struct Shard {
     explicit Shard(std::size_t inbox_capacity) : inbox(inbox_capacity) {}
@@ -253,6 +281,10 @@ class ShardedLocationServer {
     std::mutex wake_mu;
     std::condition_variable wake_cv;
     std::atomic<bool> sleeping{false};
+    // Idle-path counters (busy_poll_stats()); relaxed -- monitoring only.
+    std::atomic<std::uint64_t> busy_spins{0};
+    std::atomic<std::uint64_t> busy_sleeps{0};
+    std::atomic<std::uint64_t> wakeups_avoided{0};
   };
 
   struct SightingDelta {

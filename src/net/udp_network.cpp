@@ -90,6 +90,10 @@ struct UdpNetwork::Node {
   // thread-local cache entries and late stats reads stay valid; stop()
   // poisons the ring's fd instead.
   std::unique_ptr<TxRing> ring;
+  // io_uring flush backend for the ring (Options::use_io_uring + a capable
+  // kernel; nullptr keeps sendmmsg). Survives stop() alongside the ring so
+  // folded stats stay readable; the set_fd(-1) poison drains it first.
+  std::unique_ptr<UringBackend> uring;
   bool steering_ok = false;  // REUSEPORT group steering installed
   // Guards handler invocation vs detach(): a reactor clearing its handler
   // before destruction must not race an in-flight callback.
@@ -131,7 +135,12 @@ struct UdpNetwork::Node {
 class UdpNetwork::TxChannel : public Sender {
  public:
   TxChannel(UdpNetwork& net, int fd)
-      : base_port_(net.base_port_), fd_(fd), ring_(fd, net.next_msg_id_) {}
+      : base_port_(net.base_port_), fd_(fd), ring_(fd, net.next_msg_id_) {
+    if (net.opts_.use_io_uring) {
+      uring_ = UringBackend::create(fd, net.opts_.sqpoll);
+      if (uring_ != nullptr) ring_.set_uring(uring_.get());
+    }
+  }
   ~TxChannel() override { shutdown(); }
 
   void send(NodeId to, PooledBuffer bytes) override {
@@ -143,8 +152,13 @@ class UdpNetwork::TxChannel : public Sender {
   void uncork() override { ring_.uncork(); }
 
   TxRing::Stats ring_stats() const { return ring_.stats(); }
+  bool uring_active() const { return ring_.uring_active(); }
 
-  /// Flushes, poisons the ring and closes the socket (idempotent).
+  /// Flush-and-wait teardown sibling of Sender::flush (detach path).
+  void drain() { ring_.drain(); }
+
+  /// Flushes, poisons the ring (which drains any uring in-flights) and
+  /// closes the socket (idempotent).
   void shutdown() {
     ring_.flush();
     ring_.set_fd(-1);
@@ -157,11 +171,18 @@ class UdpNetwork::TxChannel : public Sender {
  private:
   std::uint16_t base_port_;
   int fd_;
+  // Declared before ring_ (destroyed after it): the ring's teardown paths
+  // reference the backend until its last drain.
+  std::unique_ptr<UringBackend> uring_;
   TxRing ring_;
 };
 
 UdpNetwork::UdpNetwork(std::uint16_t base_port)
+    : UdpNetwork(base_port, Options{}) {}
+
+UdpNetwork::UdpNetwork(std::uint16_t base_port, Options opts)
     : base_port_(base_port),
+      opts_(opts),
       instance_id_(g_instance_ids.fetch_add(1, std::memory_order_relaxed)) {}
 
 std::uint16_t UdpNetwork::pick_free_base_port(std::uint16_t span) {
@@ -243,6 +264,12 @@ void UdpNetwork::attach(NodeId node, DatagramHandler handler) {
   }
   assert(n->fd >= 0 && "UDP bind failed (port collision?)");
   n->ring = std::make_unique<TxRing>(n->fd, next_msg_id_);
+  if (opts_.use_io_uring) {
+    // Runtime feature detection: a failed probe (old kernel, sysctl'd off,
+    // LOCS_NO_IO_URING) returns nullptr and the ring keeps sendmmsg.
+    n->uring = UringBackend::create(n->fd, opts_.sqpoll);
+    if (n->uring != nullptr) n->ring->set_uring(n->uring.get());
+  }
   Node* raw = n.get();
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -271,9 +298,10 @@ void UdpNetwork::detach(NodeId node) {
   }
   // Deterministic send-side teardown: whatever the detached reactor left
   // queued (corked replies, shard-channel batches) is on the wire -- or a
-  // counted drop -- before detach returns.
-  raw->ring->flush();
-  for (const auto& ch : chans) ch->flush();
+  // counted drop -- before detach returns. drain() (= flush on the
+  // sendmmsg path) additionally waits out uring in-flight completions.
+  raw->ring->drain();
+  for (const auto& ch : chans) ch->drain();
 }
 
 UdpNetwork::Node* UdpNetwork::node_for_send(NodeId from) {
@@ -351,6 +379,12 @@ std::shared_ptr<Sender> UdpNetwork::open_sender(NodeId from) {
   std::lock_guard<std::mutex> lock(mu_);
   channels_.emplace_back(from, ch);
   return ch;
+}
+
+bool UdpNetwork::uring_active(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = nodes_.find(node);
+  return it != nodes_.end() && it->second->ring->uring_active();
 }
 
 UdpNetwork::TxStats UdpNetwork::tx_stats(NodeId node) const {
@@ -456,7 +490,10 @@ void UdpNetwork::receive_loop(Node& node) {
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
     if (ready <= 0) {
       // Tick-deadline safety net: push out anything an overlapping cork
-      // window left queued on this node's ring.
+      // window left queued on this node's ring. In uring mode a flush with
+      // nothing queued STILL submits the SQ backlog and reaps stale CQEs,
+      // so a corked-but-idle node never strands submitted-but-unflushed
+      // datagrams (or their parked buffers).
       node.ring->flush();
       continue;
     }

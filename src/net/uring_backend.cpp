@@ -1,0 +1,554 @@
+#include "net/uring_backend.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+// The backend needs <linux/io_uring.h> plus the io_uring syscall numbers;
+// when either is missing (non-Linux, ancient glibc, or the LOCS_IO_URING
+// CMake knob is OFF so LOCS_HAVE_IO_URING is undefined) the whole engine
+// compiles down to "unsupported" stubs and UdpNetwork keeps the sendmmsg
+// path unconditionally.
+#if defined(LOCS_HAVE_IO_URING) && defined(__linux__)
+#if __has_include(<linux/io_uring.h>)
+#include <linux/io_uring.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#if defined(__NR_io_uring_setup) && defined(__NR_io_uring_enter) && \
+    defined(__NR_io_uring_register)
+#define LOCS_URING_IMPL 1
+#endif
+#endif
+#endif
+
+namespace locs::net {
+
+namespace {
+
+bool env_disabled() {
+  // Read on every call (not cached): tests set/unset LOCS_NO_IO_URING
+  // in-process to exercise the graceful-fallback path.
+  const char* v = std::getenv("LOCS_NO_IO_URING");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+}  // namespace
+
+#ifdef LOCS_URING_IMPL
+
+namespace {
+
+constexpr std::uint32_t kNil = 0xffffffffu;
+
+int sys_uring_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(syscall(__NR_io_uring_setup, entries, p));
+}
+
+int sys_uring_enter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                    unsigned flags) {
+  return static_cast<int>(syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                  min_complete, flags, nullptr, 0));
+}
+
+int sys_uring_register(int ring_fd, unsigned op, void* arg, unsigned nr) {
+  return static_cast<int>(syscall(__NR_io_uring_register, ring_fd, op, arg, nr));
+}
+
+// Capability probe, run once per process: can a ring be set up at all, does
+// the register-probe confirm IORING_OP_SENDMSG, and does the kernel accept
+// an SQPOLL ring from this (possibly unprivileged) process?
+// 0 = unusable, 1 = plain rings, 2 = plain + SQPOLL.
+int probe_tier() {
+  static const int tier = [] {
+    io_uring_params p{};
+    const int fd = sys_uring_setup(8, &p);
+    if (fd < 0) return 0;
+    // io_uring_probe ends in a flexible array member; give it room for 64
+    // per-opcode entries in a flat byte buffer.
+    alignas(io_uring_probe) std::uint8_t
+        pb_raw[sizeof(io_uring_probe) + 64 * sizeof(io_uring_probe_op)] = {};
+    auto* pb = reinterpret_cast<io_uring_probe*>(pb_raw);
+    const bool sendmsg_ok =
+        sys_uring_register(fd, IORING_REGISTER_PROBE, pb, 64) == 0 &&
+        IORING_OP_SENDMSG < pb->ops_len &&
+        (pb->ops[IORING_OP_SENDMSG].flags & IO_URING_OP_SUPPORTED) != 0;
+    ::close(fd);
+    if (!sendmsg_ok) return 0;
+    io_uring_params sp{};
+    sp.flags = IORING_SETUP_SQPOLL;
+    sp.sq_thread_idle = 50;
+    const int sfd = sys_uring_setup(8, &sp);
+    if (sfd < 0) return 1;
+    ::close(sfd);
+    return 2;
+  }();
+  return tier;
+}
+
+inline unsigned load_acquire(const unsigned* p) {
+  return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+}
+
+inline void store_release(unsigned* p, unsigned v) {
+  __atomic_store_n(p, v, __ATOMIC_RELEASE);
+}
+
+}  // namespace
+
+struct UringBackend::Impl {
+  // One in-flight datagram: the SQE's msghdr/iovecs/fragment-header scratch
+  // must outlive the SQE (under SQPOLL the kernel thread reads the SQE --
+  // and the msghdr it points at -- asynchronously), so everything lives
+  // here until the CQE is reaped.
+  // Room for the fragment wire header (kFragHeader = 10 today) with slack.
+  static constexpr std::size_t kHeaderScratch = 16;
+
+  struct Entry {
+    std::uint8_t header[kHeaderScratch];
+    std::size_t header_len = 0;
+    sockaddr_in dst{};
+    bool has_dst = false;
+    iovec iov[2];
+    msghdr mh{};
+    std::uint32_t park = kNil;
+    std::uint16_t retries = 0;
+    std::uint32_t next_free = kNil;
+  };
+
+  // A parked message buffer: recycled into its BufferPool when the last
+  // fragment referencing it completes (or is dropped).
+  struct Parked {
+    PooledBuffer buf;
+    std::uint32_t refs = 0;
+    std::uint32_t next_free = kNil;
+  };
+
+  int ring_fd = -1;
+  int sock_fd = -1;
+  bool sqpoll = false;
+
+  void* sq_ring = nullptr;
+  std::size_t sq_ring_sz = 0;
+  void* cq_ring = nullptr;  // == sq_ring under IORING_FEAT_SINGLE_MMAP
+  std::size_t cq_ring_sz = 0;
+  io_uring_sqe* sqes = nullptr;
+  std::size_t sqes_sz = 0;
+
+  unsigned* sq_head = nullptr;  // kernel-written consumer index
+  unsigned* sq_tail = nullptr;  // our producer index
+  unsigned sq_mask = 0;
+  unsigned sq_entries = 0;
+  unsigned* sq_flags = nullptr;  // IORING_SQ_NEED_WAKEUP lives here
+  unsigned* sq_array = nullptr;
+  unsigned* cq_head = nullptr;  // our consumer index
+  unsigned* cq_tail = nullptr;  // kernel-written producer index
+  unsigned cq_mask = 0;
+  io_uring_cqe* cqes = nullptr;
+
+  Entry entries[kInflight];
+  std::uint32_t entry_free = kNil;
+  std::size_t inflight = 0;
+  std::vector<Parked> parked;
+  std::uint32_t parked_free = kNil;
+  unsigned pending_sqes = 0;  // written but not yet io_uring_enter'ed
+  int retry_polls = 64;
+  int retry_timeout_ms = 5;
+  UringTxStats st;
+
+  ~Impl() {
+    if (ring_fd >= 0) {
+      // Never unmap rings with datagrams still in flight: the SQPOLL thread
+      // (or deferred op) may touch entry msghdrs until its CQE lands.
+      drain();
+      ::close(ring_fd);
+      ring_fd = -1;
+    }
+    if (sqes != nullptr) ::munmap(sqes, sqes_sz);
+    if (cq_ring != nullptr && cq_ring != sq_ring) ::munmap(cq_ring, cq_ring_sz);
+    if (sq_ring != nullptr) ::munmap(sq_ring, sq_ring_sz);
+  }
+
+  bool setup(int fd, bool want_sqpoll) {
+    sock_fd = fd;
+    io_uring_params p{};
+    if (want_sqpoll) {
+      p.flags = IORING_SETUP_SQPOLL;
+      // Short idle: on small hosts a perpetually spinning poll thread
+      // steals the very core the reactors run on. 50ms keeps a saturated
+      // sender syscall-free while letting an idle one sleep quickly.
+      p.sq_thread_idle = 50;
+    }
+    ring_fd = sys_uring_setup(static_cast<unsigned>(kInflight), &p);
+    if (ring_fd < 0 && want_sqpoll) {
+      // SQPOLL refused (permissions, old kernel): degrade to a plain ring.
+      p = io_uring_params{};
+      ring_fd = sys_uring_setup(static_cast<unsigned>(kInflight), &p);
+    }
+    if (ring_fd < 0) return false;
+    sqpoll = (p.flags & IORING_SETUP_SQPOLL) != 0;
+
+    sq_ring_sz = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+    cq_ring_sz = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+    if ((p.features & IORING_FEAT_SINGLE_MMAP) != 0) {
+      sq_ring_sz = cq_ring_sz = std::max(sq_ring_sz, cq_ring_sz);
+    }
+    sq_ring = ::mmap(nullptr, sq_ring_sz, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, ring_fd, IORING_OFF_SQ_RING);
+    if (sq_ring == MAP_FAILED) {
+      sq_ring = nullptr;
+      return false;
+    }
+    if ((p.features & IORING_FEAT_SINGLE_MMAP) != 0) {
+      cq_ring = sq_ring;
+    } else {
+      cq_ring = ::mmap(nullptr, cq_ring_sz, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_POPULATE, ring_fd, IORING_OFF_CQ_RING);
+      if (cq_ring == MAP_FAILED) {
+        cq_ring = nullptr;
+        return false;
+      }
+    }
+    sqes_sz = p.sq_entries * sizeof(io_uring_sqe);
+    sqes = static_cast<io_uring_sqe*>(::mmap(nullptr, sqes_sz,
+                                             PROT_READ | PROT_WRITE,
+                                             MAP_SHARED | MAP_POPULATE,
+                                             ring_fd, IORING_OFF_SQES));
+    if (sqes == MAP_FAILED) {
+      sqes = nullptr;
+      return false;
+    }
+
+    auto* sq = static_cast<std::uint8_t*>(sq_ring);
+    sq_head = reinterpret_cast<unsigned*>(sq + p.sq_off.head);
+    sq_tail = reinterpret_cast<unsigned*>(sq + p.sq_off.tail);
+    sq_mask = *reinterpret_cast<unsigned*>(sq + p.sq_off.ring_mask);
+    sq_entries = *reinterpret_cast<unsigned*>(sq + p.sq_off.ring_entries);
+    sq_flags = reinterpret_cast<unsigned*>(sq + p.sq_off.flags);
+    sq_array = reinterpret_cast<unsigned*>(sq + p.sq_off.array);
+    auto* cq = static_cast<std::uint8_t*>(cq_ring);
+    cq_head = reinterpret_cast<unsigned*>(cq + p.cq_off.head);
+    cq_tail = reinterpret_cast<unsigned*>(cq + p.cq_off.tail);
+    cq_mask = *reinterpret_cast<unsigned*>(cq + p.cq_off.ring_mask);
+    cqes = reinterpret_cast<io_uring_cqe*>(cq + p.cq_off.cqes);
+
+    for (std::uint32_t i = 0; i < kInflight; ++i) {
+      entries[i].next_free = entry_free;
+      entry_free = i;
+    }
+    return true;
+  }
+
+  // -- parked-buffer slab ----------------------------------------------
+
+  std::uint32_t park(PooledBuffer buf, std::uint32_t refs) {
+    std::uint32_t idx;
+    if (parked_free != kNil) {
+      idx = parked_free;
+      parked_free = parked[idx].next_free;
+    } else {
+      idx = static_cast<std::uint32_t>(parked.size());
+      parked.emplace_back();
+    }
+    parked[idx].buf = std::move(buf);
+    parked[idx].refs = refs;
+    parked[idx].next_free = kNil;
+    return idx;
+  }
+
+  void unpark_ref(std::uint32_t idx) {
+    if (idx == kNil) return;
+    Parked& p = parked[idx];
+    if (--p.refs > 0) return;
+    p.buf.reset();  // recycle into the owning BufferPool (or plain free)
+    p.next_free = parked_free;
+    parked_free = idx;
+  }
+
+  // -- submission ------------------------------------------------------
+
+  // Makes the kernel see everything written to the SQ: one io_uring_enter
+  // for the accumulated batch on a plain ring; on SQPOLL, only an
+  // ENTER_SQ_WAKEUP when the poll thread has gone to sleep.
+  void kick() {
+    if (sqpoll) {
+      pending_sqes = 0;
+      if ((load_acquire(sq_flags) & IORING_SQ_NEED_WAKEUP) != 0) {
+        sys_uring_enter(ring_fd, 0, 0, IORING_ENTER_SQ_WAKEUP);
+        ++st.enter_syscalls;
+        ++st.sqpoll_wakeups;
+      }
+      return;
+    }
+    while (pending_sqes > 0) {
+      const int r = sys_uring_enter(ring_fd, pending_sqes, 0, 0);
+      ++st.enter_syscalls;
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        break;  // catastrophic; the drain guard bounds any fallout
+      }
+      if (r == 0) break;
+      pending_sqes -= static_cast<unsigned>(std::min<int>(r, pending_sqes));
+    }
+  }
+
+  void push_sqe(std::uint32_t entry_idx, bool link) {
+    unsigned tail = *sq_tail;
+    while (tail - load_acquire(sq_head) >= sq_entries) {
+      // SQ full: force the kernel to consume. (Can only happen when
+      // resubmits pile on top of a full in-flight table.)
+      kick();
+      if (sqpoll) {
+        pollfd pfd{ring_fd, POLLIN, 0};
+        ::poll(&pfd, 1, 1);
+      }
+    }
+    const unsigned slot = tail & sq_mask;
+    io_uring_sqe* sqe = &sqes[slot];
+    std::memset(sqe, 0, sizeof *sqe);
+    sqe->opcode = IORING_OP_SENDMSG;
+    sqe->fd = sock_fd;
+    sqe->addr = reinterpret_cast<std::uint64_t>(&entries[entry_idx].mh);
+    // MSG_DONTWAIT keeps completion inline and prompt -- backpressure is
+    // surfaced as a CQE -EAGAIN (handled under the retry budget), never as
+    // an op parked indefinitely in kernel worker context.
+    sqe->msg_flags = MSG_DONTWAIT;
+    sqe->user_data = entry_idx;
+    // Fragment chains submit in order; a chain silently breaks across an
+    // enter boundary (SQ-full above), which only costs ordering -- the
+    // receive side reassembles by fragment index, not arrival order.
+    sqe->flags = link ? IOSQE_IO_LINK : 0;
+    sq_array[slot] = slot;
+    store_release(sq_tail, tail + 1);
+    ++pending_sqes;
+    ++st.sqes_submitted;
+  }
+
+  std::uint32_t alloc_entry() {
+    if (entry_free == kNil) {
+      // In-flight table exhausted: everything queued is already submitted
+      // (or about to be), so wait for completions under the same bounded
+      // budget the sendmmsg path gives POLLOUT.
+      kick();
+      for (int polls = 0; entry_free == kNil && polls < retry_polls; ++polls) {
+        reap_pass();
+        if (entry_free != kNil) break;
+        ++st.eagain_retries;
+        pollfd pfd{ring_fd, POLLIN, 0};
+        ::poll(&pfd, 1, retry_timeout_ms);
+        reap_pass();
+      }
+      if (entry_free == kNil) return kNil;  // budget exhausted: caller drops
+    }
+    const std::uint32_t idx = entry_free;
+    entry_free = entries[idx].next_free;
+    entries[idx].next_free = kNil;
+    return idx;
+  }
+
+  void free_entry(std::uint32_t idx) {
+    unpark_ref(entries[idx].park);
+    entries[idx].park = kNil;
+    entries[idx].next_free = entry_free;
+    entry_free = idx;
+    --inflight;
+  }
+
+  void submit(const SendDesc* descs, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const SendDesc& d = descs[i];
+      const std::uint32_t idx = alloc_entry();
+      if (idx == kNil) {
+        // Same contract as the sendmmsg tail drop: counted, never silent.
+        ++st.dropped;
+        unpark_ref(d.park);
+        continue;
+      }
+      Entry& e = entries[idx];
+      e.header_len = std::min(d.header_len, sizeof e.header);
+      std::memcpy(e.header, d.header, e.header_len);
+      e.iov[0] = {e.header, e.header_len};
+      std::size_t iov_count = 1;
+      if (d.payload_len > 0) {
+        e.iov[1] = {const_cast<std::uint8_t*>(d.payload), d.payload_len};
+        iov_count = 2;
+      }
+      std::memset(&e.mh, 0, sizeof e.mh);
+      e.has_dst = d.dst != nullptr;
+      if (e.has_dst) {
+        e.dst = *d.dst;
+        e.mh.msg_name = &e.dst;
+        e.mh.msg_namelen = sizeof e.dst;
+      }
+      e.mh.msg_iov = e.iov;
+      e.mh.msg_iovlen = iov_count;
+      e.park = d.park;
+      e.retries = 0;
+      ++inflight;
+      push_sqe(idx, d.link_next);
+    }
+    kick();
+    reap_pass();
+  }
+
+  // -- completion ------------------------------------------------------
+
+  bool cq_ready() const { return *cq_head != load_acquire(cq_tail); }
+
+  void reap_pass() {
+    // Resubmit lists are collected first so one pass performs at most ONE
+    // POLLOUT wait however many datagrams the full socket bounced -- the
+    // sendmmsg path, likewise, polls once per flush attempt, not per slot.
+    std::uint32_t again[kInflight];
+    std::size_t n_again = 0;
+    std::uint32_t canceled[kInflight];
+    std::size_t n_canceled = 0;
+    unsigned head = *cq_head;
+    const unsigned tail = load_acquire(cq_tail);
+    while (head != tail) {
+      const io_uring_cqe& cqe = cqes[head & cq_mask];
+      const auto idx = static_cast<std::uint32_t>(cqe.user_data);
+      const int res = cqe.res;
+      ++head;
+      ++st.cqes_reaped;
+      if (res >= 0) {
+        ++st.datagrams_sent;
+        free_entry(idx);
+      } else if (res == -EAGAIN || res == -EWOULDBLOCK || res == -ENOBUFS) {
+        if (entries[idx].retries >= retry_polls) {
+          ++st.dropped;  // backpressure budget exhausted
+          free_entry(idx);
+        } else {
+          again[n_again++] = idx;
+        }
+      } else if (res == -ECANCELED) {
+        // Linked tail canceled because its chain head failed; resubmit
+        // unlinked (once -- the retry stands on its own budget after).
+        canceled[n_canceled++] = idx;
+      } else {
+        ++st.dropped;  // hard error: skip exactly this datagram
+        free_entry(idx);
+      }
+    }
+    store_release(cq_head, head);
+    if (n_again > 0) {
+      ++st.eagain_retries;
+      pollfd pfd{sock_fd, POLLOUT, 0};
+      ::poll(&pfd, 1, retry_timeout_ms);
+      for (std::size_t i = 0; i < n_again; ++i) {
+        ++entries[again[i]].retries;
+        push_sqe(again[i], false);
+      }
+    }
+    for (std::size_t i = 0; i < n_canceled; ++i) push_sqe(canceled[i], false);
+    if (n_again + n_canceled > 0) kick();
+  }
+
+  void drain() {
+    kick();
+    // Bounded teardown wait: with MSG_DONTWAIT ops this converges in a few
+    // passes (each entry either completes, resubmits under its budget, or
+    // drops). The guard only matters if the kernel wedges; then we leave
+    // the stragglers parked -- their buffers and entries stay alive until
+    // the ring fd is closed, so nothing the kernel may still read is freed.
+    for (int rounds = 0; inflight > 0 && rounds < 2000; ++rounds) {
+      reap_pass();
+      if (inflight == 0) break;
+      kick();
+      if (!cq_ready()) {
+        pollfd pfd{ring_fd, POLLIN, 0};
+        ::poll(&pfd, 1, 5);
+      }
+    }
+  }
+};
+
+bool UringBackend::kernel_supported() {
+  return !env_disabled() && probe_tier() >= 1;
+}
+
+bool UringBackend::sqpoll_supported() {
+  return !env_disabled() && probe_tier() >= 2;
+}
+
+std::unique_ptr<UringBackend> UringBackend::create(int fd, bool sqpoll) {
+  if (fd < 0 || !kernel_supported()) return nullptr;
+  auto impl = std::make_unique<Impl>();
+  if (!impl->setup(fd, sqpoll && sqpoll_supported())) return nullptr;
+  return std::unique_ptr<UringBackend>(new UringBackend(std::move(impl)));
+}
+
+UringBackend::UringBackend(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+UringBackend::~UringBackend() = default;
+
+bool UringBackend::sqpoll() const { return impl_->sqpoll; }
+
+void UringBackend::set_retry_budget(int polls, int poll_timeout_ms) {
+  impl_->retry_polls = polls;
+  impl_->retry_timeout_ms = poll_timeout_ms;
+}
+
+std::uint32_t UringBackend::park(PooledBuffer buf, std::uint32_t refs) {
+  return impl_->park(std::move(buf), refs);
+}
+
+const std::uint8_t* UringBackend::parked_data(std::uint32_t handle) const {
+  return impl_->parked[handle].buf.data();
+}
+
+void UringBackend::release_ref(std::uint32_t handle) {
+  impl_->unpark_ref(handle);
+}
+
+void UringBackend::submit(const SendDesc* descs, std::size_t count) {
+  impl_->submit(descs, count);
+}
+
+void UringBackend::reap() {
+  impl_->kick();  // flush any SQ backlog (idle-timeout safety net)
+  impl_->reap_pass();
+}
+
+void UringBackend::drain() { impl_->drain(); }
+
+const UringTxStats& UringBackend::stats() const { return impl_->st; }
+
+std::size_t UringBackend::in_flight() const { return impl_->inflight; }
+
+#else  // !LOCS_URING_IMPL: stubs -- every caller falls back to sendmmsg.
+
+struct UringBackend::Impl {};
+
+bool UringBackend::kernel_supported() { return false; }
+bool UringBackend::sqpoll_supported() { return false; }
+
+std::unique_ptr<UringBackend> UringBackend::create(int, bool) {
+  (void)env_disabled();
+  return nullptr;
+}
+
+UringBackend::UringBackend(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+UringBackend::~UringBackend() = default;
+bool UringBackend::sqpoll() const { return false; }
+void UringBackend::set_retry_budget(int, int) {}
+std::uint32_t UringBackend::park(PooledBuffer, std::uint32_t) { return 0; }
+const std::uint8_t* UringBackend::parked_data(std::uint32_t) const {
+  return nullptr;
+}
+void UringBackend::release_ref(std::uint32_t) {}
+void UringBackend::submit(const SendDesc*, std::size_t) {}
+void UringBackend::reap() {}
+void UringBackend::drain() {}
+const UringTxStats& UringBackend::stats() const {
+  static const UringTxStats empty;
+  return empty;
+}
+std::size_t UringBackend::in_flight() const { return 0; }
+
+#endif  // LOCS_URING_IMPL
+
+}  // namespace locs::net

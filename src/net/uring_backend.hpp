@@ -1,0 +1,145 @@
+// io_uring transmit backend: the opt-in successor to TxRing's sendmmsg
+// flush path (PR 6).
+//
+// A TxRing in uring mode still batches, corks and fragments exactly as
+// before, but flush() no longer calls sendmmsg: each queued datagram
+// becomes one IORING_OP_SENDMSG SQE (the fragments of one message chained
+// with IOSQE_IO_LINK), submitted with a single io_uring_enter per flush --
+// or with ZERO syscalls when the SQPOLL tier is on and the kernel's
+// submission-poll thread is awake. Completions are reaped off the CQ ring;
+// a CQE recycles the parked PooledBuffer back to its owning BufferPool once
+// every fragment of the message has completed.
+//
+// Semantics are the sendmmsg path's, preserved deliberately:
+//  * success CQE            -> Stats::datagrams_sent
+//  * submit io_uring_enter  -> Stats::batches_flushed (so the bench's
+//                              syscalls-per-datagram ratio stays derivable;
+//                              ~0 under SQPOLL)
+//  * CQE -EAGAIN/-ENOBUFS   -> one bounded POLLOUT wait per reap pass and a
+//                              resubmit, under the same retry budget as the
+//                              sendmmsg path; budget exhaustion is a counted
+//                              drop (Stats::dropped), never a silent one
+//  * other error CQE        -> drop exactly that datagram (poison datagrams
+//                              cannot wedge the ring)
+//
+// The backend is built on raw io_uring_setup/enter/register syscalls plus
+// <linux/io_uring.h> -- no liburing link dependency -- and is compiled out
+// (every probe returns false, create() returns nullptr) when the kernel
+// header is missing or the LOCS_IO_URING CMake knob is off. At runtime,
+// kernel_supported() probes an actual ring once per process; setting the
+// LOCS_NO_IO_URING environment variable forces the sendmmsg fallback even
+// on capable kernels (read on every call so tests can flip it in-process).
+//
+// Threading: a backend belongs to exactly one TxRing and every method is
+// called under that ring's mutex -- no internal locking.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "net/buffer_pool.hpp"
+
+namespace locs::net {
+
+/// The backend's slice of TxRing::Stats, folded into the ring's totals by
+/// TxRing::stats(). enter_syscalls maps onto batches_flushed; the uring_*
+/// and sqpoll_* fields surface as the Stats extension of the same names.
+struct UringTxStats {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t enter_syscalls = 0;   // io_uring_enter calls (submit + wait)
+  std::uint64_t eagain_retries = 0;   // POLLOUT waits on CQE -EAGAIN/-ENOBUFS
+  std::uint64_t dropped = 0;          // retry budget exhausted / hard errors
+  std::uint64_t sqes_submitted = 0;   // SQEs pushed (including resubmits)
+  std::uint64_t cqes_reaped = 0;      // CQEs consumed
+  std::uint64_t sqpoll_wakeups = 0;   // enter calls made only to wake SQPOLL
+};
+
+class UringBackend {
+ public:
+  /// In-flight table size: how many datagrams may sit between submit and
+  /// CQE. Matches the ring size passed to io_uring_setup, so the CQ (2x)
+  /// can never overflow.
+  static constexpr std::size_t kInflight = 256;
+
+  /// One queued datagram, described by the owning TxRing at flush time.
+  /// `header` points at the ring slot's fragment-header scratch (copied
+  /// into the backend's own in-flight entry, so the slot may be reused the
+  /// moment submit() returns); `payload` points into the buffer parked
+  /// under `park` and must stay valid until that parked ref completes.
+  struct SendDesc {
+    const std::uint8_t* header;
+    std::size_t header_len;
+    const sockaddr_in* dst;  // nullptr on connected sockets
+    const std::uint8_t* payload;
+    std::size_t payload_len;
+    std::uint32_t park;
+    bool link_next;  // this fragment chains to the next desc (IOSQE_IO_LINK)
+  };
+
+  /// True when the running kernel accepts io_uring_setup AND supports
+  /// IORING_OP_SENDMSG (register-probe), and LOCS_NO_IO_URING is not set.
+  static bool kernel_supported();
+  /// True when, additionally, an IORING_SETUP_SQPOLL ring can be created
+  /// (needs kernel >= 5.11 for unprivileged SQPOLL).
+  static bool sqpoll_supported();
+
+  /// Builds a backend transmitting on socket `fd` (not owned). Asks for the
+  /// SQPOLL tier when `sqpoll` is set, silently degrading to a plain ring
+  /// if the kernel refuses it. Returns nullptr when no ring can be set up
+  /// at all -- the caller keeps the sendmmsg path, bit-for-bit.
+  static std::unique_ptr<UringBackend> create(int fd, bool sqpoll);
+
+  UringBackend(const UringBackend&) = delete;
+  UringBackend& operator=(const UringBackend&) = delete;
+  ~UringBackend();
+
+  /// True when this ring runs the SQPOLL submission-poll tier.
+  bool sqpoll() const;
+
+  /// Mirrors TxRing::set_retry_budget: up to `polls` POLLOUT waits of
+  /// `poll_timeout_ms` each per datagram before its drop is counted.
+  void set_retry_budget(int polls, int poll_timeout_ms);
+
+  /// Parks a message buffer until `refs` fragment completions release it
+  /// (one ref per SendDesc naming the handle). Returns the park handle.
+  std::uint32_t park(PooledBuffer buf, std::uint32_t refs);
+  /// Stable payload pointer of a parked buffer (slot iovecs point here).
+  const std::uint8_t* parked_data(std::uint32_t handle) const;
+
+  /// Releases one fragment ref of a parked buffer without submitting it
+  /// (the owning ring drops queued slots when its fd has been poisoned).
+  void release_ref(std::uint32_t handle);
+
+  /// Submits `count` descriptors as SENDMSG SQEs and reaps whatever has
+  /// already completed. One io_uring_enter for the whole batch (none, bar a
+  /// wakeup, under SQPOLL). When the in-flight table is exhausted the call
+  /// waits under the retry budget, then counts further datagrams dropped.
+  void submit(const SendDesc* descs, std::size_t count);
+
+  /// Non-blocking completion sweep: reap CQEs, resubmit backpressured
+  /// entries, recycle finished buffers. The TxRing flush path calls this
+  /// even with nothing newly queued, so the owner's idle/poll-timeout
+  /// safety net also drains SQ backlogs and stale completions.
+  void reap();
+
+  /// Teardown flush: submit everything pending and wait (bounded) until no
+  /// datagram is in flight, so parked buffers recycle and counters are
+  /// final before the socket fd is closed or the backend is destroyed.
+  void drain();
+
+  /// Counters slice; see UringTxStats.
+  const UringTxStats& stats() const;
+
+  /// Datagrams submitted and not yet completed (tests / drain logic).
+  std::size_t in_flight() const;
+
+ private:
+  struct Impl;
+  explicit UringBackend(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace locs::net

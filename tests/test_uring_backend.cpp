@@ -1,0 +1,356 @@
+// io_uring transmit backend coverage: sendmmsg/uring/SQPOLL parity (same
+// bytes on the wire, checksummed), fragment integrity across linked SQEs,
+// real EAGAIN backpressure through CQEs, graceful fallback when the kernel
+// probe fails, and busy-poll shard-reactor equivalence under the sharded
+// UDP suites. Every uring-dependent test skips (visibly) on kernels
+// without io_uring, so the suite stays green on locked-down runners.
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/client.hpp"
+#include "core/deployment.hpp"
+#include "core/hierarchy_builder.hpp"
+#include "net/tx_ring.hpp"
+#include "net/udp_network.hpp"
+#include "net/uring_backend.hpp"
+
+namespace locs::net {
+namespace {
+
+bool wait_until(const std::function<bool()>& pred, int ms = 4000) {
+  for (int i = 0; i < ms / 5; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+std::uint64_t fnv1a(const std::uint8_t* d, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h = (h ^ d[i]) * 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Deterministic blast payload for message `i` (single-fragment sizes).
+std::vector<std::uint8_t> blast_payload(int i) {
+  std::vector<std::uint8_t> p(64 + (static_cast<std::size_t>(i) * 37) % 1000);
+  for (std::size_t j = 0; j < p.size(); ++j) {
+    p[j] = static_cast<std::uint8_t>((i * 2654435761u + j * 40503u) >> 13);
+  }
+  return p;
+}
+
+struct BlastResult {
+  std::uint64_t checksum = 0;  // commutative: sum of per-message FNV1a
+  int received = 0;
+  UdpNetwork::TxStats tx;
+  bool uring = false;
+};
+
+/// Corked blast of `count` deterministic messages node 2 -> node 1 under
+/// the given transport options; returns the order-independent payload
+/// checksum the receiver saw plus the sender's tx stats.
+BlastResult run_blast(UdpNetwork::Options opts, int count) {
+  BlastResult r;
+  UdpNetwork net(UdpNetwork::pick_free_base_port(10), opts);
+  std::atomic<int> received{0};
+  std::atomic<std::uint64_t> checksum{0};
+  net.attach(NodeId{1}, [&](const std::uint8_t* d, std::size_t n) {
+    checksum.fetch_add(fnv1a(d, n), std::memory_order_relaxed);
+    received.fetch_add(1);
+  });
+  net.attach(NodeId{2}, [](const std::uint8_t*, std::size_t) {});
+  net.cork(NodeId{2});
+  for (int i = 0; i < count; ++i) {
+    net.send(NodeId{2}, NodeId{1}, blast_payload(i));
+    if ((i & 63) == 63) net.flush(NodeId{2});  // bound rcvbuf pressure
+  }
+  net.uncork(NodeId{2});
+  EXPECT_TRUE(wait_until([&] { return received.load() >= count; }));
+  r.uring = net.uring_active(NodeId{2});
+  r.received = received.load();
+  r.checksum = checksum.load();
+  r.tx = net.tx_stats(NodeId{2});
+  return r;
+}
+
+// Parity + storm accounting, all three backends: the same corked blast must
+// deliver byte-identical payloads (commutative checksum), with dropped == 0
+// and sent == delivered, whether flushes go through sendmmsg, a plain
+// io_uring ring, or the SQPOLL tier.
+TEST(UringBackend, BackendParityChecksumsAndStormAccounting) {
+  constexpr int kMessages = 512;
+  const BlastResult base = run_blast({}, kMessages);
+  EXPECT_FALSE(base.uring);
+  EXPECT_EQ(base.received, kMessages);
+  EXPECT_EQ(base.tx.dropped, 0u);
+  EXPECT_EQ(base.tx.datagrams_sent, static_cast<std::uint64_t>(base.received))
+      << "sendmmsg: sent != delivered";
+  EXPECT_EQ(base.tx.uring_sqes, 0u);  // sendmmsg path: uring counters silent
+
+  if (!UringBackend::kernel_supported()) {
+    GTEST_SKIP() << "io_uring unsupported on this kernel; sendmmsg path OK";
+  }
+  const BlastResult uring = run_blast({.use_io_uring = true}, kMessages);
+  ASSERT_TRUE(uring.uring) << "probe ok but backend did not engage";
+  EXPECT_EQ(uring.received, kMessages);
+  EXPECT_EQ(uring.tx.dropped, 0u);
+  EXPECT_EQ(uring.tx.datagrams_sent,
+            static_cast<std::uint64_t>(uring.received))
+      << "uring: sent != delivered";
+  EXPECT_EQ(uring.checksum, base.checksum)
+      << "payload bytes differ between sendmmsg and io_uring backends";
+  // Every submitted SQE came back as a CQE (drain on teardown).
+  EXPECT_EQ(uring.tx.uring_sqes, uring.tx.uring_cqes);
+  EXPECT_GE(uring.tx.uring_cqes, static_cast<std::uint64_t>(kMessages));
+
+  if (!UringBackend::sqpoll_supported()) {
+    GTEST_SKIP() << "SQPOLL unsupported (needs kernel >= 5.11 unprivileged)";
+  }
+  const BlastResult sq = run_blast({.use_io_uring = true, .sqpoll = true},
+                                   kMessages);
+  ASSERT_TRUE(sq.uring);
+  EXPECT_EQ(sq.received, kMessages);
+  EXPECT_EQ(sq.tx.dropped, 0u);
+  EXPECT_EQ(sq.checksum, base.checksum)
+      << "payload bytes differ between sendmmsg and SQPOLL backends";
+  // The SQPOLL tier's whole point: far fewer enter syscalls than flushes.
+  // (Wakeups after the 50ms idle window keep this > 0, so bound, not zero.)
+  EXPECT_LT(sq.tx.batches_flushed, uring.tx.batches_flushed);
+}
+
+// Multi-fragment messages ride linked SQEs; mixing them with small corked
+// messages forces mid-message flushes (chains broken at batch boundaries)
+// and reassembly must still see every fragment of every message once.
+TEST(UringBackend, FragmentIntegrityAcrossLinkedSqes) {
+  if (!UringBackend::kernel_supported()) {
+    GTEST_SKIP() << "io_uring unsupported on this kernel";
+  }
+  UdpNetwork net(UdpNetwork::pick_free_base_port(10),
+                 {.use_io_uring = true});
+  std::atomic<int> small_got{0};
+  std::atomic<int> big_got{0};
+  std::atomic<int> big_corrupt{0};
+  net.attach(NodeId{1}, [&](const std::uint8_t* d, std::size_t n) {
+    if (n < 1000) {
+      small_got.fetch_add(1);
+      return;
+    }
+    const std::uint8_t tag = d[0];
+    bool ok = n == 150 * 1024;
+    for (std::size_t i = 0; ok && i < n; i += 4097) {
+      ok = d[i] == static_cast<std::uint8_t>(tag + i % 251);
+    }
+    (ok ? big_got : big_corrupt).fetch_add(1);
+  });
+  net.attach(NodeId{2}, [](const std::uint8_t*, std::size_t) {});
+  ASSERT_TRUE(net.uring_active(NodeId{2}));
+  net.cork(NodeId{2});
+  std::vector<std::uint8_t> big(150 * 1024);
+  for (int m = 0; m < 4; ++m) {
+    for (int s = 0; s < 5; ++s) {
+      net.send(NodeId{2}, NodeId{1}, {static_cast<std::uint8_t>(s)});
+    }
+    for (std::size_t i = 0; i < big.size(); ++i) {
+      big[i] = static_cast<std::uint8_t>(m * 50 + i % 251);
+    }
+    net.send(NodeId{2}, NodeId{1}, big);
+  }
+  net.uncork(NodeId{2});
+  ASSERT_TRUE(wait_until(
+      [&] { return small_got.load() >= 20 && big_got.load() >= 4; }));
+  EXPECT_EQ(small_got.load(), 20);
+  EXPECT_EQ(big_got.load(), 4);
+  EXPECT_EQ(big_corrupt.load(), 0);
+  const UdpNetwork::TxStats tx = net.tx_stats(NodeId{2});
+  EXPECT_EQ(tx.dropped, 0u);
+  // 4 x 5 fragments + 20 singles, every one submitted and completed.
+  EXPECT_EQ(tx.datagrams_sent, 40u);
+}
+
+// Real backpressure: an AF_UNIX datagram pair with starved buffers makes
+// the kernel answer SENDMSG SQEs with -EAGAIN CQEs. The backend must wait
+// its bounded POLLOUT budget, resubmit, and then COUNT the tail dropped --
+// identical semantics to the sendmmsg path's EAGAIN handling.
+TEST(UringBackend, EagainBackpressureThroughCqesIsCountedNotSwallowed) {
+  if (!UringBackend::kernel_supported()) {
+    GTEST_SKIP() << "io_uring unsupported on this kernel";
+  }
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_DGRAM, 0, sv), 0);
+  const int tiny = 1;  // kernel clamps to its minimum
+  ::setsockopt(sv[0], SOL_SOCKET, SO_SNDBUF, &tiny, sizeof tiny);
+  ::setsockopt(sv[1], SOL_SOCKET, SO_RCVBUF, &tiny, sizeof tiny);
+  std::atomic<std::uint32_t> ids{1};
+  TxRing ring(sv[0], ids);
+  auto backend = UringBackend::create(sv[0], /*sqpoll=*/false);
+  ASSERT_NE(backend, nullptr);
+  ring.set_uring(backend.get());
+  ring.set_retry_budget(/*polls=*/2, /*poll_timeout_ms=*/1);
+  BufferPool pool;
+  constexpr int kMessages = 64;
+  ring.cork();
+  for (int i = 0; i < kMessages; ++i) {
+    PooledBuffer buf(&pool, pool.acquire());
+    buf->assign(2048, static_cast<std::uint8_t>(i));
+    ring.enqueue(std::move(buf));  // connected-socket form
+  }
+  ring.uncork();
+  ring.drain();  // wait out every CQE so the accounting below is final
+  const TxRing::Stats s = ring.stats();
+  EXPECT_GT(s.eagain_retries, 0u);
+  EXPECT_GT(s.dropped, 0u);
+  EXPECT_EQ(s.datagrams_sent + s.dropped,
+            static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(s.uring_cqes, s.uring_sqes);
+  // Every parked buffer recycled: nothing left in flight, pool got every
+  // buffer back (drops included).
+  EXPECT_EQ(ring.uring_in_flight(), 0u);
+  std::uint64_t drained = 0;
+  std::uint8_t scratch[4096];
+  while (::recv(sv[1], scratch, sizeof scratch, MSG_DONTWAIT) > 0) ++drained;
+  EXPECT_EQ(drained, s.datagrams_sent);
+  ring.set_fd(-1);
+  ::close(sv[0]);
+  ::close(sv[1]);
+}
+
+// The LOCS_NO_IO_URING override forces the runtime probe to report
+// "unsupported" even on capable kernels: Options::use_io_uring then
+// silently keeps the sendmmsg path -- same traffic, zero uring engagement.
+TEST(UringBackend, GracefulFallbackWhenProbeFails) {
+  ASSERT_EQ(::setenv("LOCS_NO_IO_URING", "1", 1), 0);
+  EXPECT_FALSE(UringBackend::kernel_supported());
+  EXPECT_FALSE(UringBackend::sqpoll_supported());
+  EXPECT_EQ(UringBackend::create(1, false), nullptr);
+  const BlastResult r = run_blast({.use_io_uring = true, .sqpoll = true}, 64);
+  EXPECT_FALSE(r.uring) << "backend engaged despite LOCS_NO_IO_URING";
+  EXPECT_EQ(r.received, 64);
+  EXPECT_EQ(r.tx.dropped, 0u);
+  EXPECT_EQ(r.tx.uring_sqes, 0u);
+  ASSERT_EQ(::unsetenv("LOCS_NO_IO_URING"), 0);
+  // With the override lifted the same process probes true again (the env
+  // check is per-call, the kernel probe per-process).
+  if (UringBackend::kernel_supported()) {
+    const BlastResult r2 = run_blast({.use_io_uring = true}, 64);
+    EXPECT_TRUE(r2.uring);
+  }
+}
+
+}  // namespace
+}  // namespace locs::net
+
+// -- busy-poll shard reactors over real UDP ------------------------------
+
+namespace locs::test {
+namespace {
+
+using core::AccuracyRange;
+using core::TrackedObject;
+
+struct WorkloadOutcome {
+  geo::Point final_pos{};
+  bool tracked = false;
+  std::uint64_t inbox_dropped = 0;
+  std::uint64_t tx_dropped = 0;
+  core::ShardedLocationServer::BusyPollStats bp;
+};
+
+/// One tracked object registered at a threaded 2-shard leaf, fed a burst of
+/// position updates; returns the protocol outcome + idle-path counters.
+WorkloadOutcome run_sharded_workload(std::uint32_t busy_poll_us,
+                                     bool use_uring) {
+  net::UdpNetwork net(net::UdpNetwork::pick_free_base_port(5100),
+                      {.use_io_uring = use_uring});
+  SystemClock clock;
+  core::HierarchySpec spec =
+      core::HierarchyBuilder::table2(geo::Rect{{0, 0}, {1500, 1500}});
+  core::Deployment::Config cfg;
+  cfg.lock_handlers = true;
+  cfg.leaf_shards = 2;
+  cfg.shard_threads = true;
+  cfg.shard_busy_poll_us = busy_poll_us;
+  WorkloadOutcome out;
+  {
+    core::Deployment dep(net, clock, spec, cfg);
+    const NodeId leaf = dep.entry_leaf_for({100, 100});
+    TrackedObject obj(NodeId{5000}, ObjectId{7}, net, clock);
+    obj.start_register(leaf, {100, 100}, 1.0, AccuracyRange{10.0, 50.0});
+    const auto ok = [](const std::function<bool()>& pred) {
+      for (int i = 0; i < 800; ++i) {
+        if (pred()) return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      return pred();
+    };
+    if (!ok([&] { return obj.tracked(); })) return out;
+    // Alternate between two points > accuracy bound apart so every feed
+    // really goes to the wire (small deltas are suppressed client-side);
+    // stay inside the entry leaf's area so find_sighting targets it.
+    for (int i = 1; i <= 40; ++i) {
+      obj.feed_position(i % 2 == 0 ? geo::Point{140, 140}
+                                   : geo::Point{100, 100});
+      if (!ok([&] { return !obj.update_pending(); })) return out;
+    }
+    // Let the reactors go idle so the busy-poll window (then the sleep
+    // path) actually runs before we read the counters.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    store::SightingDb::Record rec;
+    out.tracked = dep.find_sighting(leaf, ObjectId{7}, rec);
+    if (out.tracked) out.final_pos = rec.sighting.pos;
+    const core::ShardedLocationServer* sharded = dep.sharded(leaf);
+    if (sharded != nullptr) {
+      out.inbox_dropped = sharded->inbox_dropped();
+      out.bp = sharded->busy_poll_stats();
+    }
+    out.tx_dropped = net.tx_stats(leaf).dropped;
+  }
+  net.stop();
+  return out;
+}
+
+// Busy-poll reactors must be a pure latency knob: identical protocol
+// outcomes with the window off, on, and on-over-uring -- only the idle-path
+// counters may differ (spins engage, sleeps still bounded).
+TEST(BusyPollShards, ReactorEquivalenceUnderShardedWorkload) {
+  const WorkloadOutcome off = run_sharded_workload(0, false);
+  ASSERT_TRUE(off.tracked);
+  EXPECT_EQ(off.final_pos, (geo::Point{140, 140}));
+  EXPECT_EQ(off.inbox_dropped, 0u);
+  EXPECT_EQ(off.tx_dropped, 0u);
+  EXPECT_EQ(off.bp.spins, 0u);  // window off: no busy-poll iterations
+  EXPECT_GT(off.bp.sleeps, 0u);
+
+  const WorkloadOutcome on = run_sharded_workload(200, false);
+  ASSERT_TRUE(on.tracked);
+  EXPECT_EQ(on.final_pos, off.final_pos);
+  EXPECT_EQ(on.inbox_dropped, 0u);
+  EXPECT_EQ(on.tx_dropped, 0u);
+  EXPECT_GT(on.bp.spins, 0u);  // window engaged
+
+  if (!net::UringBackend::kernel_supported()) {
+    GTEST_SKIP() << "io_uring unsupported; busy-poll over sendmmsg verified";
+  }
+  const WorkloadOutcome uring = run_sharded_workload(200, true);
+  ASSERT_TRUE(uring.tracked);
+  EXPECT_EQ(uring.final_pos, off.final_pos);
+  EXPECT_EQ(uring.inbox_dropped, 0u);
+  EXPECT_EQ(uring.tx_dropped, 0u);
+  EXPECT_GT(uring.bp.spins, 0u);
+}
+
+}  // namespace
+}  // namespace locs::test
